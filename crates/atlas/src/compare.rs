@@ -1,0 +1,118 @@
+//! Parcellation comparison.
+//!
+//! The paper's robustness argument rests on the attack working across
+//! different atlases (§3.2.2: Glasser-like for HCP, AAL2-like for
+//! ADHD-200). [`adjusted_rand_index`] quantifies how similar two
+//! parcellations of the same grid are — 1 for identical label structure,
+//! ≈ 0 for independent ones — which the atlas-granularity ablation uses to
+//! report how far apart the compared parcellations actually are.
+
+use crate::error::AtlasError;
+use crate::parcellation::Parcellation;
+use crate::Result;
+
+/// Adjusted Rand index between two parcellations of the same grid,
+/// computed over voxels labelled by *both* (brain-mask intersection).
+///
+/// Returns ≈ 1 for identical partitions (up to label permutation), ≈ 0 for
+/// independent random partitions, and can go slightly negative for
+/// partitions that disagree more than chance.
+pub fn adjusted_rand_index(a: &Parcellation, b: &Parcellation) -> Result<f64> {
+    if a.grid().dims() != b.grid().dims() {
+        return Err(AtlasError::VoxelCountMismatch {
+            atlas: a.grid().len(),
+            data: b.grid().len(),
+        });
+    }
+    let ka = a.n_regions();
+    let kb = b.n_regions();
+    // Contingency table over jointly labelled voxels.
+    let mut table = vec![vec![0u64; kb]; ka];
+    let mut n = 0u64;
+    for v in 0..a.grid().len() {
+        if let (Some(ra), Some(rb)) = (a.region_of(v), b.region_of(v)) {
+            table[ra][rb] += 1;
+            n += 1;
+        }
+    }
+    if n < 2 {
+        return Err(AtlasError::EmptyGrid);
+    }
+    let choose2 = |x: u64| -> f64 { (x as f64) * (x as f64 - 1.0) / 2.0 };
+    let mut sum_ij = 0.0;
+    let mut row_sums = vec![0u64; ka];
+    let mut col_sums = vec![0u64; kb];
+    for (i, row) in table.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            sum_ij += choose2(c);
+            row_sums[i] += c;
+            col_sums[j] += c;
+        }
+    }
+    let sum_a: f64 = row_sums.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = col_sums.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return Ok(1.0); // degenerate (e.g. single cluster on both sides)
+    }
+    Ok((sum_ij - expected) / (max_index - expected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::VoxelGrid;
+    use crate::parcellation::{aal2_like, grown_atlas};
+
+    fn grid() -> VoxelGrid {
+        VoxelGrid::new(16, 16, 16).unwrap()
+    }
+
+    #[test]
+    fn identical_parcellations_score_one() {
+        let a = grown_atlas("x", grid(), 20, 7).unwrap();
+        let b = grown_atlas("y", grid(), 20, 7).unwrap();
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        assert!((ari - 1.0).abs() < 1e-9, "ARI {ari}");
+    }
+
+    #[test]
+    fn independent_parcellations_score_near_zero() {
+        let a = grown_atlas("x", grid(), 20, 7).unwrap();
+        let b = grown_atlas("y", grid(), 20, 1234).unwrap();
+        let ari = adjusted_rand_index(&a, &b).unwrap();
+        // Voronoi partitions of the same seeds-count still share spatial
+        // structure, so "independent" here means well below identical but
+        // with some residual agreement.
+        assert!(ari < 0.6, "ARI {ari}");
+        assert!(ari > -0.2);
+    }
+
+    #[test]
+    fn comparison_is_symmetric() {
+        let a = grown_atlas("x", grid(), 12, 3).unwrap();
+        let b = aal2_like(grid()).unwrap();
+        let ab = adjusted_rand_index(&a, &b).unwrap();
+        let ba = adjusted_rand_index(&b, &a).unwrap();
+        assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_grids() {
+        let a = grown_atlas("x", grid(), 12, 3).unwrap();
+        let other = grown_atlas("y", VoxelGrid::new(10, 10, 10).unwrap(), 12, 3).unwrap();
+        assert!(adjusted_rand_index(&a, &other).is_err());
+    }
+
+    #[test]
+    fn refinement_scores_between_zero_and_one() {
+        // A 40-region refinement of a 20-region atlas (different seeds but
+        // same family) should land strictly between the extremes.
+        let coarse = grown_atlas("c", grid(), 10, 5).unwrap();
+        let fine = grown_atlas("f", grid(), 40, 5).unwrap();
+        let ari = adjusted_rand_index(&coarse, &fine).unwrap();
+        assert!(ari > 0.05 && ari < 0.95, "ARI {ari}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Atlas error type.
+
+use std::fmt;
+
+/// Errors from atlas construction and region reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtlasError {
+    /// The requested region count cannot fit in the brain mask (fewer brain
+    /// voxels than regions, or zero regions).
+    InvalidRegionCount {
+        /// Requested number of regions.
+        requested: usize,
+        /// Number of voxels available in the brain mask.
+        brain_voxels: usize,
+    },
+    /// The voxel grid is degenerate (a zero dimension).
+    EmptyGrid,
+    /// A time-series matrix did not match the atlas voxel count.
+    VoxelCountMismatch {
+        /// Voxels in the atlas grid.
+        atlas: usize,
+        /// Rows in the provided voxel×time matrix.
+        data: usize,
+    },
+    /// A region ended up with no member voxels (internal invariant breach —
+    /// constructors must never return such an atlas).
+    EmptyRegion {
+        /// Region index with no voxels.
+        region: usize,
+    },
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::InvalidRegionCount {
+                requested,
+                brain_voxels,
+            } => write!(
+                f,
+                "cannot build {requested} regions from {brain_voxels} brain voxels"
+            ),
+            AtlasError::EmptyGrid => write!(f, "voxel grid has a zero dimension"),
+            AtlasError::VoxelCountMismatch { atlas, data } => write!(
+                f,
+                "voxel count mismatch: atlas has {atlas} voxels, data has {data} rows"
+            ),
+            AtlasError::EmptyRegion { region } => {
+                write!(f, "region {region} has no member voxels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AtlasError::InvalidRegionCount {
+            requested: 360,
+            brain_voxels: 10,
+        };
+        assert!(e.to_string().contains("360"));
+        assert!(AtlasError::EmptyGrid.to_string().contains("zero"));
+        let m = AtlasError::VoxelCountMismatch { atlas: 5, data: 6 };
+        assert!(m.to_string().contains('5') && m.to_string().contains('6'));
+    }
+}

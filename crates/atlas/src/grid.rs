@@ -1,0 +1,156 @@
+//! 3-D voxel grid geometry.
+
+use crate::error::AtlasError;
+use crate::Result;
+
+/// A rectangular 3-D voxel grid with an ellipsoidal "brain" mask.
+///
+/// Voxels are addressed either by `(x, y, z)` coordinates or by a flat index
+/// in x-fastest order; the flat order is the row order of all voxel×time
+/// matrices in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoxelGrid {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl VoxelGrid {
+    /// Creates a grid; all dimensions must be non-zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Result<Self> {
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(AtlasError::EmptyGrid);
+        }
+        Ok(VoxelGrid { nx, ny, nz })
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Total voxel count `nx · ny · nz`.
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// `true` if the grid holds no voxels (cannot happen post-construction;
+    /// present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of voxel `(x, y, z)` (x fastest).
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Inverse of [`VoxelGrid::index`].
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let x = idx % self.nx;
+        let y = (idx / self.nx) % self.ny;
+        let z = idx / (self.nx * self.ny);
+        (x, y, z)
+    }
+
+    /// `true` if `(x, y, z)` lies inside the ellipsoidal brain mask
+    /// inscribed in the grid (semi-axes at 45% of each dimension, leaving a
+    /// "skull" shell of non-brain voxels around it — the shell is what the
+    /// skull-stripping preprocessing stage removes).
+    pub fn in_brain(&self, x: usize, y: usize, z: usize) -> bool {
+        let cx = (self.nx as f64 - 1.0) / 2.0;
+        let cy = (self.ny as f64 - 1.0) / 2.0;
+        let cz = (self.nz as f64 - 1.0) / 2.0;
+        let rx = self.nx as f64 * 0.45;
+        let ry = self.ny as f64 * 0.45;
+        let rz = self.nz as f64 * 0.45;
+        let dx = (x as f64 - cx) / rx;
+        let dy = (y as f64 - cy) / ry;
+        let dz = (z as f64 - cz) / rz;
+        dx * dx + dy * dy + dz * dz <= 1.0
+    }
+
+    /// Flat indices of all brain voxels, in flat order.
+    pub fn brain_voxels(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for z in 0..self.nz {
+            for y in 0..self.ny {
+                for x in 0..self.nx {
+                    if self.in_brain(x, y, z) {
+                        out.push(self.index(x, y, z));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Squared Euclidean distance between two voxels in grid units.
+    pub fn dist_sq(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay, az) = self.coords(a);
+        let (bx, by, bz) = self.coords(b);
+        let dx = ax as f64 - bx as f64;
+        let dy = ay as f64 - by as f64;
+        let dz = az as f64 - bz as f64;
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_dimension() {
+        assert!(VoxelGrid::new(0, 5, 5).is_err());
+        assert!(VoxelGrid::new(5, 0, 5).is_err());
+        assert!(VoxelGrid::new(5, 5, 0).is_err());
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = VoxelGrid::new(7, 5, 3).unwrap();
+        for idx in 0..g.len() {
+            let (x, y, z) = g.coords(idx);
+            assert_eq!(g.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn center_is_brain_corner_is_not() {
+        let g = VoxelGrid::new(20, 20, 20).unwrap();
+        assert!(g.in_brain(10, 10, 10));
+        assert!(!g.in_brain(0, 0, 0));
+        assert!(!g.in_brain(19, 19, 19));
+    }
+
+    #[test]
+    fn brain_mask_volume_reasonable() {
+        let g = VoxelGrid::new(20, 20, 20).unwrap();
+        let brain = g.brain_voxels();
+        // Ellipsoid with 45% semi-axes: 4/3·π·0.45³ ≈ 38% of the box.
+        let frac = brain.len() as f64 / g.len() as f64;
+        assert!((0.25..0.5).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn brain_voxels_sorted_flat_order() {
+        let g = VoxelGrid::new(10, 10, 10).unwrap();
+        let brain = g.brain_voxels();
+        assert!(brain.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dist_sq_symmetric_and_zero_on_self() {
+        let g = VoxelGrid::new(6, 6, 6).unwrap();
+        let a = g.index(1, 2, 3);
+        let b = g.index(4, 0, 5);
+        assert_eq!(g.dist_sq(a, b), g.dist_sq(b, a));
+        assert_eq!(g.dist_sq(a, a), 0.0);
+        // Known distance: (3,2,2) -> 9+4+4=17.
+        assert_eq!(g.dist_sq(a, b), 17.0);
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-atlas
+//!
+//! Brain atlases (parcellations) for the reproduction, per §3.2.2 of the
+//! paper. An atlas assigns every brain voxel a region label; the attack
+//! pipeline collapses `voxel × time` data into `region × time` matrices by
+//! averaging within regions, and the region count fixes the connectome
+//! feature count: 360 regions (Glasser-like) ⇒ 64,620 region-pair features,
+//! 116 regions (AAL2-like) ⇒ 6,670.
+//!
+//! Three parcellation families are provided:
+//!
+//! * [`glasser_like`] — 360 regions, hemispherically symmetric, lobed, the
+//!   stand-in for the Glasser et al. (2016) multi-modal atlas used on the
+//!   HCP data.
+//! * [`aal2_like`] — 116 regions, the stand-in for AAL2 used on ADHD-200.
+//! * [`grown_atlas`] — the paper's "sample k seed voxels, grow regions by
+//!   proximity" automated scheme, with a seedable RNG.
+
+pub mod compare;
+pub mod error;
+pub mod grid;
+pub mod parcellation;
+pub mod reduce;
+
+pub use compare::adjusted_rand_index;
+pub use error::AtlasError;
+pub use grid::VoxelGrid;
+pub use parcellation::{aal2_like, glasser_like, grown_atlas, Hemisphere, Lobe, Parcellation, Region};
+pub use reduce::region_average;
+
+/// Result alias for atlas operations.
+pub type Result<T> = std::result::Result<T, AtlasError>;

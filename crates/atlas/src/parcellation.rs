@@ -1,0 +1,435 @@
+//! Parcellations: voxel → region membership functions.
+//!
+//! §3.2.2 of the paper: an atlas labels every brain voxel with exactly one
+//! region (non-overlapping), regions are localized, and the label set is
+//! fixed per atlas. The constructors here produce deterministic synthetic
+//! atlases with the paper's two region counts (360 and 116) plus the
+//! generic "grow regions from sampled seeds" scheme the paper sketches.
+
+use crate::error::AtlasError;
+use crate::grid::VoxelGrid;
+use crate::Result;
+use neurodeanon_linalg::Rng64;
+
+/// Brain hemisphere of a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hemisphere {
+    /// Left hemisphere (x below the midline).
+    Left,
+    /// Right hemisphere (x at or above the midline).
+    Right,
+}
+
+/// Coarse anatomical lobe, assigned from the region centroid's position.
+/// Used by experiments that restrict features to lobes (the paper cites the
+/// parieto-frontal restriction of Finn et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lobe {
+    /// Anterior third of the brain.
+    Frontal,
+    /// Superior-posterior region.
+    Parietal,
+    /// Inferior-middle region.
+    Temporal,
+    /// Posterior region.
+    Occipital,
+}
+
+/// Metadata for one parcel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Region id, `0..n_regions`.
+    pub id: usize,
+    /// Display label, e.g. `"L_042"`.
+    pub label: String,
+    /// Hemisphere containing the region centroid.
+    pub hemisphere: Hemisphere,
+    /// Coarse lobe of the region centroid.
+    pub lobe: Lobe,
+    /// Centroid in voxel coordinates.
+    pub centroid: (f64, f64, f64),
+    /// Number of member voxels.
+    pub size: usize,
+}
+
+/// A non-overlapping parcellation of the brain voxels of a grid.
+#[derive(Debug, Clone)]
+pub struct Parcellation {
+    name: String,
+    grid: VoxelGrid,
+    /// Per-voxel membership: `Some(region)` for brain voxels, `None` outside.
+    membership: Vec<Option<u32>>,
+    regions: Vec<Region>,
+}
+
+impl Parcellation {
+    /// Atlas name (e.g. `"glasser-like-360"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying voxel grid.
+    pub fn grid(&self) -> &VoxelGrid {
+        &self.grid
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Region metadata, indexed by region id.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Membership of a flat voxel index (`None` = non-brain).
+    pub fn region_of(&self, voxel: usize) -> Option<usize> {
+        self.membership
+            .get(voxel)
+            .copied()
+            .flatten()
+            .map(|r| r as usize)
+    }
+
+    /// Per-voxel membership slice, flat voxel order.
+    pub fn membership(&self) -> &[Option<u32>] {
+        &self.membership
+    }
+
+    /// Flat voxel indices belonging to `region`.
+    pub fn voxels_of(&self, region: usize) -> Vec<usize> {
+        self.membership
+            .iter()
+            .enumerate()
+            .filter_map(|(v, m)| (m.map(|r| r as usize) == Some(region)).then_some(v))
+            .collect()
+    }
+
+    /// Number of brain voxels (those with a region label).
+    pub fn brain_voxel_count(&self) -> usize {
+        self.membership.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Number of region-pair features `n(n−1)/2` this atlas induces on
+    /// vectorized connectomes — 64,620 for 360 regions, 6,670 for 116.
+    pub fn n_pair_features(&self) -> usize {
+        let n = self.n_regions();
+        n * (n - 1) / 2
+    }
+}
+
+/// Builds a parcellation by growing regions outward from `n_regions` seed
+/// voxels (nearest-seed / Voronoi assignment), the automated scheme of
+/// §3.2.2. Deterministic given the seed.
+pub fn grown_atlas(
+    name: &str,
+    grid: VoxelGrid,
+    n_regions: usize,
+    rng_seed: u64,
+) -> Result<Parcellation> {
+    let brain = grid.brain_voxels();
+    if n_regions == 0 || n_regions > brain.len() {
+        return Err(AtlasError::InvalidRegionCount {
+            requested: n_regions,
+            brain_voxels: brain.len(),
+        });
+    }
+    let mut rng = Rng64::new(rng_seed);
+    let seed_positions = rng.sample_indices(brain.len(), n_regions);
+    let seeds: Vec<usize> = seed_positions.iter().map(|&i| brain[i]).collect();
+    build_voronoi(name, grid, &brain, &seeds)
+}
+
+/// Glasser-like atlas: 360 regions, 180 per hemisphere, hemispherically
+/// symmetric seed placement. Deterministic (no RNG): seeds are laid out on a
+/// low-discrepancy lattice inside each hemisphere so parcels are compact and
+/// mirror-symmetric, like the real multi-modal parcellation.
+pub fn glasser_like(grid: VoxelGrid) -> Result<Parcellation> {
+    symmetric_atlas("glasser-like-360", grid, 360)
+}
+
+/// AAL2-like atlas: 116 regions (58 per hemisphere), giving the 6,670
+/// pair features the paper reports for ADHD-200.
+pub fn aal2_like(grid: VoxelGrid) -> Result<Parcellation> {
+    symmetric_atlas("aal2-like-116", grid, 116)
+}
+
+/// Shared construction for hemispherically symmetric atlases.
+fn symmetric_atlas(name: &str, grid: VoxelGrid, n_regions: usize) -> Result<Parcellation> {
+    if n_regions % 2 != 0 {
+        return Err(AtlasError::InvalidRegionCount {
+            requested: n_regions,
+            brain_voxels: grid.brain_voxels().len(),
+        });
+    }
+    let brain = grid.brain_voxels();
+    if n_regions > brain.len() {
+        return Err(AtlasError::InvalidRegionCount {
+            requested: n_regions,
+            brain_voxels: brain.len(),
+        });
+    }
+    let (nx, _, _) = grid.dims();
+    let half = n_regions / 2;
+    // Left-hemisphere brain voxels in flat order.
+    let left: Vec<usize> = brain
+        .iter()
+        .copied()
+        .filter(|&v| grid.coords(v).0 < nx / 2)
+        .collect();
+    if left.len() < half || brain.len() - left.len() < half {
+        return Err(AtlasError::InvalidRegionCount {
+            requested: n_regions,
+            brain_voxels: brain.len(),
+        });
+    }
+    // Low-discrepancy seed placement: take every k-th left-hemisphere brain
+    // voxel with a golden-ratio stride so seeds spread through the volume.
+    let mut seeds = Vec::with_capacity(n_regions);
+    let phi = 0.618_033_988_749_894_9_f64;
+    let mut pos = 0.0_f64;
+    let mut taken = std::collections::HashSet::new();
+    while seeds.len() < half {
+        pos = (pos + phi) % 1.0;
+        let idx = ((pos * left.len() as f64) as usize).min(left.len() - 1);
+        // Linear-probe to the next untaken voxel for degenerate small grids.
+        let mut j = idx;
+        while taken.contains(&j) {
+            j = (j + 1) % left.len();
+        }
+        taken.insert(j);
+        seeds.push(left[j]);
+    }
+    // Mirror each left seed across the midline for the right hemisphere.
+    for k in 0..half {
+        let (x, y, z) = grid.coords(seeds[k]);
+        let mx = nx - 1 - x;
+        seeds.push(grid.index(mx, y, z));
+    }
+    build_voronoi(name, grid, &brain, &seeds)
+}
+
+/// Assigns every brain voxel to the nearest seed, producing regions with
+/// metadata; errors if any region ends up empty.
+fn build_voronoi(
+    name: &str,
+    grid: VoxelGrid,
+    brain: &[usize],
+    seeds: &[usize],
+) -> Result<Parcellation> {
+    let n_regions = seeds.len();
+    let mut membership = vec![None; grid.len()];
+    let seed_coords: Vec<(f64, f64, f64)> = seeds
+        .iter()
+        .map(|&s| {
+            let (x, y, z) = grid.coords(s);
+            (x as f64, y as f64, z as f64)
+        })
+        .collect();
+    for &v in brain {
+        let (x, y, z) = grid.coords(v);
+        let (xf, yf, zf) = (x as f64, y as f64, z as f64);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (r, &(sx, sy, sz)) in seed_coords.iter().enumerate() {
+            let d = (xf - sx).powi(2) + (yf - sy).powi(2) + (zf - sz).powi(2);
+            if d < best_d {
+                best_d = d;
+                best = r;
+            }
+        }
+        membership[v] = Some(best as u32);
+    }
+
+    // Region metadata: centroid, size, hemisphere, lobe.
+    let mut sums = vec![(0.0_f64, 0.0_f64, 0.0_f64, 0usize); n_regions];
+    for &v in brain {
+        if let Some(r) = membership[v] {
+            let (x, y, z) = grid.coords(v);
+            let s = &mut sums[r as usize];
+            s.0 += x as f64;
+            s.1 += y as f64;
+            s.2 += z as f64;
+            s.3 += 1;
+        }
+    }
+    let (nx, ny, nz) = grid.dims();
+    let mut regions = Vec::with_capacity(n_regions);
+    for (id, &(sx, sy, sz, count)) in sums.iter().enumerate() {
+        if count == 0 {
+            return Err(AtlasError::EmptyRegion { region: id });
+        }
+        let cx = sx / count as f64;
+        let cy = sy / count as f64;
+        let cz = sz / count as f64;
+        let hemisphere = if cx < (nx as f64) / 2.0 {
+            Hemisphere::Left
+        } else {
+            Hemisphere::Right
+        };
+        // Lobe heuristic on normalized coordinates: front third = frontal;
+        // back quarter = occipital; low-and-middle = temporal; else parietal.
+        let yn = cy / ny as f64;
+        let zn = cz / nz as f64;
+        let lobe = if yn > 0.66 {
+            Lobe::Frontal
+        } else if yn < 0.25 {
+            Lobe::Occipital
+        } else if zn < 0.4 {
+            Lobe::Temporal
+        } else {
+            Lobe::Parietal
+        };
+        let side = match hemisphere {
+            Hemisphere::Left => 'L',
+            Hemisphere::Right => 'R',
+        };
+        regions.push(Region {
+            id,
+            label: format!("{side}_{id:03}"),
+            hemisphere,
+            lobe,
+            centroid: (cx, cy, cz),
+            size: count,
+        });
+    }
+    Ok(Parcellation {
+        name: name.to_string(),
+        grid,
+        membership,
+        regions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid24() -> VoxelGrid {
+        VoxelGrid::new(24, 24, 24).unwrap()
+    }
+
+    #[test]
+    fn glasser_like_has_360_nonempty_regions() {
+        let p = glasser_like(grid24()).unwrap();
+        assert_eq!(p.n_regions(), 360);
+        assert!(p.regions().iter().all(|r| r.size > 0));
+        assert_eq!(p.n_pair_features(), 64_620);
+    }
+
+    #[test]
+    fn aal2_like_has_116_regions_and_6670_features() {
+        let p = aal2_like(grid24()).unwrap();
+        assert_eq!(p.n_regions(), 116);
+        assert_eq!(p.n_pair_features(), 6_670);
+    }
+
+    #[test]
+    fn membership_covers_exactly_brain_voxels() {
+        let g = grid24();
+        let brain: std::collections::HashSet<usize> = g.brain_voxels().into_iter().collect();
+        let p = glasser_like(g).unwrap();
+        for v in 0..p.grid().len() {
+            assert_eq!(p.region_of(v).is_some(), brain.contains(&v), "voxel {v}");
+        }
+        assert_eq!(p.brain_voxel_count(), brain.len());
+    }
+
+    #[test]
+    fn hemispheres_are_balanced() {
+        let p = glasser_like(grid24()).unwrap();
+        let left = p
+            .regions()
+            .iter()
+            .filter(|r| r.hemisphere == Hemisphere::Left)
+            .count();
+        assert_eq!(left, 180);
+    }
+
+    #[test]
+    fn all_lobes_represented() {
+        let p = glasser_like(grid24()).unwrap();
+        for lobe in [Lobe::Frontal, Lobe::Parietal, Lobe::Temporal, Lobe::Occipital] {
+            assert!(
+                p.regions().iter().any(|r| r.lobe == lobe),
+                "missing {lobe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn voxels_of_matches_membership() {
+        let p = aal2_like(grid24()).unwrap();
+        let vox = p.voxels_of(0);
+        assert!(!vox.is_empty());
+        assert!(vox.iter().all(|&v| p.region_of(v) == Some(0)));
+        // Region sizes sum to the brain voxel count.
+        let total: usize = p.regions().iter().map(|r| r.size).sum();
+        assert_eq!(total, p.brain_voxel_count());
+    }
+
+    #[test]
+    fn grown_atlas_deterministic_per_seed() {
+        let a = grown_atlas("g", grid24(), 50, 7).unwrap();
+        let b = grown_atlas("g", grid24(), 50, 7).unwrap();
+        assert_eq!(a.membership(), b.membership());
+        let c = grown_atlas("g", grid24(), 50, 8).unwrap();
+        assert_ne!(a.membership(), c.membership());
+    }
+
+    #[test]
+    fn grown_atlas_rejects_bad_counts() {
+        assert!(grown_atlas("g", grid24(), 0, 1).is_err());
+        let tiny = VoxelGrid::new(3, 3, 3).unwrap();
+        assert!(grown_atlas("g", tiny, 10_000, 1).is_err());
+    }
+
+    #[test]
+    fn symmetric_atlas_rejects_odd_count() {
+        let e = symmetric_atlas("odd", grid24(), 361);
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn regions_are_spatially_compact() {
+        // Every voxel must be closer to its own region centroid than to the
+        // centroid of at least 90% of other regions (Voronoi compactness).
+        let p = aal2_like(grid24()).unwrap();
+        let g = p.grid().clone();
+        let mut violations = 0usize;
+        let mut checked = 0usize;
+        for r in p.regions().iter().take(10) {
+            for &v in p.voxels_of(r.id).iter().take(5) {
+                let (x, y, z) = g.coords(v);
+                let own = dist(&(x, y, z), &r.centroid);
+                let closer = p
+                    .regions()
+                    .iter()
+                    .filter(|o| o.id != r.id && dist(&(x, y, z), &o.centroid) < own)
+                    .count();
+                if closer > p.n_regions() / 10 {
+                    violations += 1;
+                }
+                checked += 1;
+            }
+        }
+        assert!(violations < checked / 5, "{violations}/{checked}");
+    }
+
+    fn dist(a: &(usize, usize, usize), c: &(f64, f64, f64)) -> f64 {
+        (a.0 as f64 - c.0).powi(2) + (a.1 as f64 - c.1).powi(2) + (a.2 as f64 - c.2).powi(2)
+    }
+
+    #[test]
+    fn labels_follow_hemisphere() {
+        let p = glasser_like(grid24()).unwrap();
+        for r in p.regions() {
+            let expect = match r.hemisphere {
+                Hemisphere::Left => 'L',
+                Hemisphere::Right => 'R',
+            };
+            assert!(r.label.starts_with(expect));
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Voxel → region reduction: collapse a `voxel × time` matrix into a
+//! `region × time` matrix by averaging member voxels (§3.2.2: "collapse it
+//! into a region × time matrix, simply by computing region-wise average of
+//! time series data").
+
+use crate::error::AtlasError;
+use crate::parcellation::Parcellation;
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// Averages voxel time series within each region.
+///
+/// `voxel_ts` must have one row per grid voxel in flat order (rows for
+/// non-brain voxels are ignored). Returns a `n_regions × time` matrix.
+pub fn region_average(parcellation: &Parcellation, voxel_ts: &Matrix) -> Result<Matrix> {
+    let n_vox = parcellation.grid().len();
+    if voxel_ts.rows() != n_vox {
+        return Err(AtlasError::VoxelCountMismatch {
+            atlas: n_vox,
+            data: voxel_ts.rows(),
+        });
+    }
+    let t = voxel_ts.cols();
+    let n_regions = parcellation.n_regions();
+    let mut sums = Matrix::zeros(n_regions, t);
+    let mut counts = vec![0usize; n_regions];
+    for (v, m) in parcellation.membership().iter().enumerate() {
+        if let Some(r) = m {
+            let r = *r as usize;
+            counts[r] += 1;
+            let src = voxel_ts.row(v);
+            let dst = sums.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+    }
+    for r in 0..n_regions {
+        if counts[r] == 0 {
+            return Err(AtlasError::EmptyRegion { region: r });
+        }
+        let inv = 1.0 / counts[r] as f64;
+        for v in sums.row_mut(r) {
+            *v *= inv;
+        }
+    }
+    Ok(sums)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::VoxelGrid;
+    use crate::parcellation::grown_atlas;
+
+    fn small_parc() -> Parcellation {
+        grown_atlas("t", VoxelGrid::new(10, 10, 10).unwrap(), 8, 3).unwrap()
+    }
+
+    #[test]
+    fn output_shape() {
+        let p = small_parc();
+        let ts = Matrix::zeros(p.grid().len(), 16);
+        let r = region_average(&p, &ts).unwrap();
+        assert_eq!(r.shape(), (8, 16));
+    }
+
+    #[test]
+    fn constant_regions_average_to_constant() {
+        let p = small_parc();
+        // Voxel value = its region id, at every time point.
+        let mut ts = Matrix::zeros(p.grid().len(), 4);
+        for v in 0..p.grid().len() {
+            if let Some(r) = p.region_of(v) {
+                for t in 0..4 {
+                    ts[(v, t)] = r as f64;
+                }
+            }
+        }
+        let out = region_average(&p, &ts).unwrap();
+        for r in 0..8 {
+            for t in 0..4 {
+                assert!((out[(r, t)] - r as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_matches_manual_mean() {
+        let p = small_parc();
+        let ts = Matrix::from_fn(p.grid().len(), 3, |v, t| ((v * 7 + t * 3) % 13) as f64);
+        let out = region_average(&p, &ts).unwrap();
+        let vox = p.voxels_of(2);
+        for t in 0..3 {
+            let mean: f64 = vox.iter().map(|&v| ts[(v, t)]).sum::<f64>() / vox.len() as f64;
+            assert!((out[(2, t)] - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn non_brain_rows_ignored() {
+        let p = small_parc();
+        let mut ts = Matrix::zeros(p.grid().len(), 2);
+        // Poison all non-brain rows; output must stay zero.
+        for v in 0..p.grid().len() {
+            if p.region_of(v).is_none() {
+                ts[(v, 0)] = 1e9;
+                ts[(v, 1)] = -1e9;
+            }
+        }
+        let out = region_average(&p, &ts).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn rejects_wrong_voxel_count() {
+        let p = small_parc();
+        let ts = Matrix::zeros(p.grid().len() + 1, 4);
+        assert!(matches!(
+            region_average(&p, &ts),
+            Err(AtlasError::VoxelCountMismatch { .. })
+        ));
+    }
+}

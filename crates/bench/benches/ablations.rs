@@ -1,0 +1,145 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out:
+//! sampling strategy, retained-feature count, matching rule, atlas
+//! granularity, and the t-SNE vs PCA embedding comparison that motivates
+//! the paper's choice of a non-linear reduction for task identification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurodeanon_core::experiments::ablations::embedding_ablation_groups;
+use neurodeanon_core::experiments::{
+    ablation_atlas_granularity, ablation_feature_count, ablation_matching_rule,
+    ablation_sampling_strategy,
+};
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig};
+use neurodeanon_embedding::pca;
+use neurodeanon_embedding::tsne::{tsne, TsneConfig};
+use neurodeanon_linalg::Matrix;
+use neurodeanon_ml::metrics::accuracy;
+use neurodeanon_ml::KnnClassifier;
+use std::hint::black_box;
+
+fn cohort() -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig::small(12, 0xab)).expect("valid config")
+}
+
+fn bench_ablation_sampling(c: &mut Criterion) {
+    let cohort = cohort();
+    let mut g = c.benchmark_group("ablation_sampling_strategy");
+    g.sample_size(10);
+    g.bench_function("four_strategies", |b| {
+        b.iter(|| {
+            let rows = ablation_sampling_strategy(&cohort, 60, 3).unwrap();
+            // The paper's claim: leverage-based selection dominates.
+            let det = rows
+                .iter()
+                .find(|r| r.strategy == "deterministic-leverage")
+                .unwrap()
+                .accuracy;
+            let uni = rows
+                .iter()
+                .find(|r| r.strategy == "uniform")
+                .unwrap()
+                .accuracy;
+            assert!(det >= uni);
+            black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ablation_t(c: &mut Criterion) {
+    let cohort = cohort();
+    let mut g = c.benchmark_group("ablation_feature_count");
+    g.sample_size(10);
+    g.bench_function("sweep_5_to_400", |b| {
+        b.iter(|| black_box(ablation_feature_count(&cohort, &[5, 20, 100, 400]).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ablation_matching(c: &mut Criterion) {
+    let cohort = cohort();
+    let mut g = c.benchmark_group("ablation_matching_rule");
+    g.sample_size(10);
+    g.bench_function("argmax_vs_hungarian", |b| {
+        b.iter(|| black_box(ablation_matching_rule(&cohort).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ablation_atlas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_atlas_granularity");
+    g.sample_size(10);
+    g.bench_function("regions_20_40", |b| {
+        b.iter(|| black_box(ablation_atlas_granularity(&[20, 40], 8, 5).unwrap()))
+    });
+    g.finish();
+}
+
+/// t-SNE vs PCA for task clustering: embed the stacked conditions to 2-D
+/// with both methods, transfer labels by 1-NN from half the subjects, and
+/// compare accuracy — the paper's implicit justification for preferring the
+/// non-linear embedding.
+fn bench_ablation_embedding(c: &mut Criterion) {
+    let cohort = cohort();
+    let groups = embedding_ablation_groups(&cohort).unwrap();
+    let n_subjects = groups[0].n_subjects();
+    // Stack points condition-major.
+    let n_features = groups[0].n_features();
+    let n_points = groups.len() * n_subjects;
+    let mut points = Matrix::zeros(n_points, n_features);
+    let mut labels = Vec::new();
+    for (cond, grp) in groups.iter().enumerate() {
+        let p = grp.to_points();
+        for s in 0..n_subjects {
+            points.set_row(cond * n_subjects + s, p.row(s)).unwrap();
+            labels.push(cond);
+        }
+    }
+    // Labeled = first half of subjects (all their conditions).
+    let labeled: Vec<usize> = (0..n_points)
+        .filter(|p| (p % n_subjects) < n_subjects / 2)
+        .collect();
+    let unlabeled: Vec<usize> = (0..n_points)
+        .filter(|p| (p % n_subjects) >= n_subjects / 2)
+        .collect();
+    let eval = |embedding: &Matrix| -> f64 {
+        let train_x = embedding.select_rows(&labeled).unwrap();
+        let train_y: Vec<usize> = labeled.iter().map(|&p| labels[p]).collect();
+        let test_x = embedding.select_rows(&unlabeled).unwrap();
+        let truth: Vec<usize> = unlabeled.iter().map(|&p| labels[p]).collect();
+        let mut knn = KnnClassifier::new(1).unwrap();
+        knn.fit(&train_x, &train_y).unwrap();
+        accuracy(&knn.predict(&test_x).unwrap(), &truth).unwrap()
+    };
+
+    let mut g = c.benchmark_group("ablation_embedding");
+    g.sample_size(10);
+    let cfg = TsneConfig {
+        perplexity: 10.0,
+        n_iter: 250,
+        ..TsneConfig::default()
+    };
+    g.bench_function("tsne_2d_plus_1nn", |b| {
+        b.iter(|| {
+            let emb = tsne(&points, &cfg).unwrap();
+            black_box(eval(&emb.embedding))
+        })
+    });
+    g.bench_function("pca_2d_plus_1nn", |b| {
+        b.iter(|| {
+            let emb = pca(&points, 2).unwrap();
+            black_box(eval(&emb))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_ablation_sampling,
+    bench_ablation_t,
+    bench_ablation_matching,
+    bench_ablation_atlas,
+    bench_ablation_embedding
+);
+criterion_main!(ablations);

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-bench
+//!
+//! Reproduction harness for the paper's evaluation: the [`scale`] presets,
+//! plus small formatting/reporting helpers shared by the `repro` binary
+//! (which regenerates every table and figure as text + JSON) and the
+//! Criterion benches.
+
+pub mod report;
+pub mod scale;
+
+pub use report::Report;
+pub use scale::Scale;

@@ -1,0 +1,91 @@
+//! Experiment scale presets.
+//!
+//! The `paper` preset matches the evaluation's dimensions (100 subjects,
+//! 360-region atlas ⇒ 64,620 features; 85 ADHD-like subjects on 116
+//! regions ⇒ 6,670 features). The `small` preset reproduces every
+//! phenomenon in seconds for smoke-testing the harness.
+
+use neurodeanon_datasets::{AdhdCohort, AdhdCohortConfig, HcpCohort, HcpCohortConfig};
+
+/// Scale preset for the repro harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced dimensions; all phenomena, seconds of runtime.
+    Small,
+    /// Paper-scale dimensions (minutes of runtime).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `"small"` / `"paper"`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// The HCP-like cohort for this scale.
+    pub fn hcp(&self, seed: u64) -> HcpCohort {
+        let cfg = match self {
+            Scale::Small => HcpCohortConfig::small(30, seed),
+            Scale::Paper => HcpCohortConfig {
+                seed,
+                ..HcpCohortConfig::default()
+            },
+        };
+        HcpCohort::generate(cfg).expect("valid preset config")
+    }
+
+    /// The ADHD-like cohort for this scale.
+    pub fn adhd(&self, seed: u64) -> AdhdCohort {
+        let cfg = match self {
+            Scale::Small => AdhdCohortConfig::small(12, 6, seed),
+            Scale::Paper => AdhdCohortConfig {
+                seed,
+                ..AdhdCohortConfig::default()
+            },
+        };
+        AdhdCohort::generate(cfg).expect("valid preset config")
+    }
+
+    /// Repetition count for repeated-split experiments.
+    pub fn repeats(&self) -> usize {
+        match self {
+            Scale::Small => 5,
+            Scale::Paper => 30,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_known_values() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn small_cohorts_materialize() {
+        let hcp = Scale::Small.hcp(1);
+        assert_eq!(hcp.n_subjects(), 30);
+        let adhd = Scale::Small.adhd(1);
+        assert_eq!(adhd.n_subjects(), 12 + 18);
+    }
+
+    #[test]
+    fn paper_dimensions_match_paper() {
+        // Constructing the full cohort is expensive; check the config only.
+        let cfg = HcpCohortConfig::default();
+        assert_eq!(cfg.n_subjects, 100);
+        assert_eq!(cfg.n_regions, 360);
+        assert_eq!(cfg.n_regions * (cfg.n_regions - 1) / 2, 64_620);
+        let acfg = AdhdCohortConfig::default();
+        assert_eq!(acfg.n_regions * (acfg.n_regions - 1) / 2, 6_670);
+    }
+}

@@ -1,0 +1,157 @@
+//! Upper-triangle edge linearization.
+//!
+//! "The symmetry of the correlation matrix allows us to vectorize only the
+//! top (or bottom) triangle" (§3.1.1). [`EdgeIndex`] fixes one canonical
+//! order — row-major over the strict upper triangle: `(0,1), (0,2), …,
+//! (0,n−1), (1,2), …` — and provides O(1) maps in both directions. Every
+//! crate that talks about "feature k of the group matrix" uses this object,
+//! so a selected leverage feature can always be traced back to its region
+//! pair (the paper's defense discussion depends on that localization).
+
+use crate::error::ConnectomeError;
+use crate::Result;
+
+/// Bidirectional map between region pairs `(i, j), i < j` and flat feature
+/// indices `0..n(n−1)/2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeIndex {
+    n_regions: usize,
+    /// `row_start[i]` = flat index of edge `(i, i+1)`.
+    row_start: Vec<usize>,
+}
+
+impl EdgeIndex {
+    /// Creates the edge index for `n_regions ≥ 2` regions.
+    pub fn new(n_regions: usize) -> Result<Self> {
+        if n_regions < 2 {
+            return Err(ConnectomeError::TooFewRegions { got: n_regions });
+        }
+        let mut row_start = Vec::with_capacity(n_regions);
+        let mut acc = 0usize;
+        for i in 0..n_regions {
+            row_start.push(acc);
+            acc += n_regions - 1 - i;
+        }
+        Ok(EdgeIndex {
+            n_regions,
+            row_start,
+        })
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> usize {
+        self.n_regions
+    }
+
+    /// Number of pair features `n(n−1)/2`.
+    pub fn n_features(&self) -> usize {
+        self.n_regions * (self.n_regions - 1) / 2
+    }
+
+    /// Flat feature index of the edge between regions `a` and `b` (order
+    /// irrelevant; `a == b` or out-of-range is an error).
+    pub fn feature_of(&self, a: usize, b: usize) -> Result<usize> {
+        if a == b || a >= self.n_regions || b >= self.n_regions {
+            return Err(ConnectomeError::FeatureOutOfRange {
+                index: a.max(b),
+                n_features: self.n_features(),
+            });
+        }
+        let (i, j) = if a < b { (a, b) } else { (b, a) };
+        Ok(self.row_start[i] + (j - i - 1))
+    }
+
+    /// Region pair `(i, j), i < j` of a flat feature index.
+    pub fn edge_of(&self, feature: usize) -> Result<(usize, usize)> {
+        if feature >= self.n_features() {
+            return Err(ConnectomeError::FeatureOutOfRange {
+                index: feature,
+                n_features: self.n_features(),
+            });
+        }
+        // Binary search the row whose range contains `feature`.
+        let i = match self.row_start.binary_search(&feature) {
+            Ok(exact) => exact,
+            Err(ins) => ins - 1,
+        };
+        let j = i + 1 + (feature - self.row_start[i]);
+        Ok((i, j))
+    }
+
+    /// Iterates all edges in feature order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n_regions)
+            .flat_map(move |i| ((i + 1)..self.n_regions).map(move |j| (i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_counts_match_paper() {
+        assert_eq!(EdgeIndex::new(360).unwrap().n_features(), 64_620);
+        assert_eq!(EdgeIndex::new(116).unwrap().n_features(), 6_670);
+    }
+
+    #[test]
+    fn rejects_tiny() {
+        assert!(EdgeIndex::new(0).is_err());
+        assert!(EdgeIndex::new(1).is_err());
+        assert!(EdgeIndex::new(2).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_all_edges_small() {
+        let idx = EdgeIndex::new(7).unwrap();
+        let mut seen = vec![false; idx.n_features()];
+        for i in 0..7 {
+            for j in (i + 1)..7 {
+                let f = idx.feature_of(i, j).unwrap();
+                assert!(!seen[f], "duplicate feature {f}");
+                seen[f] = true;
+                assert_eq!(idx.edge_of(f).unwrap(), (i, j));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn order_is_row_major_upper() {
+        let idx = EdgeIndex::new(4).unwrap();
+        let order: Vec<(usize, usize)> = idx.iter().collect();
+        assert_eq!(
+            order,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        );
+        for (f, &(i, j)) in order.iter().enumerate() {
+            assert_eq!(idx.feature_of(i, j).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn symmetric_lookup() {
+        let idx = EdgeIndex::new(10).unwrap();
+        assert_eq!(
+            idx.feature_of(3, 7).unwrap(),
+            idx.feature_of(7, 3).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_diagonal_and_out_of_range() {
+        let idx = EdgeIndex::new(5).unwrap();
+        assert!(idx.feature_of(2, 2).is_err());
+        assert!(idx.feature_of(0, 5).is_err());
+        assert!(idx.edge_of(10).is_err());
+        assert!(idx.edge_of(9).is_ok());
+    }
+
+    #[test]
+    fn edge_of_first_and_last() {
+        let idx = EdgeIndex::new(360).unwrap();
+        assert_eq!(idx.edge_of(0).unwrap(), (0, 1));
+        assert_eq!(idx.edge_of(64_619).unwrap(), (358, 359));
+    }
+}

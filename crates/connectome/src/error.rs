@@ -1,0 +1,86 @@
+//! Connectome error type.
+
+use std::fmt;
+
+/// Errors from connectome construction and group-matrix assembly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConnectomeError {
+    /// The connectome needs at least two regions to have any edge features.
+    TooFewRegions {
+        /// Number of regions provided.
+        got: usize,
+    },
+    /// Connectomes in a group must share the same region count.
+    RegionCountMismatch {
+        /// Region count of the first connectome.
+        expected: usize,
+        /// Region count of the offending connectome.
+        got: usize,
+        /// Index of the offending connectome in the input.
+        at: usize,
+    },
+    /// A group matrix needs at least one subject.
+    EmptyGroup,
+    /// A feature index exceeded the number of pair features.
+    FeatureOutOfRange {
+        /// Offending feature index.
+        index: usize,
+        /// Number of features available.
+        n_features: usize,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+}
+
+impl fmt::Display for ConnectomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectomeError::TooFewRegions { got } => {
+                write!(f, "connectome needs >= 2 regions, got {got}")
+            }
+            ConnectomeError::RegionCountMismatch { expected, got, at } => write!(
+                f,
+                "connectome {at} has {got} regions, expected {expected}"
+            ),
+            ConnectomeError::EmptyGroup => write!(f, "group matrix needs at least one subject"),
+            ConnectomeError::FeatureOutOfRange { index, n_features } => {
+                write!(f, "feature {index} out of range ({n_features} features)")
+            }
+            ConnectomeError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectomeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConnectomeError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for ConnectomeError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        ConnectomeError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ConnectomeError::TooFewRegions { got: 1 }
+            .to_string()
+            .contains('1'));
+        assert!(ConnectomeError::EmptyGroup.to_string().contains("subject"));
+        let e = ConnectomeError::RegionCountMismatch {
+            expected: 360,
+            got: 116,
+            at: 3,
+        };
+        assert!(e.to_string().contains("360"));
+    }
+}

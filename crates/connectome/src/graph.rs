@@ -1,0 +1,151 @@
+//! Weighted-graph view of a connectome.
+//!
+//! §3.1.1: "this matrix can also be interpreted as a weighted complete
+//! graph, where nodes correspond to regions and edge weights correspond to
+//! correlation in neuronal activity." These utilities expose the graph
+//! quantities connectomics studies routinely report — node strength,
+//! thresholded density, hub detection — so downstream users of the library
+//! can run standard analyses on the same objects the attack consumes.
+
+use crate::error::ConnectomeError;
+use crate::matrix::Connectome;
+use crate::Result;
+
+/// Node strength: the sum of absolute edge weights incident to each region
+/// (the weighted-graph analogue of degree).
+pub fn node_strength(connectome: &Connectome) -> Vec<f64> {
+    let n = connectome.n_regions();
+    let mut strength = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                strength[i] += connectome.edge_weight(i, j).abs();
+            }
+        }
+    }
+    strength
+}
+
+/// Edge density after absolute thresholding: the fraction of region pairs
+/// whose |correlation| is at least `threshold`.
+pub fn edge_density(connectome: &Connectome, threshold: f64) -> Result<f64> {
+    if !(0.0..=1.0).contains(&threshold) {
+        return Err(ConnectomeError::FeatureOutOfRange {
+            index: 0,
+            n_features: 0,
+        });
+    }
+    let n = connectome.n_regions();
+    let mut kept = 0usize;
+    let total = n * (n - 1) / 2;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if connectome.edge_weight(i, j).abs() >= threshold {
+                kept += 1;
+            }
+        }
+    }
+    Ok(kept as f64 / total as f64)
+}
+
+/// The `k` regions with the highest node strength ("hubs"), strongest
+/// first. `k` is clamped to the region count.
+pub fn hubs(connectome: &Connectome, k: usize) -> Vec<usize> {
+    let strength = node_strength(connectome);
+    let mut order = neurodeanon_linalg::vector::argsort_desc(&strength);
+    order.truncate(k.min(order.len()));
+    order
+}
+
+/// The `k` strongest edges by |weight|, as `(i, j, weight)` triples,
+/// strongest first.
+pub fn strongest_edges(connectome: &Connectome, k: usize) -> Vec<(usize, usize, f64)> {
+    let n = connectome.n_regions();
+    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((i, j, connectome.edge_weight(i, j)));
+        }
+    }
+    edges.sort_by(|a, b| {
+        b.2.abs()
+            .partial_cmp(&a.2.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    edges.truncate(k.min(edges.len()));
+    edges
+}
+
+/// Mean absolute off-diagonal correlation — a single-number summary of
+/// global functional connectivity strength.
+pub fn mean_connectivity(connectome: &Connectome) -> f64 {
+    let n = connectome.n_regions();
+    let total = (n * (n - 1) / 2) as f64;
+    let mut acc = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            acc += connectome.edge_weight(i, j).abs();
+        }
+    }
+    acc / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_linalg::Matrix;
+
+    /// A 4-region connectome: regions 0,1 strongly coupled; 2,3 weak.
+    fn sample() -> Connectome {
+        let corr = Matrix::from_rows(&[
+            &[1.0, 0.9, 0.1, 0.2],
+            &[0.9, 1.0, 0.0, -0.1],
+            &[0.1, 0.0, 1.0, 0.3],
+            &[0.2, -0.1, 0.3, 1.0],
+        ])
+        .unwrap();
+        Connectome::from_correlation(corr).unwrap()
+    }
+
+    #[test]
+    fn node_strength_sums_incident_weights() {
+        let s = node_strength(&sample());
+        assert!((s[0] - (0.9 + 0.1 + 0.2)).abs() < 1e-12);
+        assert!((s[1] - (0.9 + 0.0 + 0.1)).abs() < 1e-12);
+        // Region 0 is the strongest hub.
+        assert_eq!(hubs(&sample(), 1), vec![0]);
+    }
+
+    #[test]
+    fn edge_density_monotone_in_threshold() {
+        let c = sample();
+        let d0 = edge_density(&c, 0.0).unwrap();
+        let d2 = edge_density(&c, 0.2).unwrap();
+        let d95 = edge_density(&c, 0.95).unwrap();
+        assert_eq!(d0, 1.0);
+        assert!(d2 < d0 && d2 > d95);
+        assert_eq!(d95, 0.0);
+        assert!(edge_density(&c, 1.5).is_err());
+    }
+
+    #[test]
+    fn strongest_edges_ordering() {
+        let edges = strongest_edges(&sample(), 3);
+        assert_eq!((edges[0].0, edges[0].1), (0, 1));
+        assert!((edges[0].2 - 0.9).abs() < 1e-12);
+        assert!(edges.windows(2).all(|w| w[0].2.abs() >= w[1].2.abs()));
+    }
+
+    #[test]
+    fn mean_connectivity_value() {
+        let m = mean_connectivity(&sample());
+        let expect = (0.9 + 0.1 + 0.2 + 0.0 + 0.1 + 0.3) / 6.0;
+        assert!((m - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hubs_clamps_k() {
+        assert_eq!(hubs(&sample(), 10).len(), 4);
+        assert_eq!(strongest_edges(&sample(), 100).len(), 6);
+    }
+}

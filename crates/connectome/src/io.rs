@@ -1,0 +1,166 @@
+//! CSV import/export for group matrices.
+//!
+//! The attack is dataset-agnostic: anyone with vectorized connectomes from
+//! *real* fMRI data (e.g. computed by an existing neuroimaging pipeline)
+//! can round-trip them through this format and run the attack CLI on them.
+//!
+//! Format: first line `# regions=<n>`, second line a header of
+//! comma-separated subject ids, then one line per feature with
+//! comma-separated values (one column per subject).
+
+use crate::error::ConnectomeError;
+use crate::group::GroupMatrix;
+use neurodeanon_linalg::Matrix;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a group matrix to `path` in the documented CSV format.
+pub fn write_group_csv(group: &GroupMatrix, path: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# regions={}", group.n_regions())?;
+    writeln!(w, "{}", group.subject_ids().join(","))?;
+    let m = group.as_matrix();
+    for f in 0..m.rows() {
+        let row: Vec<String> = m.row(f).iter().map(|v| format!("{v}")).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Reads a group matrix from the documented CSV format.
+///
+/// I/O failures surface as `std::io::Error`; structural problems (missing
+/// header, ragged rows, non-numeric cells) as [`ConnectomeError`] wrapped in
+/// `io::ErrorKind::InvalidData`.
+pub fn read_group_csv(path: &Path) -> std::io::Result<GroupMatrix> {
+    let file = std::fs::File::open(path)?;
+    let mut lines = BufReader::new(file).lines();
+
+    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+
+    let first = lines
+        .next()
+        .ok_or_else(|| invalid("empty file".into()))??;
+    let n_regions: usize = first
+        .strip_prefix("# regions=")
+        .ok_or_else(|| invalid("missing `# regions=` header".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| invalid(format!("bad region count: {e}")))?;
+
+    let header = lines
+        .next()
+        .ok_or_else(|| invalid("missing subject-id header".into()))??;
+    let ids: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if ids.is_empty() || ids.iter().any(String::is_empty) {
+        return Err(invalid("empty subject id in header".into()));
+    }
+
+    let mut data: Vec<f64> = Vec::new();
+    let mut n_features = 0usize;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != ids.len() {
+            return Err(invalid(format!(
+                "feature line {} has {} cells, expected {}",
+                lineno + 3,
+                cells.len(),
+                ids.len()
+            )));
+        }
+        for c in cells {
+            let v: f64 = c
+                .trim()
+                .parse()
+                .map_err(|e| invalid(format!("bad value `{c}` on line {}: {e}", lineno + 3)))?;
+            data.push(v);
+        }
+        n_features += 1;
+    }
+    if n_features == 0 {
+        return Err(invalid("no feature rows".into()));
+    }
+    let matrix = Matrix::from_vec(n_features, ids.len(), data)
+        .map_err(|e| invalid(format!("shape error: {e}")))?;
+    GroupMatrix::from_matrix(matrix, ids, n_regions)
+        .map_err(|e: ConnectomeError| invalid(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Connectome;
+
+    fn sample_group() -> GroupMatrix {
+        let mk = |s: u64| {
+            let ts = Matrix::from_fn(4, 20, |r, c| {
+                ((s + 1) as f64 * (r as f64 + 1.0) * (c as f64 * 0.37)).sin()
+            });
+            Connectome::from_region_ts(&ts).unwrap()
+        };
+        let cs = [mk(0), mk(1), mk(2)];
+        let ids: Vec<String> = (0..3).map(|i| format!("sub{i:03}/REST/LR")).collect();
+        GroupMatrix::from_connectomes(&cs, &ids).unwrap()
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("neurodeanon_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_group();
+        let path = tmpfile("roundtrip.csv");
+        write_group_csv(&g, &path).unwrap();
+        let back = read_group_csv(&path).unwrap();
+        assert_eq!(back.n_regions(), g.n_regions());
+        assert_eq!(back.subject_ids(), g.subject_ids());
+        assert_eq!(back.n_features(), g.n_features());
+        for (a, b) in back
+            .as_matrix()
+            .as_slice()
+            .iter()
+            .zip(g.as_matrix().as_slice())
+        {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let path = tmpfile("noheader.csv");
+        std::fs::write(&path, "a,b\n1,2\n").unwrap();
+        let e = read_group_csv(&path).unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let path = tmpfile("ragged.csv");
+        std::fs::write(&path, "# regions=3\na,b\n1,2\n3\n").unwrap();
+        assert!(read_group_csv(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let path = tmpfile("nan.csv");
+        std::fs::write(&path, "# regions=3\na,b\n1,x\n").unwrap();
+        assert!(read_group_csv(&path).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_file_and_empty_body() {
+        let path = tmpfile("empty.csv");
+        std::fs::write(&path, "").unwrap();
+        assert!(read_group_csv(&path).is_err());
+        std::fs::write(&path, "# regions=3\na,b\n").unwrap();
+        assert!(read_group_csv(&path).is_err());
+    }
+}

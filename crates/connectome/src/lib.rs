@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-connectome
+//!
+//! Functional connectome construction (§3.1.1 of the paper): a cleaned
+//! `region × time` matrix becomes a `region × region` Pearson correlation
+//! ("co-firing") matrix; its upper triangle is vectorized into a feature
+//! vector of `n(n−1)/2` region-pair correlations; feature vectors from a
+//! cohort are stacked column-wise into a *group matrix* (features ×
+//! subjects) — the object the leverage-score attack operates on.
+//!
+//! * [`Connectome`] — one subject-session correlation matrix, with
+//!   edge ↔ feature-index bookkeeping.
+//! * [`GroupMatrix`] — features × subjects with subject labels.
+//! * [`EdgeIndex`] — the upper-triangle linearization shared by both.
+//! * [`graph`] — the weighted-graph quantities (node strength, density,
+//!   hubs) the paper's graph interpretation of connectomes supports.
+
+pub mod edge;
+pub mod error;
+pub mod graph;
+pub mod group;
+pub mod io;
+pub mod matrix;
+
+pub use edge::EdgeIndex;
+pub use error::ConnectomeError;
+pub use group::GroupMatrix;
+pub use matrix::Connectome;
+
+/// Result alias for connectome operations.
+pub type Result<T> = std::result::Result<T, ConnectomeError>;

@@ -1,0 +1,154 @@
+//! Single-subject functional connectome.
+
+use crate::edge::EdgeIndex;
+use crate::error::ConnectomeError;
+use crate::Result;
+use neurodeanon_linalg::stats::correlation_matrix;
+use neurodeanon_linalg::Matrix;
+
+/// One subject-session functional connectome: a symmetric `region × region`
+/// Pearson correlation matrix, interpretable as a weighted complete graph
+/// whose nodes are regions and whose edge weights are co-activation
+/// correlations (§3.1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Connectome {
+    corr: Matrix,
+}
+
+impl Connectome {
+    /// Builds a connectome from a cleaned `region × time` matrix.
+    pub fn from_region_ts(region_ts: &Matrix) -> Result<Self> {
+        if region_ts.rows() < 2 {
+            return Err(ConnectomeError::TooFewRegions {
+                got: region_ts.rows(),
+            });
+        }
+        let corr = correlation_matrix(region_ts)?;
+        Ok(Connectome { corr })
+    }
+
+    /// Wraps an existing correlation matrix (must be square, ≥ 2 regions;
+    /// symmetry is the caller's responsibility and is asserted in debug).
+    pub fn from_correlation(corr: Matrix) -> Result<Self> {
+        if corr.rows() != corr.cols() || corr.rows() < 2 {
+            return Err(ConnectomeError::TooFewRegions { got: corr.rows() });
+        }
+        debug_assert!({
+            let n = corr.rows();
+            (0..n).all(|i| (0..n).all(|j| (corr[(i, j)] - corr[(j, i)]).abs() < 1e-9))
+        });
+        Ok(Connectome { corr })
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> usize {
+        self.corr.rows()
+    }
+
+    /// Correlation between regions `i` and `j`.
+    pub fn edge_weight(&self, i: usize, j: usize) -> f64 {
+        self.corr[(i, j)]
+    }
+
+    /// The full correlation matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.corr
+    }
+
+    /// Vectorizes the strict upper triangle in [`EdgeIndex`] order into a
+    /// feature vector of length `n(n−1)/2`.
+    pub fn vectorize(&self) -> Vec<f64> {
+        let n = self.n_regions();
+        let mut out = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push(self.corr[(i, j)]);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a connectome from a vectorized feature vector (unit
+    /// diagonal). The inverse of [`Connectome::vectorize`].
+    pub fn from_vectorized(features: &[f64], n_regions: usize) -> Result<Self> {
+        let idx = EdgeIndex::new(n_regions)?;
+        if features.len() != idx.n_features() {
+            return Err(ConnectomeError::FeatureOutOfRange {
+                index: features.len(),
+                n_features: idx.n_features(),
+            });
+        }
+        let mut corr = Matrix::identity(n_regions);
+        for (f, &(i, j)) in idx.iter().collect::<Vec<_>>().iter().enumerate() {
+            corr[(i, j)] = features[f];
+            corr[(j, i)] = features[f];
+        }
+        Ok(Connectome { corr })
+    }
+
+    /// The edge index describing this connectome's vectorization.
+    pub fn edge_index(&self) -> Result<EdgeIndex> {
+        EdgeIndex::new(self.n_regions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ts() -> Matrix {
+        Matrix::from_fn(5, 40, |r, c| {
+            ((c as f64 * (0.2 + r as f64 * 0.13)).sin()) + 0.1 * r as f64
+        })
+    }
+
+    #[test]
+    fn from_region_ts_builds_valid_correlation() {
+        let c = Connectome::from_region_ts(&sample_ts()).unwrap();
+        assert_eq!(c.n_regions(), 5);
+        for i in 0..5 {
+            assert!((c.edge_weight(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                assert!((-1.0..=1.0).contains(&c.edge_weight(i, j)));
+                assert_eq!(c.edge_weight(i, j), c.edge_weight(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn vectorize_roundtrip() {
+        let c = Connectome::from_region_ts(&sample_ts()).unwrap();
+        let v = c.vectorize();
+        assert_eq!(v.len(), 10);
+        let back = Connectome::from_vectorized(&v, 5).unwrap();
+        assert!(c
+            .as_matrix()
+            .sub(back.as_matrix())
+            .unwrap()
+            .max_abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn vectorize_order_matches_edge_index() {
+        let c = Connectome::from_region_ts(&sample_ts()).unwrap();
+        let v = c.vectorize();
+        let idx = c.edge_index().unwrap();
+        for (f, (i, j)) in idx.iter().enumerate() {
+            assert_eq!(v[f], c.edge_weight(i, j));
+        }
+    }
+
+    #[test]
+    fn from_vectorized_rejects_wrong_length() {
+        assert!(Connectome::from_vectorized(&[0.0; 9], 5).is_err());
+    }
+
+    #[test]
+    fn rejects_single_region() {
+        let ts = Matrix::zeros(1, 10);
+        assert!(Connectome::from_region_ts(&ts).is_err());
+        assert!(Connectome::from_correlation(Matrix::identity(1)).is_err());
+        assert!(Connectome::from_correlation(Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! The leverage-score de-anonymization attack (Figure 3 of the paper).
+//!
+//! Given a *de-anonymized* group matrix (subject identities known) and an
+//! *anonymous* one:
+//!
+//! 1. compute leverage scores of the de-anonymized matrix and keep the top
+//!    `t` features (the principal features subspace, §3.1.2);
+//! 2. restrict **both** matrices to those features;
+//! 3. Pearson-correlate every known subject column against every anonymous
+//!    subject column;
+//! 4. predict matches (argmax per anonymous subject, or the optimal
+//!    Hungarian assignment).
+//!
+//! Ground truth for accuracy scoring comes from the subject-id prefix
+//! (`"sub0042/REST/LR"` → `"sub0042"`), so group matrices from different
+//! tasks/sessions of the same cohort score correctly.
+
+use crate::error::CoreError;
+use crate::matching::{argmax_matching, hungarian_matching};
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_linalg::stats::cross_correlation;
+use neurodeanon_linalg::Matrix;
+use neurodeanon_linalg::rsvd::RsvdConfig;
+use neurodeanon_sampling::{principal_features, principal_features_approx};
+
+/// How predicted matches are derived from the similarity matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchRule {
+    /// Per-anonymous-subject argmax (the paper's rule).
+    Argmax,
+    /// Globally optimal one-to-one assignment (requires equal group sizes).
+    Hungarian,
+}
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Number of leverage features to retain (paper: < 100 out of 64,620
+    /// suffices for resting state).
+    pub n_features: usize,
+    /// Restrict leverage scores to the top-`k` singular directions
+    /// (`None` = full column space, the paper's default).
+    pub rank_k: Option<usize>,
+    /// Use the randomized-SVD fast path for feature selection instead of
+    /// the exact thin SVD (`None` = exact, the paper's method). Useful when
+    /// the feature space is voxel-scale rather than region-pair-scale.
+    pub randomized: Option<RsvdConfig>,
+    /// Matching rule.
+    pub match_rule: MatchRule,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        AttackConfig {
+            n_features: 100,
+            rank_k: None,
+            randomized: None,
+            match_rule: MatchRule::Argmax,
+        }
+    }
+}
+
+/// Outcome of one attack run.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Similarity matrix: known subjects (rows) × anonymous subjects
+    /// (columns), Pearson correlation in the reduced feature space. This is
+    /// the matrix visualized in Figures 1/2/7/8/9.
+    pub similarity: Matrix,
+    /// Predicted known-subject index for each anonymous subject.
+    pub predicted: Vec<usize>,
+    /// Ground-truth known index for each anonymous subject (`usize::MAX`
+    /// when the anonymous subject has no counterpart in the known group).
+    pub truth: Vec<usize>,
+    /// Fraction of anonymous subjects correctly identified (among those
+    /// with a counterpart).
+    pub accuracy: f64,
+    /// The selected feature indices (into the full vectorized connectome).
+    pub selected_features: Vec<usize>,
+}
+
+impl AttackOutcome {
+    /// Mean of the diagonal (same-subject) similarities — the bright
+    /// diagonal of Figure 1.
+    pub fn mean_diagonal_similarity(&self) -> f64 {
+        let vals: Vec<f64> = self
+            .truth
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != usize::MAX)
+            .map(|(j, &t)| self.similarity[(t, j)])
+            .collect();
+        if vals.is_empty() {
+            return f64::NAN;
+        }
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+
+    /// Per-anonymous-subject match margin: the gap between the best and
+    /// second-best similarity in that subject's column. Small margins mean
+    /// low-confidence matches — the quantity a cautious attacker thresholds
+    /// on and a defender tries to shrink.
+    pub fn match_margins(&self) -> Vec<f64> {
+        let rows = self.similarity.rows();
+        (0..self.similarity.cols())
+            .map(|j| {
+                let mut best = f64::NEG_INFINITY;
+                let mut second = f64::NEG_INFINITY;
+                for i in 0..rows {
+                    let v = self.similarity[(i, j)];
+                    if v > best {
+                        second = best;
+                        best = v;
+                    } else if v > second {
+                        second = v;
+                    }
+                }
+                if second.is_finite() {
+                    best - second
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect()
+    }
+
+    /// Mean of the off-diagonal (different-subject) similarities.
+    pub fn mean_offdiagonal_similarity(&self) -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0.0;
+        for j in 0..self.similarity.cols() {
+            let t = self.truth[j];
+            for i in 0..self.similarity.rows() {
+                if i != t {
+                    acc += self.similarity[(i, j)];
+                    n += 1.0;
+                }
+            }
+        }
+        if n == 0.0 {
+            f64::NAN
+        } else {
+            acc / n
+        }
+    }
+}
+
+/// The de-anonymization attack.
+#[derive(Debug, Clone)]
+pub struct DeanonAttack {
+    config: AttackConfig,
+}
+
+impl DeanonAttack {
+    /// Creates an attack with the given configuration.
+    pub fn new(config: AttackConfig) -> Result<Self> {
+        if config.n_features == 0 {
+            return Err(CoreError::InvalidParameter {
+                name: "n_features",
+                reason: "must retain at least one feature",
+            });
+        }
+        if let Some(k) = config.rank_k {
+            if k == 0 {
+                return Err(CoreError::InvalidParameter {
+                    name: "rank_k",
+                    reason: "rank restriction must be at least 1",
+                });
+            }
+        }
+        Ok(DeanonAttack { config })
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Runs the attack: `known` is the de-anonymized group, `anon` the
+    /// target. Both must share the feature space (same atlas).
+    pub fn run(&self, known: &GroupMatrix, anon: &GroupMatrix) -> Result<AttackOutcome> {
+        if known.n_features() != anon.n_features() {
+            return Err(CoreError::IncompatibleGroups {
+                known: known.n_features(),
+                anon: anon.n_features(),
+            });
+        }
+        let t = self.config.n_features.min(known.n_features());
+        // Step 1-2: principal features from the *known* group only.
+        let pf = match &self.config.randomized {
+            None => principal_features(known.as_matrix(), t, self.config.rank_k)?,
+            Some(cfg) => principal_features_approx(known.as_matrix(), t, cfg)?,
+        };
+        let known_red = known.select_features(&pf.indices)?;
+        let anon_red = anon.select_features(&pf.indices)?;
+        // Step 3: subject-by-subject Pearson in the reduced space.
+        let similarity = cross_correlation(known_red.as_matrix(), anon_red.as_matrix())?;
+        // Step 4: matching.
+        let predicted = match self.config.match_rule {
+            MatchRule::Argmax => argmax_matching(&similarity)?,
+            MatchRule::Hungarian => hungarian_matching(&similarity)?,
+        };
+        // Ground truth from id prefixes.
+        let truth = ground_truth(known.subject_ids(), anon.subject_ids());
+        let scored: Vec<(usize, usize)> = predicted
+            .iter()
+            .zip(&truth)
+            .filter(|&(_, &t)| t != usize::MAX)
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        let accuracy = if scored.is_empty() {
+            f64::NAN
+        } else {
+            scored.iter().filter(|(p, t)| p == t).count() as f64 / scored.len() as f64
+        };
+        Ok(AttackOutcome {
+            similarity,
+            predicted,
+            truth,
+            accuracy,
+            selected_features: pf.indices,
+        })
+    }
+}
+
+/// Subject key: the id prefix before the first `/`.
+pub fn subject_key(id: &str) -> &str {
+    id.split('/').next().unwrap_or(id)
+}
+
+/// For each anonymous subject, the index of the known subject with the same
+/// key (or `usize::MAX` when absent).
+fn ground_truth(known_ids: &[String], anon_ids: &[String]) -> Vec<usize> {
+    use std::collections::HashMap;
+    let index: HashMap<&str, usize> = known_ids
+        .iter()
+        .enumerate()
+        .map(|(i, id)| (subject_key(id), i))
+        .collect();
+    anon_ids
+        .iter()
+        .map(|id| index.get(subject_key(id)).copied().unwrap_or(usize::MAX))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+
+    fn cohort() -> HcpCohort {
+        HcpCohort::generate(HcpCohortConfig::small(10, 77)).unwrap()
+    }
+
+    #[test]
+    fn rest_to_rest_identification_succeeds() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        assert!(out.accuracy >= 0.8, "accuracy {}", out.accuracy);
+        assert_eq!(out.similarity.shape(), (10, 10));
+        assert_eq!(out.selected_features.len(), 100);
+        // Diagonal dominance, the Figure 1 phenomenon.
+        assert!(out.mean_diagonal_similarity() > out.mean_offdiagonal_similarity() + 0.1);
+    }
+
+    #[test]
+    fn truth_resolves_by_prefix_across_tasks() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Language, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        // Ids differ in task/session but share subject prefixes.
+        assert_eq!(out.truth, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hungarian_rule_yields_permutation() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig {
+            match_rule: MatchRule::Hungarian,
+            ..Default::default()
+        })
+        .unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        let mut p = out.predicted.clone();
+        p.sort_unstable();
+        assert_eq!(p, (0..10).collect::<Vec<_>>());
+        assert!(out.accuracy >= 0.8);
+    }
+
+    #[test]
+    fn feature_count_is_capped_at_available() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig {
+            n_features: usize::MAX,
+            ..Default::default()
+        })
+        .unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        assert_eq!(out.selected_features.len(), known.n_features());
+    }
+
+    #[test]
+    fn selected_features_hit_signature_regions() {
+        // The attack must rediscover the planted signature support.
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        let sig: std::collections::HashSet<usize> =
+            c.signature_regions().iter().copied().collect();
+        let idx = neurodeanon_connectome::EdgeIndex::new(60).unwrap();
+        let sig_hits = out
+            .selected_features
+            .iter()
+            .filter(|&&f| {
+                let (i, j) = idx.edge_of(f).unwrap();
+                sig.contains(&i) && sig.contains(&j)
+            })
+            .count();
+        // Signature-pair edges are ~5% of all edges; the selection should be
+        // massively enriched.
+        let frac = sig_hits as f64 / out.selected_features.len() as f64;
+        assert!(frac > 0.5, "signature enrichment only {frac}");
+    }
+
+    #[test]
+    fn rejects_incompatible_groups() {
+        let c = cohort();
+        let small = HcpCohort::generate(HcpCohortConfig {
+            n_regions: 30,
+            ..HcpCohortConfig::small(10, 5)
+        })
+        .unwrap();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = small.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        assert!(matches!(
+            attack.run(&known, &anon),
+            Err(CoreError::IncompatibleGroups { .. })
+        ));
+    }
+
+    #[test]
+    fn randomized_leverage_path_matches_exact_accuracy() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let exact = DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        let approx = DeanonAttack::new(AttackConfig {
+            randomized: Some(neurodeanon_linalg::rsvd::RsvdConfig {
+                rank: 9, // one less than the subject count
+                power_iters: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+        assert!(
+            approx.accuracy + 0.11 >= exact.accuracy,
+            "randomized {} vs exact {}",
+            approx.accuracy,
+            exact.accuracy
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DeanonAttack::new(AttackConfig {
+            n_features: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(DeanonAttack::new(AttackConfig {
+            rank_k: Some(0),
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn match_margins_positive_for_correct_matches() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        let margins = out.match_margins();
+        assert_eq!(margins.len(), 10);
+        assert!(margins.iter().all(|m| m.is_finite()));
+        // Correctly matched subjects should mostly have positive margins.
+        let mean: f64 = margins.iter().sum::<f64>() / margins.len() as f64;
+        assert!(mean > 0.0, "mean margin {mean}");
+    }
+
+    #[test]
+    fn subject_key_parsing() {
+        assert_eq!(subject_key("sub0042/REST/LR"), "sub0042");
+        assert_eq!(subject_key("plain"), "plain");
+    }
+}

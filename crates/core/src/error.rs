@@ -1,0 +1,116 @@
+//! Error type for the attack layer.
+
+use std::fmt;
+
+/// Errors surfaced by the attack and experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The two group matrices are incompatible (different feature counts).
+    IncompatibleGroups {
+        /// Features in the de-anonymized matrix.
+        known: usize,
+        /// Features in the anonymous matrix.
+        anon: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// Error propagated from a substrate crate.
+    Linalg(neurodeanon_linalg::LinalgError),
+    /// Error from the connectome layer.
+    Connectome(neurodeanon_connectome::ConnectomeError),
+    /// Error from the sampling layer.
+    Sampling(neurodeanon_sampling::SamplingError),
+    /// Error from the embedding layer.
+    Embedding(neurodeanon_embedding::EmbeddingError),
+    /// Error from the ML layer.
+    Ml(neurodeanon_ml::MlError),
+    /// Error from the dataset generators.
+    Dataset(neurodeanon_datasets::DatasetError),
+    /// Error from the fMRI layer.
+    Fmri(neurodeanon_fmri::FmriError),
+    /// Error from the preprocessing layer.
+    Preprocess(neurodeanon_preprocess::PreprocessError),
+    /// Error from the atlas layer.
+    Atlas(neurodeanon_atlas::AtlasError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::IncompatibleGroups { known, anon } => write!(
+                f,
+                "group matrices have different feature counts: {known} vs {anon}"
+            ),
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            CoreError::Linalg(e) => write!(f, "linalg: {e}"),
+            CoreError::Connectome(e) => write!(f, "connectome: {e}"),
+            CoreError::Sampling(e) => write!(f, "sampling: {e}"),
+            CoreError::Embedding(e) => write!(f, "embedding: {e}"),
+            CoreError::Ml(e) => write!(f, "ml: {e}"),
+            CoreError::Dataset(e) => write!(f, "dataset: {e}"),
+            CoreError::Fmri(e) => write!(f, "fmri: {e}"),
+            CoreError::Preprocess(e) => write!(f, "preprocess: {e}"),
+            CoreError::Atlas(e) => write!(f, "atlas: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Linalg(e) => Some(e),
+            CoreError::Connectome(e) => Some(e),
+            CoreError::Sampling(e) => Some(e),
+            CoreError::Embedding(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            CoreError::Dataset(e) => Some(e),
+            CoreError::Fmri(e) => Some(e),
+            CoreError::Preprocess(e) => Some(e),
+            CoreError::Atlas(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Linalg, neurodeanon_linalg::LinalgError);
+impl_from!(Connectome, neurodeanon_connectome::ConnectomeError);
+impl_from!(Sampling, neurodeanon_sampling::SamplingError);
+impl_from!(Embedding, neurodeanon_embedding::EmbeddingError);
+impl_from!(Ml, neurodeanon_ml::MlError);
+impl_from!(Dataset, neurodeanon_datasets::DatasetError);
+impl_from!(Fmri, neurodeanon_fmri::FmriError);
+impl_from!(Preprocess, neurodeanon_preprocess::PreprocessError);
+impl_from!(Atlas, neurodeanon_atlas::AtlasError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::IncompatibleGroups {
+            known: 64620,
+            anon: 6670,
+        };
+        assert!(e.to_string().contains("64620"));
+        let e: CoreError = neurodeanon_linalg::LinalgError::EmptyMatrix { op: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,190 @@
+//! Ablation studies for the design choices DESIGN.md §4 calls out:
+//! sampling strategy, retained-feature count, matching rule, and atlas
+//! granularity.
+
+use crate::attack::{AttackConfig, DeanonAttack, MatchRule};
+use crate::matching::{argmax_matching, matching_accuracy};
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_linalg::stats::cross_correlation;
+use neurodeanon_linalg::Rng64;
+use neurodeanon_sampling::{principal_features, row_sample, SamplingDistribution};
+
+/// Accuracy of the attack when features are chosen by the given strategy.
+#[derive(Debug, Clone)]
+pub struct SamplingAblationRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Rest-rest identification accuracy.
+    pub accuracy: f64,
+}
+
+/// Compares deterministic top-t leverage (the paper's method) against
+/// randomized leverage / ℓ₂ / uniform sampling of the same feature budget.
+pub fn ablation_sampling_strategy(
+    cohort: &HcpCohort,
+    n_features: usize,
+    seed: u64,
+) -> Result<Vec<SamplingAblationRow>> {
+    let known = cohort.group_matrix(Task::Rest, Session::One)?;
+    let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    let mut rng = Rng64::new(seed);
+    let mut rows = Vec::new();
+
+    let run_with = |features: &[usize]| -> Result<f64> {
+        let k = known.select_features(features)?;
+        let a = anon.select_features(features)?;
+        let sim = cross_correlation(k.as_matrix(), a.as_matrix())?;
+        let predicted = argmax_matching(&sim)?;
+        let truth: Vec<usize> = (0..known.n_subjects()).collect();
+        matching_accuracy(&predicted, &truth)
+    };
+
+    // Deterministic top-t leverage (the paper's principal features).
+    let pf = principal_features(known.as_matrix(), n_features, None)?;
+    rows.push(SamplingAblationRow {
+        strategy: "deterministic-leverage".to_string(),
+        accuracy: run_with(&pf.indices)?,
+    });
+    // Randomized strategies: sample with replacement, dedup, keep order.
+    for (label, dist) in [
+        ("randomized-leverage", SamplingDistribution::Leverage),
+        ("l2-norm", SamplingDistribution::L2Norm),
+        ("uniform", SamplingDistribution::Uniform),
+    ] {
+        let sample = row_sample(known.as_matrix(), n_features, dist, &mut rng)?;
+        let mut idx = sample.indices.clone();
+        idx.sort_unstable();
+        idx.dedup();
+        rows.push(SamplingAblationRow {
+            strategy: label.to_string(),
+            accuracy: run_with(&idx)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Accuracy as a function of the retained-feature count `t` (the paper's
+/// claim: < 100 of 64,620 rows suffice).
+pub fn ablation_feature_count(
+    cohort: &HcpCohort,
+    feature_counts: &[usize],
+) -> Result<Vec<(usize, f64)>> {
+    let known = cohort.group_matrix(Task::Rest, Session::One)?;
+    let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    let mut out = Vec::with_capacity(feature_counts.len());
+    for &t in feature_counts {
+        let attack = DeanonAttack::new(AttackConfig {
+            n_features: t,
+            ..Default::default()
+        })?;
+        out.push((t, attack.run(&known, &anon)?.accuracy));
+    }
+    Ok(out)
+}
+
+/// Argmax vs Hungarian matching accuracy on the same similarity structure.
+pub fn ablation_matching_rule(cohort: &HcpCohort) -> Result<Vec<(String, f64)>> {
+    let known = cohort.group_matrix(Task::Rest, Session::One)?;
+    let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    let mut out = Vec::new();
+    for (label, rule) in [
+        ("argmax", MatchRule::Argmax),
+        ("hungarian", MatchRule::Hungarian),
+    ] {
+        let attack = DeanonAttack::new(AttackConfig {
+            match_rule: rule,
+            ..Default::default()
+        })?;
+        out.push((label.to_string(), attack.run(&known, &anon)?.accuracy));
+    }
+    Ok(out)
+}
+
+/// Rest-rest accuracy across atlas granularities (region counts). Each
+/// granularity gets its own cohort with proportionally scaled signature
+/// support, mirroring how a coarser atlas dilutes signature edges.
+pub fn ablation_atlas_granularity(
+    region_counts: &[usize],
+    n_subjects: usize,
+    seed: u64,
+) -> Result<Vec<(usize, f64)>> {
+    let mut out = Vec::with_capacity(region_counts.len());
+    for &n_regions in region_counts {
+        let cohort = HcpCohort::generate(HcpCohortConfig {
+            n_subjects,
+            n_regions,
+            n_timepoints: 420,
+            n_pop_factors: (n_regions / 4).max(4),
+            n_task_factors: 6,
+            n_sig_factors: 4,
+            n_sig_regions: (n_regions / 4).max(2),
+            noise_std: 0.35,
+            session_strength: 0.12,
+            signature_gain: 1.6,
+            signature_instability: 0.58,
+            seed,
+        })?;
+        let known = cohort.group_matrix(Task::Rest, Session::One)?;
+        let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+        let attack = DeanonAttack::new(AttackConfig::default())?;
+        out.push((n_regions, attack.run(&known, &anon)?.accuracy));
+    }
+    Ok(out)
+}
+
+/// GroupMatrix accessor reused by the embedding ablation in the bench
+/// crate: rest + a compact task set as labeled point clouds.
+pub fn embedding_ablation_groups(cohort: &HcpCohort) -> Result<Vec<GroupMatrix>> {
+    [Task::Rest, Task::Motor, Task::Language, Task::Emotion]
+        .iter()
+        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cohort() -> HcpCohort {
+        HcpCohort::generate(HcpCohortConfig::small(10, 71)).unwrap()
+    }
+
+    #[test]
+    fn leverage_beats_uniform() {
+        let rows = ablation_sampling_strategy(&cohort(), 60, 3).unwrap();
+        let get = |s: &str| rows.iter().find(|r| r.strategy == s).unwrap().accuracy;
+        let det = get("deterministic-leverage");
+        let uni = get("uniform");
+        assert!(det >= uni, "deterministic {det} vs uniform {uni}");
+        assert!(det >= 0.8, "deterministic accuracy {det}");
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn accuracy_saturates_with_features() {
+        let sweep = ablation_feature_count(&cohort(), &[5, 50, 400]).unwrap();
+        // More features should not make things dramatically worse, and a
+        // tiny budget is the weakest.
+        assert!(sweep[0].1 <= sweep[1].1 + 0.2, "{sweep:?}");
+        assert!(sweep[1].1 >= 0.7, "{sweep:?}");
+    }
+
+    #[test]
+    fn hungarian_at_least_matches_argmax() {
+        let rows = ablation_matching_rule(&cohort()).unwrap();
+        let argmax = rows[0].1;
+        let hungarian = rows[1].1;
+        assert!(hungarian + 1e-9 >= argmax * 0.9, "{rows:?}");
+    }
+
+    #[test]
+    fn granularity_sweep_runs() {
+        let sweep = ablation_atlas_granularity(&[20, 40], 8, 5).unwrap();
+        assert_eq!(sweep.len(), 2);
+        for (n, acc) in sweep {
+            assert!(acc >= 0.5, "{n} regions: accuracy {acc}");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! E6 / E7 — Figures 7, 8, 9 and §3.3.4: de-anonymization of subjects with
+//! ADHD, per subtype and on the full mixed cases + controls cohort, with
+//! the train/test leverage-transfer protocol.
+
+use crate::attack::{AttackConfig, DeanonAttack};
+use crate::Result;
+use neurodeanon_datasets::{AdhdCohort, AdhdGroup, Session};
+use neurodeanon_linalg::{Matrix, Rng64};
+use neurodeanon_ml::metrics::mean_std;
+use neurodeanon_ml::train_test_split;
+use neurodeanon_sampling::principal_features;
+
+/// Result of one ADHD experiment variant.
+#[derive(Debug, Clone)]
+pub struct AdhdExperimentResult {
+    /// Which subject set was attacked (label for reports).
+    pub population: String,
+    /// Session-1 × session-2 similarity matrix (Figures 7/8/9 heat maps).
+    pub similarity: Matrix,
+    /// Mean same-subject similarity.
+    pub mean_diagonal: f64,
+    /// Mean different-subject similarity.
+    pub mean_offdiagonal: f64,
+    /// Direct (full-population feature selection) identification accuracy.
+    pub accuracy: f64,
+}
+
+/// Runs the Figure 7/8/9 similarity + identification experiment on the
+/// given subject subset (e.g. one subtype, or the full cohort).
+pub fn adhd_experiment(
+    cohort: &AdhdCohort,
+    subjects: &[usize],
+    label: &str,
+    attack_config: AttackConfig,
+) -> Result<AdhdExperimentResult> {
+    let known = cohort.group_matrix_for(subjects, Session::One)?;
+    let anon = cohort.group_matrix_for(subjects, Session::Two)?;
+    let attack = DeanonAttack::new(attack_config)?;
+    let out = attack.run(&known, &anon)?;
+    Ok(AdhdExperimentResult {
+        population: label.to_string(),
+        mean_diagonal: out.mean_diagonal_similarity(),
+        mean_offdiagonal: out.mean_offdiagonal_similarity(),
+        accuracy: out.accuracy,
+        similarity: out.similarity,
+    })
+}
+
+/// §3.3.4's train/test protocol: leverage features are selected on a random
+/// train subset's session-1 matrix, then *test* subjects are matched across
+/// sessions in that fixed feature space. Returns accuracy `(mean, std)` in
+/// percent over `n_repeats` splits — the paper reports 97.2 ± 0.9%.
+pub fn adhd_train_test_transfer(
+    cohort: &AdhdCohort,
+    n_features: usize,
+    test_fraction: f64,
+    n_repeats: usize,
+    seed: u64,
+) -> Result<(f64, f64)> {
+    let all: Vec<usize> = (0..cohort.n_subjects()).collect();
+    let known = cohort.group_matrix_for(&all, Session::One)?;
+    let anon = cohort.group_matrix_for(&all, Session::Two)?;
+    let mut rng = Rng64::new(seed);
+    let mut accs = Vec::with_capacity(n_repeats);
+    for _ in 0..n_repeats.max(1) {
+        let split = train_test_split(cohort.n_subjects(), test_fraction, &mut rng)?;
+        // Features from the train subjects' session-1 matrix only.
+        let train_group = known.select_subjects(&split.train)?;
+        let t = n_features.min(train_group.n_features());
+        let pf = principal_features(train_group.as_matrix(), t, None)?;
+        // Match *test* subjects across sessions in that feature space.
+        let known_test = known.select_subjects(&split.test)?.select_features(&pf.indices)?;
+        let anon_test = anon.select_subjects(&split.test)?.select_features(&pf.indices)?;
+        let sim = neurodeanon_linalg::stats::cross_correlation(
+            known_test.as_matrix(),
+            anon_test.as_matrix(),
+        )?;
+        let predicted = crate::matching::argmax_matching(&sim)?;
+        let truth: Vec<usize> = (0..split.test.len()).collect();
+        let acc = crate::matching::matching_accuracy(&predicted, &truth)?;
+        accs.push(acc * 100.0);
+    }
+    mean_std(&accs).map_err(Into::into)
+}
+
+/// Convenience: the subject sets for the three figure panels.
+pub fn figure_populations(cohort: &AdhdCohort) -> Vec<(String, Vec<usize>)> {
+    vec![
+        (
+            "adhd subtype 1 (fig 7)".to_string(),
+            cohort.subjects_in(AdhdGroup::Subtype(1)),
+        ),
+        (
+            "adhd subtype 3 (fig 8)".to_string(),
+            cohort.subjects_in(AdhdGroup::Subtype(3)),
+        ),
+        (
+            "cases + controls (fig 9)".to_string(),
+            (0..cohort.n_subjects()).collect(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::AdhdCohortConfig;
+
+    #[test]
+    fn subtype_and_mixed_identification() {
+        let cohort = AdhdCohort::generate(AdhdCohortConfig::small(8, 5, 13)).unwrap();
+        for (label, subjects) in figure_populations(&cohort) {
+            let res = adhd_experiment(
+                &cohort,
+                &subjects,
+                &label,
+                AttackConfig {
+                    n_features: 60,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                res.mean_diagonal > res.mean_offdiagonal,
+                "{label}: no diagonal dominance"
+            );
+            assert!(res.accuracy >= 0.6, "{label}: accuracy {}", res.accuracy);
+        }
+    }
+
+    #[test]
+    fn train_test_transfer_generalizes() {
+        // The §3.3.4 protocol: features chosen on train subjects identify
+        // held-out subjects — the signature edges are population-robust.
+        let cohort = AdhdCohort::generate(AdhdCohortConfig::small(10, 6, 17)).unwrap();
+        let (mean, std) = adhd_train_test_transfer(&cohort, 60, 0.3, 4, 5).unwrap();
+        assert!(mean > 60.0, "transfer accuracy {mean} ± {std}");
+    }
+}

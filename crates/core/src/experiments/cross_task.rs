@@ -1,0 +1,100 @@
+//! E3 — Figure 5: the 8 × 8 cross-task identification matrix.
+//!
+//! Rows are the de-anonymized conditions (session 1), columns the anonymous
+//! conditions (session 2). Entry `(r, c)` is the accuracy of
+//! de-anonymizing condition `c` given labels for condition `r`, with the
+//! feature space selected from the row dataset (the paper's protocol, and
+//! the source of the matrix's asymmetry).
+
+use crate::attack::{AttackConfig, DeanonAttack};
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_datasets::{HcpCohort, Session, Task};
+
+/// The Figure 5 accuracy matrix.
+#[derive(Debug, Clone)]
+pub struct CrossTaskResult {
+    /// Conditions, in row/column order.
+    pub tasks: Vec<Task>,
+    /// `accuracy[r][c]` for de-anonymized row condition `r`, anonymous
+    /// column condition `c`.
+    pub accuracy: Vec<Vec<f64>>,
+}
+
+impl CrossTaskResult {
+    /// Accuracy for a (row, column) condition pair.
+    pub fn get(&self, row: Task, col: Task) -> f64 {
+        self.accuracy[row.index()][col.index()]
+    }
+
+    /// Mean accuracy of one row (how much de-anonymizing this condition
+    /// compromises all others — the paper's headline reading of Figure 5).
+    pub fn row_mean(&self, row: Task) -> f64 {
+        let r = &self.accuracy[row.index()];
+        r.iter().sum::<f64>() / r.len() as f64
+    }
+}
+
+/// Runs the full 8 × 8 sweep.
+pub fn cross_task_matrix(
+    cohort: &HcpCohort,
+    attack_config: AttackConfig,
+) -> Result<CrossTaskResult> {
+    let tasks: Vec<Task> = Task::ALL.to_vec();
+    // Materialize all 16 group matrices once.
+    let known: Vec<GroupMatrix> = tasks
+        .iter()
+        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .collect::<Result<_>>()?;
+    let anon: Vec<GroupMatrix> = tasks
+        .iter()
+        .map(|&t| cohort.group_matrix(t, Session::Two).map_err(crate::CoreError::from))
+        .collect::<Result<_>>()?;
+    let attack = DeanonAttack::new(attack_config)?;
+    let mut accuracy = vec![vec![0.0; tasks.len()]; tasks.len()];
+    for (r, kg) in known.iter().enumerate() {
+        for (c, ag) in anon.iter().enumerate() {
+            accuracy[r][c] = attack.run(kg, ag)?.accuracy;
+        }
+    }
+    Ok(CrossTaskResult { tasks, accuracy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::HcpCohortConfig;
+
+    #[test]
+    fn figure5_shape_holds_on_small_cohort() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(10, 33)).unwrap();
+        let res = cross_task_matrix(&cohort, AttackConfig::default()).unwrap();
+        assert_eq!(res.accuracy.len(), 8);
+
+        // Diagonal dominance: same-condition matching is easiest on average.
+        let diag_mean: f64 = (0..8).map(|i| res.accuracy[i][i]).sum::<f64>() / 8.0;
+        let off_mean: f64 = (0..8)
+            .flat_map(|i| (0..8).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| res.accuracy[i][j])
+            .sum::<f64>()
+            / 56.0;
+        assert!(diag_mean > off_mean, "diag {diag_mean} off {off_mean}");
+
+        // REST row is the strongest row; MOTOR and WM rows the weakest —
+        // the paper's central Figure 5 finding.
+        let rest_mean = res.row_mean(Task::Rest);
+        let motor_mean = res.row_mean(Task::Motor);
+        let wm_mean = res.row_mean(Task::WorkingMemory);
+        for t in Task::ALL {
+            assert!(
+                res.row_mean(t) <= rest_mean + 1e-9,
+                "{t} row mean exceeds REST"
+            );
+        }
+        assert!(motor_mean < rest_mean, "motor {motor_mean} rest {rest_mean}");
+        assert!(wm_mean < rest_mean, "wm {wm_mean} rest {rest_mean}");
+
+        // REST-REST is the single best cell (≥ 90% on a 10-subject cohort).
+        assert!(res.get(Task::Rest, Task::Rest) >= 0.9);
+    }
+}

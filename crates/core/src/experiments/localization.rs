@@ -1,0 +1,103 @@
+//! Signature localization: the spatial-restriction phenomenon the paper
+//! inherits from Finn et al. ("when restricting the analysis to the
+//! parieto-frontal region, the accuracy of identification is close to
+//! 100%", §2) and relies on for its defense argument (§4).
+//!
+//! In the synthetic cohorts the signature support is known ground truth, so
+//! the experiment can measure identification with the feature space
+//! restricted to (a) edges inside the signature support, (b) edges entirely
+//! outside it, and (c) the unrestricted attack — showing that identity
+//! lives in a small, localizable set of edges.
+
+use crate::matching::{argmax_matching, matching_accuracy};
+use crate::Result;
+use neurodeanon_connectome::EdgeIndex;
+use neurodeanon_datasets::{HcpCohort, Session, Task};
+use neurodeanon_linalg::stats::cross_correlation;
+use neurodeanon_sampling::principal_features;
+
+/// Identification accuracy under each feature-space restriction.
+#[derive(Debug, Clone)]
+pub struct LocalizationResult {
+    /// Accuracy with features restricted to signature-region pairs.
+    pub signature_only: f64,
+    /// Accuracy with features restricted to pairs fully outside the
+    /// signature support.
+    pub outside_only: f64,
+    /// Accuracy of the unrestricted (standard) attack.
+    pub unrestricted: f64,
+    /// Number of signature-pair features available.
+    pub n_signature_features: usize,
+}
+
+/// Runs the localization experiment on a cohort's resting sessions.
+///
+/// Within each restriction, the usual top-`t` leverage selection runs on
+/// the restricted feature set, so all three conditions use the attack's
+/// real machinery — only the candidate pool differs.
+pub fn signature_localization(cohort: &HcpCohort, t: usize) -> Result<LocalizationResult> {
+    let known = cohort.group_matrix(Task::Rest, Session::One)?;
+    let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    let edges = EdgeIndex::new(cohort.config().n_regions)?;
+    let sig: std::collections::HashSet<usize> =
+        cohort.signature_regions().iter().copied().collect();
+
+    let mut sig_features = Vec::new();
+    let mut outside_features = Vec::new();
+    for (f, (i, j)) in edges.iter().enumerate() {
+        if sig.contains(&i) && sig.contains(&j) {
+            sig_features.push(f);
+        } else if !sig.contains(&i) && !sig.contains(&j) {
+            outside_features.push(f);
+        }
+    }
+
+    let truth: Vec<usize> = (0..known.n_subjects()).collect();
+    let accuracy_within = |pool: &[usize]| -> Result<f64> {
+        let known_pool = known.select_features(pool)?;
+        let anon_pool = anon.select_features(pool)?;
+        let keep = t.min(known_pool.n_features());
+        let pf = principal_features(known_pool.as_matrix(), keep.max(1), None)?;
+        let k = known_pool.select_features(&pf.indices)?;
+        let a = anon_pool.select_features(&pf.indices)?;
+        let sim = cross_correlation(k.as_matrix(), a.as_matrix())?;
+        matching_accuracy(&argmax_matching(&sim)?, &truth)
+    };
+
+    let all: Vec<usize> = (0..known.n_features()).collect();
+    Ok(LocalizationResult {
+        signature_only: accuracy_within(&sig_features)?,
+        outside_only: accuracy_within(&outside_features)?,
+        unrestricted: accuracy_within(&all)?,
+        n_signature_features: sig_features.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::HcpCohortConfig;
+
+    #[test]
+    fn identity_lives_in_the_signature_edges() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(14, 91)).unwrap();
+        let res = signature_localization(&cohort, 100).unwrap();
+        // The restricted-to-signature attack matches the unrestricted one
+        // (the paper's near-100% parieto-frontal result)…
+        assert!(
+            res.signature_only + 0.1 >= res.unrestricted,
+            "signature-only {} vs unrestricted {}",
+            res.signature_only,
+            res.unrestricted
+        );
+        assert!(res.signature_only >= 0.8);
+        // …while edges outside the signature carry much less identity.
+        assert!(
+            res.outside_only < res.signature_only,
+            "outside {} vs signature {}",
+            res.outside_only,
+            res.signature_only
+        );
+        assert!(res.n_signature_features > 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! E4 — Figure 6 / §3.3.2: t-SNE task clustering and task prediction.
+//!
+//! Repeats the label-transfer protocol with fresh labeled-subject draws and
+//! reports per-condition accuracy mean ± std (the paper: 100% on the seven
+//! tasks, 99.01 ± 0.52% on rest, rest confused with gambling).
+
+use crate::task_id::{identify_tasks_from_cloud, TaskIdConfig, TaskIdOutcome, TaskPointCloud};
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_datasets::{HcpCohort, Session, Task};
+use neurodeanon_ml::metrics::mean_std;
+
+/// Aggregated task-prediction result.
+#[derive(Debug, Clone)]
+pub struct TaskPredictionResult {
+    /// Conditions in index order.
+    pub tasks: Vec<Task>,
+    /// Per-condition accuracy `(mean, std)` over repetitions, percent.
+    pub per_task_accuracy: Vec<(f64, f64)>,
+    /// Overall accuracy `(mean, std)`, percent.
+    pub overall_accuracy: (f64, f64),
+    /// Count of rest points misclassified as each condition (summed over
+    /// repetitions) — the paper's "rest is confused with gambling" check.
+    pub rest_confusions: Vec<usize>,
+    /// The final repetition's full outcome (for plotting the embedding).
+    pub last_outcome: TaskIdOutcome,
+}
+
+/// Runs the Figure 6 experiment: embed all conditions × subjects, transfer
+/// labels from `labeled_fraction` of subjects, repeat `n_repeats` times
+/// with different labeled draws (t-SNE recomputed per repetition with a
+/// fresh seed, as in the paper's 100 iterations).
+pub fn task_prediction_experiment(
+    cohort: &HcpCohort,
+    config: &TaskIdConfig,
+    n_repeats: usize,
+) -> Result<TaskPredictionResult> {
+    let tasks: Vec<Task> = Task::ALL.to_vec();
+    let groups: Vec<GroupMatrix> = tasks
+        .iter()
+        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .collect::<Result<_>>()?;
+
+    // The pairwise-distance computation dominates at paper scale (800
+    // points × 64,620 features); build it once and reuse per repetition.
+    let cloud = TaskPointCloud::build(&groups)?;
+    let mut per_task: Vec<Vec<f64>> = vec![Vec::new(); tasks.len()];
+    let mut overall: Vec<f64> = Vec::new();
+    let mut rest_confusions = vec![0usize; tasks.len()];
+    let mut last = None;
+    for rep in 0..n_repeats.max(1) {
+        let mut cfg = config.clone();
+        cfg.seed = config.seed.wrapping_add(rep as u64);
+        cfg.tsne.seed = config.tsne.seed.wrapping_add(rep as u64);
+        let out = identify_tasks_from_cloud(&cloud, &cfg)?;
+        overall.push(out.overall_accuracy * 100.0);
+        for (t, &acc) in out.per_condition_accuracy.iter().enumerate() {
+            if acc.is_finite() {
+                per_task[t].push(acc * 100.0);
+            }
+        }
+        // Count rest misclassifications by predicted condition.
+        let rest_idx = Task::Rest.index();
+        for (k, &point) in out.unlabeled_points.iter().enumerate() {
+            if out.labels[point] == rest_idx && out.predicted[k] != rest_idx {
+                rest_confusions[out.predicted[k]] += 1;
+            }
+        }
+        last = Some(out);
+    }
+    Ok(TaskPredictionResult {
+        tasks,
+        per_task_accuracy: per_task
+            .iter()
+            .map(|v| mean_std(v).unwrap_or((f64::NAN, f64::NAN)))
+            .collect(),
+        overall_accuracy: mean_std(&overall).unwrap_or((f64::NAN, f64::NAN)),
+        rest_confusions,
+        last_outcome: last.expect("at least one repetition"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::HcpCohortConfig;
+    use neurodeanon_embedding::tsne::TsneConfig;
+
+    #[test]
+    fn tasks_cluster_and_predict_on_small_cohort() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(8, 55)).unwrap();
+        let cfg = TaskIdConfig {
+            tsne: TsneConfig {
+                perplexity: 12.0,
+                n_iter: 350,
+                exaggeration_iters: 60,
+                momentum_switch: 120,
+                ..TsneConfig::default()
+            },
+            ..Default::default()
+        };
+        let res = task_prediction_experiment(&cohort, &cfg, 2).unwrap();
+        let (overall, _) = res.overall_accuracy;
+        assert!(overall > 70.0, "overall accuracy {overall}%");
+        assert_eq!(res.per_task_accuracy.len(), 8);
+        // The compact task conditions (strong task drive) should be
+        // near-perfect; check the best few.
+        let mut accs: Vec<f64> = res.per_task_accuracy.iter().map(|a| a.0).collect();
+        accs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert!(accs[0] > 90.0 && accs[2] > 80.0, "{accs:?}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Subject matching from a similarity matrix.
+//!
+//! The paper's rule: "Pairs of subjects with high correlation correspond to
+//! predicted matches" — per anonymous subject, take the known subject with
+//! the highest correlation ([`argmax_matching`]). The ablation additionally
+//! evaluates the globally optimal one-to-one assignment
+//! ([`hungarian_matching`], Kuhn–Munkres on the negated similarity).
+
+use crate::error::CoreError;
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// Per-column argmax: `result[j]` = row index of the best-matching known
+/// subject for anonymous subject `j`.
+pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
+    if similarity.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "similarity",
+            reason: "empty similarity matrix",
+        });
+    }
+    let mut out = Vec::with_capacity(similarity.cols());
+    for j in 0..similarity.cols() {
+        let col = similarity.col(j);
+        let best = neurodeanon_linalg::vector::argmax(&col).ok_or(CoreError::InvalidParameter {
+            name: "similarity",
+            reason: "a column is all NaN",
+        })?;
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Optimal one-to-one assignment maximizing total similarity (Kuhn–Munkres,
+/// a.k.a. Hungarian algorithm, O(n³)). Requires a square matrix; `result[j]`
+/// = the known subject assigned to anonymous subject `j`.
+pub fn hungarian_matching(similarity: &Matrix) -> Result<Vec<usize>> {
+    let n = similarity.rows();
+    if n == 0 || similarity.cols() != n {
+        return Err(CoreError::InvalidParameter {
+            name: "similarity",
+            reason: "hungarian matching needs a non-empty square matrix",
+        });
+    }
+    if !similarity.is_finite() {
+        return Err(CoreError::InvalidParameter {
+            name: "similarity",
+            reason: "similarity contains NaN/inf",
+        });
+    }
+    // Minimize cost = -similarity. Classic O(n³) potentials formulation
+    // (1-indexed arrays with a virtual 0 row/column).
+    let inf = f64::INFINITY;
+    let cost = |i: usize, j: usize| -similarity[(i, j)];
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; n + 1];
+    // way[j] = previous column in the augmenting path; p[j] = row matched
+    // to column j (0 = unmatched virtual row).
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    // p[j] = row assigned to column j (1-indexed).
+    let mut out = vec![0usize; n];
+    for j in 1..=n {
+        out[j - 1] = p[j] - 1;
+    }
+    Ok(out)
+}
+
+/// Fraction of columns whose predicted row equals the ground-truth row
+/// (`truth[j]` = correct known index for anonymous subject `j`).
+pub fn matching_accuracy(predicted: &[usize], truth: &[usize]) -> Result<f64> {
+    if predicted.len() != truth.len() || predicted.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "predicted",
+            reason: "prediction/truth length mismatch or empty",
+        });
+    }
+    let hits = predicted.iter().zip(truth).filter(|(a, b)| a == b).count();
+    Ok(hits as f64 / predicted.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_column_maxima() {
+        let s = Matrix::from_rows(&[
+            &[0.9, 0.1, 0.2],
+            &[0.3, 0.8, 0.1],
+            &[0.2, 0.4, 0.7],
+        ])
+        .unwrap();
+        assert_eq!(argmax_matching(&s).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn argmax_allows_double_assignment() {
+        // Greedy rule can map two anon columns to the same known row.
+        let s = Matrix::from_rows(&[&[0.9, 0.8], &[0.1, 0.2]]).unwrap();
+        assert_eq!(argmax_matching(&s).unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn hungarian_resolves_conflicts_optimally() {
+        // Same matrix: optimal assignment must be a permutation with total
+        // 0.9 + 0.2 = 1.1 (vs 0.8 + 0.1 = 0.9 for the swap).
+        let s = Matrix::from_rows(&[&[0.9, 0.8], &[0.1, 0.2]]).unwrap();
+        assert_eq!(hungarian_matching(&s).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn hungarian_on_identity_like() {
+        let n = 6;
+        let s = Matrix::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 });
+        let m = hungarian_matching(&s).unwrap();
+        assert_eq!(m, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hungarian_is_a_permutation() {
+        let s = Matrix::from_fn(8, 8, |i, j| (((i * 7 + j * 13) % 11) as f64) / 11.0);
+        let m = hungarian_matching(&s).unwrap();
+        let mut sorted = m.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hungarian_maximizes_total() {
+        // Brute-force check on a 4×4.
+        let s = Matrix::from_fn(4, 4, |i, j| (((i * 5 + j * 3) % 7) as f64) * 0.1);
+        let m = hungarian_matching(&s).unwrap();
+        let total: f64 = m.iter().enumerate().map(|(j, &i)| s[(i, j)]).sum();
+        // Enumerate all 24 permutations.
+        let mut best = f64::NEG_INFINITY;
+        let perm = [0usize, 1, 2, 3];
+        let mut idx = perm;
+        // Heap's algorithm (fixed size 4).
+        fn heap(k: usize, arr: &mut [usize; 4], s: &Matrix, best: &mut f64) {
+            if k == 1 {
+                let total: f64 = arr.iter().enumerate().map(|(j, &i)| s[(i, j)]).sum();
+                if total > *best {
+                    *best = total;
+                }
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, arr, s, best);
+                if k % 2 == 0 {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        heap(4, &mut idx, &s, &mut best);
+        assert!((total - best).abs() < 1e-9, "hungarian {total} vs best {best}");
+    }
+
+    #[test]
+    fn validations() {
+        assert!(argmax_matching(&Matrix::zeros(0, 0)).is_err());
+        assert!(hungarian_matching(&Matrix::zeros(2, 3)).is_err());
+        let mut s = Matrix::zeros(2, 2);
+        s[(0, 0)] = f64::NAN;
+        assert!(hungarian_matching(&s).is_err());
+        assert!(matching_accuracy(&[0], &[0, 1]).is_err());
+        assert_eq!(matching_accuracy(&[0, 1, 1], &[0, 1, 2]).unwrap(), 2.0 / 3.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Task-performance prediction (§3.3.3 / Table 1 of the paper).
+//!
+//! Protocol per repetition: random train/test subject split (80/20 by
+//! default), leverage features computed from the *train* group matrix only,
+//! both sides restricted to those features, linear ε-SVR fitted on train,
+//! normalized RMSE reported on both sides. The paper repeats 1000 times and
+//! reports mean ± std.
+
+use crate::error::CoreError;
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_linalg::stats::nrmse_percent;
+use neurodeanon_linalg::Rng64;
+use neurodeanon_ml::metrics::mean_std;
+use neurodeanon_ml::{train_test_split, Svr, SvrConfig};
+use neurodeanon_sampling::principal_features;
+
+/// Configuration for the performance-prediction experiment.
+#[derive(Debug, Clone)]
+pub struct PerfConfig {
+    /// Leverage features retained from the train group matrix.
+    pub n_features: usize,
+    /// Fraction of subjects held out for testing (paper: 20/100).
+    pub test_fraction: f64,
+    /// SVR hyper-parameters.
+    pub svr: SvrConfig,
+    /// Number of random-split repetitions (paper: 1000).
+    pub n_repeats: usize,
+    /// Seed for the split stream.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            n_features: 250,
+            test_fraction: 0.2,
+            svr: SvrConfig::default(),
+            n_repeats: 50,
+            seed: 0x1ab1e,
+        }
+    }
+}
+
+/// Outcome over all repetitions.
+#[derive(Debug, Clone)]
+pub struct PerfOutcome {
+    /// Train nRMSE (%) per repetition.
+    pub train_nrmse: Vec<f64>,
+    /// Test nRMSE (%) per repetition.
+    pub test_nrmse: Vec<f64>,
+}
+
+impl PerfOutcome {
+    /// Train nRMSE mean ± std, the left column of Table 1.
+    pub fn train_summary(&self) -> (f64, f64) {
+        mean_std(&self.train_nrmse).unwrap_or((f64::NAN, f64::NAN))
+    }
+
+    /// Test nRMSE mean ± std, the right column of Table 1.
+    pub fn test_summary(&self) -> (f64, f64) {
+        mean_std(&self.test_nrmse).unwrap_or((f64::NAN, f64::NAN))
+    }
+}
+
+/// Runs the repeated-split performance prediction for one task's group
+/// matrix and per-subject performance targets.
+pub fn predict_performance(
+    group: &GroupMatrix,
+    targets: &[f64],
+    config: &PerfConfig,
+) -> Result<PerfOutcome> {
+    let n = group.n_subjects();
+    if targets.len() != n {
+        return Err(CoreError::InvalidParameter {
+            name: "targets",
+            reason: "one target per subject required",
+        });
+    }
+    if n < 5 {
+        return Err(CoreError::InvalidParameter {
+            name: "group",
+            reason: "need at least 5 subjects for a meaningful split",
+        });
+    }
+    if config.n_repeats == 0 || config.n_features == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "config",
+            reason: "n_repeats and n_features must be positive",
+        });
+    }
+    let mut rng = Rng64::new(config.seed);
+    let mut train_nrmse = Vec::with_capacity(config.n_repeats);
+    let mut test_nrmse = Vec::with_capacity(config.n_repeats);
+    for _rep in 0..config.n_repeats {
+        let split = train_test_split(n, config.test_fraction, &mut rng)?;
+        let train_group = group.select_subjects(&split.train)?;
+        let t = config.n_features.min(train_group.n_features());
+        let pf = principal_features(train_group.as_matrix(), t, None)?;
+        let train_x = train_group.select_features(&pf.indices)?.to_points();
+        let test_x = group
+            .select_subjects(&split.test)?
+            .select_features(&pf.indices)?
+            .to_points();
+        let train_y: Vec<f64> = split.train.iter().map(|&s| targets[s]).collect();
+        let test_y: Vec<f64> = split.test.iter().map(|&s| targets[s]).collect();
+
+        let mut svr = Svr::new(config.svr.clone())?;
+        svr.fit(&train_x, &train_y)?;
+        let train_pred = svr.predict(&train_x)?;
+        let test_pred = svr.predict(&test_x)?;
+        train_nrmse.push(nrmse_percent(&train_pred, &train_y)?);
+        test_nrmse.push(nrmse_percent(&test_pred, &test_y)?);
+    }
+    Ok(PerfOutcome {
+        train_nrmse,
+        test_nrmse,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+
+    #[test]
+    fn predicts_language_performance_with_low_error() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(50, 5)).unwrap();
+        let group = cohort.group_matrix(Task::Language, Session::One).unwrap();
+        let targets = cohort.performance_vector(Task::Language).unwrap();
+        let out = predict_performance(
+            &group,
+            &targets,
+            &PerfConfig {
+                n_repeats: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (train_mean, _) = out.train_summary();
+        let (test_mean, _) = out.test_summary();
+        assert!(train_mean < 15.0, "train nRMSE {train_mean}%");
+        assert!(test_mean < 30.0, "test nRMSE {test_mean}%");
+        // Train error must not exceed test error on average.
+        assert!(train_mean <= test_mean + 1.0);
+        assert_eq!(out.train_nrmse.len(), 5);
+    }
+
+    #[test]
+    fn beats_mean_predictor() {
+        // The SVR on leverage features must do better than predicting the
+        // train mean everywhere.
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(60, 8)).unwrap();
+        let group = cohort.group_matrix(Task::Emotion, Session::One).unwrap();
+        let targets = cohort.performance_vector(Task::Emotion).unwrap();
+        let out = predict_performance(
+            &group,
+            &targets,
+            &PerfConfig {
+                n_repeats: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Mean-predictor nRMSE: std/range × 100 ≈ baseline.
+        let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+        let baseline: Vec<f64> = vec![mean; targets.len()];
+        let base_err = nrmse_percent(&baseline, &targets).unwrap();
+        let (test_mean, _) = out.test_summary();
+        assert!(
+            test_mean < base_err,
+            "SVR {test_mean}% vs mean-predictor {base_err}%"
+        );
+    }
+
+    #[test]
+    fn validations() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(6, 5)).unwrap();
+        let group = cohort.group_matrix(Task::Language, Session::One).unwrap();
+        let targets = cohort.performance_vector(Task::Language).unwrap();
+        assert!(predict_performance(&group, &targets[..3], &PerfConfig::default()).is_err());
+        let bad = PerfConfig {
+            n_repeats: 0,
+            ..Default::default()
+        };
+        assert!(predict_performance(&group, &targets, &bad).is_err());
+    }
+}

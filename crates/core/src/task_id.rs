@@ -1,0 +1,282 @@
+//! Task identification via t-SNE (§3.3.2 of the paper).
+//!
+//! All conditions of all subjects are stacked into one point cloud (one
+//! point per scan, `n_subjects × n_conditions` points in connectome feature
+//! space), embedded to 2-D with t-SNE, and task labels are transferred from
+//! the scans of subjects whose labels are known to the rest by nearest
+//! neighbour in the embedding. The paper uses 100 subjects × 8 conditions
+//! = 800 points with 50 labeled subjects.
+
+use crate::error::CoreError;
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_embedding::tsne::TsneConfig;
+use neurodeanon_linalg::{Matrix, Rng64};
+use neurodeanon_ml::metrics::accuracy;
+use neurodeanon_ml::KnnClassifier;
+
+/// Configuration for the task-identification attack.
+#[derive(Debug, Clone)]
+pub struct TaskIdConfig {
+    /// Fraction of subjects whose task labels are known (paper: 50 of 100).
+    pub labeled_fraction: f64,
+    /// t-SNE hyper-parameters.
+    pub tsne: TsneConfig,
+    /// Neighbourhood size for label transfer (paper: nearest neighbour).
+    pub knn_k: usize,
+    /// Seed for the labeled-subject draw.
+    pub seed: u64,
+}
+
+impl Default for TaskIdConfig {
+    fn default() -> Self {
+        TaskIdConfig {
+            labeled_fraction: 0.5,
+            tsne: TsneConfig::default(),
+            knn_k: 1,
+            seed: 0x7a5c,
+        }
+    }
+}
+
+/// Outcome of the task-identification attack.
+#[derive(Debug, Clone)]
+pub struct TaskIdOutcome {
+    /// 2-D embedding, one row per scan (point order: condition-major, i.e.
+    /// all subjects of condition 0, then condition 1, …).
+    pub embedding: Matrix,
+    /// True condition index of every point.
+    pub labels: Vec<usize>,
+    /// Subject index of every point.
+    pub subjects: Vec<usize>,
+    /// Predicted condition index of every *unlabeled* point, aligned with
+    /// `unlabeled_points`.
+    pub predicted: Vec<usize>,
+    /// Indices (into the point cloud) of the unlabeled points.
+    pub unlabeled_points: Vec<usize>,
+    /// Overall prediction accuracy on unlabeled points.
+    pub overall_accuracy: f64,
+    /// Per-condition accuracy on unlabeled points (condition index order).
+    pub per_condition_accuracy: Vec<f64>,
+}
+
+/// The stacked scan point cloud with precomputed pairwise distances — the
+/// expensive part of the task-identification attack (800 points × 64,620
+/// features at paper scale). Build once, embed many times.
+#[derive(Debug, Clone)]
+pub struct TaskPointCloud {
+    /// Condensed pairwise squared distances (strict upper triangle).
+    d2: Vec<f64>,
+    n_points: usize,
+    n_subjects: usize,
+    labels: Vec<usize>,
+    subjects: Vec<usize>,
+}
+
+impl TaskPointCloud {
+    /// Stacks per-condition group matrices (condition-major point order)
+    /// and computes the condensed pairwise distances.
+    pub fn build(groups: &[GroupMatrix]) -> Result<Self> {
+        if groups.len() < 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "groups",
+                reason: "need at least two conditions to identify tasks",
+            });
+        }
+        let n_subjects = groups[0].n_subjects();
+        let n_features = groups[0].n_features();
+        for g in groups {
+            if g.n_subjects() != n_subjects || g.n_features() != n_features {
+                return Err(CoreError::IncompatibleGroups {
+                    known: n_features,
+                    anon: g.n_features(),
+                });
+            }
+        }
+        let n_points = groups.len() * n_subjects;
+        let mut points = Matrix::zeros(n_points, n_features);
+        let mut labels = Vec::with_capacity(n_points);
+        let mut subjects = Vec::with_capacity(n_points);
+        for (cond, g) in groups.iter().enumerate() {
+            let p = g.to_points();
+            for s in 0..n_subjects {
+                let row_idx = cond * n_subjects + s;
+                points.set_row(row_idx, p.row(s))?;
+                labels.push(cond);
+                subjects.push(s);
+            }
+        }
+        let d2 = neurodeanon_embedding::tsne::pairwise_squared_distances(&points);
+        Ok(TaskPointCloud {
+            d2,
+            n_points,
+            n_subjects,
+            labels,
+            subjects,
+        })
+    }
+
+    /// Number of points (subjects × conditions).
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+}
+
+/// Runs the task-identification attack on per-condition group matrices
+/// (all must share subject count and feature count; subjects aligned).
+pub fn identify_tasks(groups: &[GroupMatrix], config: &TaskIdConfig) -> Result<TaskIdOutcome> {
+    let cloud = TaskPointCloud::build(groups)?;
+    identify_tasks_from_cloud(&cloud, config)
+}
+
+/// Runs the attack from a prebuilt point cloud (reusing the pairwise
+/// distances across repetitions).
+pub fn identify_tasks_from_cloud(
+    cloud: &TaskPointCloud,
+    config: &TaskIdConfig,
+) -> Result<TaskIdOutcome> {
+    if !(0.0 < config.labeled_fraction && config.labeled_fraction < 1.0) {
+        return Err(CoreError::InvalidParameter {
+            name: "labeled_fraction",
+            reason: "must lie strictly between 0 and 1",
+        });
+    }
+    let n_subjects = cloud.n_subjects;
+    let n_points = cloud.n_points;
+    let labels = &cloud.labels;
+    let subjects = &cloud.subjects;
+
+    let embedded =
+        neurodeanon_embedding::tsne::tsne_from_distances(&cloud.d2, n_points, &config.tsne)?;
+
+    // Labeled subjects drawn once; all their scans serve as references.
+    let mut rng = Rng64::new(config.seed);
+    let n_labeled = ((n_subjects as f64 * config.labeled_fraction).round() as usize)
+        .clamp(1, n_subjects - 1);
+    let labeled_subjects: std::collections::HashSet<usize> =
+        rng.sample_indices(n_subjects, n_labeled).into_iter().collect();
+
+    let mut train_rows = Vec::new();
+    let mut train_labels = Vec::new();
+    let mut test_rows = Vec::new();
+    for p in 0..n_points {
+        if labeled_subjects.contains(&subjects[p]) {
+            train_rows.push(p);
+            train_labels.push(labels[p]);
+        } else {
+            test_rows.push(p);
+        }
+    }
+    let train_x = embedded.embedding.select_rows(&train_rows)?;
+    let test_x = embedded.embedding.select_rows(&test_rows)?;
+    let mut knn = KnnClassifier::new(config.knn_k)?;
+    knn.fit(&train_x, &train_labels)?;
+    let predicted = knn.predict(&test_x)?;
+
+    let truth: Vec<usize> = test_rows.iter().map(|&p| labels[p]).collect();
+    let overall_accuracy = accuracy(&predicted, &truth)?;
+    let n_conditions = n_points / n_subjects;
+    let mut per_condition_accuracy = Vec::with_capacity(n_conditions);
+    for cond in 0..n_conditions {
+        let pairs: Vec<(usize, usize)> = predicted
+            .iter()
+            .zip(&truth)
+            .filter(|&(_, &t)| t == cond)
+            .map(|(&p, &t)| (p, t))
+            .collect();
+        let acc = if pairs.is_empty() {
+            f64::NAN
+        } else {
+            pairs.iter().filter(|(p, t)| p == t).count() as f64 / pairs.len() as f64
+        };
+        per_condition_accuracy.push(acc);
+    }
+
+    Ok(TaskIdOutcome {
+        embedding: embedded.embedding,
+        labels: labels.clone(),
+        subjects: subjects.clone(),
+        predicted,
+        unlabeled_points: test_rows,
+        overall_accuracy,
+        per_condition_accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+
+    fn quick_tsne() -> TsneConfig {
+        TsneConfig {
+            perplexity: 10.0,
+            n_iter: 300,
+            exaggeration_iters: 60,
+            momentum_switch: 120,
+            ..TsneConfig::default()
+        }
+    }
+
+    #[test]
+    fn identifies_tasks_on_small_cohort() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(8, 3)).unwrap();
+        let conditions = [Task::Rest, Task::Motor, Task::Language, Task::Emotion];
+        let groups: Vec<_> = conditions
+            .iter()
+            .map(|&t| cohort.group_matrix(t, Session::One).unwrap())
+            .collect();
+        let out = identify_tasks(
+            &groups,
+            &TaskIdConfig {
+                tsne: quick_tsne(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.embedding.shape(), (32, 2));
+        assert_eq!(out.labels.len(), 32);
+        assert!(
+            out.overall_accuracy > 0.7,
+            "accuracy {}",
+            out.overall_accuracy
+        );
+        assert_eq!(out.per_condition_accuracy.len(), 4);
+    }
+
+    #[test]
+    fn point_bookkeeping_is_condition_major() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(5, 4)).unwrap();
+        let groups: Vec<_> = [Task::Rest, Task::Motor]
+            .iter()
+            .map(|&t| cohort.group_matrix(t, Session::One).unwrap())
+            .collect();
+        let out = identify_tasks(
+            &groups,
+            &TaskIdConfig {
+                tsne: TsneConfig {
+                    perplexity: 3.0,
+                    n_iter: 50,
+                    ..quick_tsne()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.labels[..5], [0, 0, 0, 0, 0]);
+        assert_eq!(out.labels[5..], [1, 1, 1, 1, 1]);
+        assert_eq!(out.subjects[..5], [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn validations() {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(5, 4)).unwrap();
+        let g = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        assert!(identify_tasks(std::slice::from_ref(&g), &TaskIdConfig::default()).is_err());
+        let cfg = TaskIdConfig {
+            labeled_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(identify_tasks(&[g.clone(), g], &cfg).is_err());
+    }
+}

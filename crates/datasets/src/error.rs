@@ -1,0 +1,83 @@
+//! Dataset generation error type.
+
+use std::fmt;
+
+/// Errors from cohort generation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// A configuration parameter was outside its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// A subject index exceeded the cohort size.
+    SubjectOutOfRange {
+        /// Requested subject.
+        subject: usize,
+        /// Cohort size.
+        n_subjects: usize,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+    /// Error propagated from the connectome layer.
+    Connectome(neurodeanon_connectome::ConnectomeError),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::InvalidConfig { name, reason } => {
+                write!(f, "invalid config `{name}`: {reason}")
+            }
+            DatasetError::SubjectOutOfRange {
+                subject,
+                n_subjects,
+            } => write!(f, "subject {subject} out of range (cohort of {n_subjects})"),
+            DatasetError::Linalg(e) => write!(f, "linalg error: {e}"),
+            DatasetError::Connectome(e) => write!(f, "connectome error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Linalg(e) => Some(e),
+            DatasetError::Connectome(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for DatasetError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        DatasetError::Linalg(e)
+    }
+}
+
+impl From<neurodeanon_connectome::ConnectomeError> for DatasetError {
+    fn from(e: neurodeanon_connectome::ConnectomeError) -> Self {
+        DatasetError::Connectome(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DatasetError::SubjectOutOfRange {
+            subject: 101,
+            n_subjects: 100,
+        };
+        assert!(e.to_string().contains("101"));
+        let e = DatasetError::InvalidConfig {
+            name: "n_subjects",
+            reason: "zero",
+        };
+        assert!(e.to_string().contains("n_subjects"));
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-datasets
+//!
+//! Synthetic cohorts standing in for the paper's two gated datasets (HCP
+//! Healthy Young Adult and ADHD-200); see DESIGN.md §1 for the substitution
+//! argument.
+//!
+//! ## Generative model
+//!
+//! Region time series are produced by a latent factor model
+//!
+//! ```text
+//! x_{s,k,e}(t) = A_pop ξ(t) + b_k · B_k η(t) + a_k · G_s ζ(t) + σ ε(t)
+//! ```
+//!
+//! * `A_pop` — population loading matrix shared by everyone (base
+//!   connectivity structure).
+//! * `B_k`  — condition-specific loadings (task activation pattern), scaled
+//!   by the task strength `b_k`.
+//! * `G_s`  — the **subject signature**: per-subject loadings supported
+//!   only on a fixed subset of *signature regions* (the synthetic analogue
+//!   of the parieto-frontal concentration reported by Finn et al.), scaled
+//!   by the task-dependent expression `a_k`.
+//! * `ξ, η, ζ, ε` — fresh white Gaussian factor series per session.
+//!
+//! Sessions of the same subject share loadings but not factor series, so
+//! intra-subject connectome similarity emerges from shared *covariance*
+//! (`a_k² G_s G_sᵀ` + …), exactly the phenomenon the attack exploits. The
+//! per-task `(a_k, b_k)` calibration produces the paper's task ordering
+//! (REST most identifiable; MOTOR/WM least — Figure 5) and the rest ↔
+//! gambling confusion of Figure 6 (their `B` loadings share columns).
+//!
+//! Task performance phenotypes are linear functionals of the latent
+//! signature covariance, so connectome features genuinely predict them
+//! (Table 1's premise).
+
+pub mod adhd;
+pub mod blocks;
+pub mod error;
+pub mod hcp;
+pub mod model;
+pub mod task;
+
+pub use adhd::{AdhdCohort, AdhdCohortConfig, AdhdGroup};
+pub use blocks::{BlockedScan, BLOCK_LEN, N_SUBTYPES};
+pub use error::DatasetError;
+pub use hcp::{HcpCohort, HcpCohortConfig};
+pub use model::Session;
+pub use task::Task;
+
+/// Result alias for dataset generation.
+pub type Result<T> = std::result::Result<T, DatasetError>;

@@ -1,0 +1,110 @@
+//! Property tests for the synthetic cohort generators.
+
+use neurodeanon_datasets::{
+    AdhdCohort, AdhdCohortConfig, HcpCohort, HcpCohortConfig, Session, Task,
+};
+use proptest::prelude::*;
+
+fn tiny_hcp(seed: u64) -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig {
+        n_subjects: 4,
+        n_regions: 12,
+        n_timepoints: 64,
+        n_pop_factors: 4,
+        n_task_factors: 3,
+        n_sig_factors: 2,
+        n_sig_regions: 4,
+        noise_std: 0.3,
+        session_strength: 0.1,
+        signature_gain: 1.5,
+        signature_instability: 0.3,
+        seed,
+    })
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scans_are_deterministic_and_distinct(seed in 0u64..200) {
+        let cohort = tiny_hcp(seed);
+        let a = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
+        let b = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        // Different subject / task / session ⇒ different series.
+        let c = cohort.region_ts(1, Task::Rest, Session::One).unwrap();
+        prop_assert_ne!(a.as_slice(), c.as_slice());
+        let d = cohort.region_ts(0, Task::Motor, Session::One).unwrap();
+        prop_assert_ne!(a.as_slice(), d.as_slice());
+        let e = cohort.region_ts(0, Task::Rest, Session::Two).unwrap();
+        prop_assert_ne!(a.as_slice(), e.as_slice());
+    }
+
+    #[test]
+    fn all_scans_finite(seed in 0u64..100, task_idx in 0usize..8) {
+        let cohort = tiny_hcp(seed);
+        let task = Task::ALL[task_idx];
+        let ts = cohort.region_ts(2, task, Session::Two).unwrap();
+        prop_assert!(ts.is_finite());
+        prop_assert_eq!(ts.shape(), (12, 64));
+    }
+
+    #[test]
+    fn performance_in_percent_band(seed in 0u64..100) {
+        let cohort = tiny_hcp(seed);
+        for task in [Task::Language, Task::Emotion, Task::Relational, Task::WorkingMemory] {
+            let y = cohort.performance_vector(task).unwrap();
+            prop_assert!(y.iter().all(|&v| (0.0..=100.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn mode_scores_are_standard_normal_ish(seed in 0u64..50) {
+        let cohort = tiny_hcp(seed);
+        for s in 0..4 {
+            let z = cohort.subject_mode_scores(s).unwrap();
+            prop_assert!(z.iter().all(|v| v.abs() < 6.0));
+        }
+        prop_assert!(cohort.subject_mode_scores(4).is_err());
+    }
+
+    #[test]
+    fn adhd_group_bookkeeping(controls in 1usize..5, cases in 1usize..4, seed in 0u64..100) {
+        let cohort = AdhdCohort::generate(AdhdCohortConfig {
+            n_controls: controls,
+            n_cases_per_subtype: cases,
+            n_regions: 10,
+            n_timepoints: 48,
+            n_pop_factors: 4,
+            n_subtype_factors: 2,
+            n_sig_factors: 2,
+            n_sig_regions: 4,
+            signature_expression: 0.9,
+            subtype_strength: 0.4,
+            signature_instability: 0.3,
+            noise_std: 0.5,
+            seed,
+        })
+        .unwrap();
+        prop_assert_eq!(cohort.n_subjects(), controls + 3 * cases);
+        let mut total = 0;
+        for g in [neurodeanon_datasets::AdhdGroup::Control,
+                  neurodeanon_datasets::AdhdGroup::Subtype(1),
+                  neurodeanon_datasets::AdhdGroup::Subtype(2),
+                  neurodeanon_datasets::AdhdGroup::Subtype(3)] {
+            total += cohort.subjects_in(g).len();
+        }
+        prop_assert_eq!(total, cohort.n_subjects());
+        let ts = cohort.region_ts(0, Session::One).unwrap();
+        prop_assert!(ts.is_finite());
+    }
+
+    #[test]
+    fn group_matrix_ids_are_unique(seed in 0u64..50) {
+        let cohort = tiny_hcp(seed);
+        let g = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let set: std::collections::HashSet<&String> = g.subject_ids().iter().collect();
+        prop_assert_eq!(set.len(), g.n_subjects());
+    }
+}

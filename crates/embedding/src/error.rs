@@ -1,0 +1,80 @@
+//! Embedding error type.
+
+use std::fmt;
+
+/// Errors from the embedding algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbeddingError {
+    /// Fewer points than required (t-SNE needs at least 4, PCA at least 2).
+    TooFewPoints {
+        /// Minimum required.
+        required: usize,
+        /// Provided.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// The perplexity calibration failed to bracket a solution for a point
+    /// (typically a duplicate point cloud where all distances are zero).
+    PerplexityCalibration {
+        /// Index of the point whose σ search failed.
+        point: usize,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+}
+
+impl fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbeddingError::TooFewPoints { required, got } => {
+                write!(f, "need at least {required} points, got {got}")
+            }
+            EmbeddingError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            EmbeddingError::PerplexityCalibration { point } => {
+                write!(f, "perplexity calibration failed for point {point}")
+            }
+            EmbeddingError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EmbeddingError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for EmbeddingError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        EmbeddingError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EmbeddingError::TooFewPoints {
+            required: 4,
+            got: 1
+        }
+        .to_string()
+        .contains('4'));
+        assert!(EmbeddingError::PerplexityCalibration { point: 3 }
+            .to_string()
+            .contains('3'));
+    }
+}

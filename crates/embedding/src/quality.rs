@@ -1,0 +1,156 @@
+//! Embedding quality metrics.
+//!
+//! §3.1.3 justifies t-SNE because "it maintains pairwise distance in low
+//! dimensions well, while maintaining underlying cluster structure." These
+//! metrics make that claim measurable: *trustworthiness* penalizes points
+//! that become neighbours only in the embedding (false structure), and
+//! *continuity* penalizes true neighbours that the embedding separates
+//! (lost structure) — the standard pair from Venna & Kaski (2001).
+
+use crate::error::EmbeddingError;
+use crate::Result;
+use neurodeanon_linalg::vector::dist_sq;
+use neurodeanon_linalg::Matrix;
+
+/// Ranks of every other point by distance from each point: `ranks[i][j]` =
+/// the rank (1 = closest) of point `j` among `i`'s neighbours. Self gets
+/// rank 0.
+fn neighbour_ranks(points: &Matrix) -> Vec<Vec<usize>> {
+    let n = points.rows();
+    let mut ranks = vec![vec![0usize; n]; n];
+    for i in 0..n {
+        let mut order: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| (j, dist_sq(points.row(i), points.row(j))))
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (rank, &(j, _)) in order.iter().enumerate() {
+            ranks[i][j] = rank + 1;
+        }
+    }
+    ranks
+}
+
+fn validate(high: &Matrix, low: &Matrix, k: usize) -> Result<()> {
+    let n = high.rows();
+    if n != low.rows() {
+        return Err(EmbeddingError::InvalidParameter {
+            name: "low",
+            reason: "embedding must have one row per input point",
+        });
+    }
+    if n < 3 {
+        return Err(EmbeddingError::TooFewPoints {
+            required: 3,
+            got: n,
+        });
+    }
+    if k == 0 || k >= n {
+        return Err(EmbeddingError::InvalidParameter {
+            name: "k",
+            reason: "neighbourhood size must satisfy 1 <= k < n_points",
+        });
+    }
+    Ok(())
+}
+
+/// Trustworthiness `T(k) ∈ [0, 1]`: 1 when every embedding-space
+/// `k`-neighbourhood contains only true high-dimensional neighbours.
+///
+/// `T(k) = 1 − 2/(n·k·(2n−3k−1)) · Σᵢ Σ_{j∈Uᵢ(k)} (r(i,j) − k)` where
+/// `Uᵢ(k)` are points in `i`'s embedding neighbourhood but not its true
+/// neighbourhood and `r(i, j)` the true rank.
+pub fn trustworthiness(high: &Matrix, low: &Matrix, k: usize) -> Result<f64> {
+    validate(high, low, k)?;
+    let n = high.rows();
+    let high_ranks = neighbour_ranks(high);
+    let low_ranks = neighbour_ranks(low);
+    let mut penalty = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            // In the embedding neighbourhood but not the true one.
+            if low_ranks[i][j] <= k && high_ranks[i][j] > k {
+                penalty += (high_ranks[i][j] - k) as f64;
+            }
+        }
+    }
+    let norm = 2.0 / (n as f64 * k as f64 * (2.0 * n as f64 - 3.0 * k as f64 - 1.0));
+    Ok((1.0 - norm * penalty).clamp(0.0, 1.0))
+}
+
+/// Continuity `C(k) ∈ [0, 1]`: 1 when every true `k`-neighbourhood survives
+/// into the embedding (the symmetric counterpart of trustworthiness).
+pub fn continuity(high: &Matrix, low: &Matrix, k: usize) -> Result<f64> {
+    // Continuity(high→low) is trustworthiness with the roles swapped.
+    trustworthiness(low, high, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pca::pca;
+    use crate::tsne::{tsne, TsneConfig};
+    use neurodeanon_linalg::Rng64;
+
+    fn blobs() -> Matrix {
+        let mut rng = Rng64::new(5);
+        let centers = [[0.0, 0.0, 0.0], [15.0, 0.0, 0.0], [0.0, 15.0, 15.0]];
+        Matrix::from_fn(30, 3, |r, c| centers[r / 10][c] + rng.gaussian())
+    }
+
+    #[test]
+    fn identity_embedding_is_perfect() {
+        let pts = blobs();
+        assert!((trustworthiness(&pts, &pts, 5).unwrap() - 1.0).abs() < 1e-12);
+        assert!((continuity(&pts, &pts, 5).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_embedding_scores_poorly() {
+        let pts = blobs();
+        let mut rng = Rng64::new(9);
+        let random = Matrix::from_fn(30, 2, |_, _| rng.gaussian());
+        let t = trustworthiness(&pts, &random, 5).unwrap();
+        assert!(t < 0.85, "random embedding trustworthiness {t}");
+    }
+
+    #[test]
+    fn tsne_beats_random_and_matches_pca_on_blobs() {
+        let pts = blobs();
+        let cfg = TsneConfig {
+            perplexity: 8.0,
+            n_iter: 300,
+            exaggeration_iters: 50,
+            momentum_switch: 100,
+            ..TsneConfig::default()
+        };
+        let emb = tsne(&pts, &cfg).unwrap().embedding;
+        let t_tsne = trustworthiness(&pts, &emb, 5).unwrap();
+        let p = pca(&pts, 2).unwrap();
+        let t_pca = trustworthiness(&pts, &p, 5).unwrap();
+        let mut rng = Rng64::new(3);
+        let random = Matrix::from_fn(30, 2, |_, _| rng.gaussian());
+        let t_rand = trustworthiness(&pts, &random, 5).unwrap();
+        assert!(t_tsne > t_rand, "t-SNE {t_tsne} vs random {t_rand}");
+        assert!(t_tsne > 0.85, "t-SNE trustworthiness {t_tsne}");
+        // On linear blobs PCA is fine too; both must be strong.
+        assert!(t_pca > 0.85);
+        let c = continuity(&pts, &emb, 5).unwrap();
+        assert!(c > 0.85, "t-SNE continuity {c}");
+    }
+
+    #[test]
+    fn validations() {
+        let pts = blobs();
+        let emb = Matrix::zeros(29, 2);
+        assert!(trustworthiness(&pts, &emb, 5).is_err());
+        let ok = Matrix::zeros(30, 2);
+        assert!(trustworthiness(&pts, &ok, 0).is_err());
+        assert!(trustworthiness(&pts, &ok, 30).is_err());
+        let tiny = Matrix::zeros(2, 2);
+        assert!(trustworthiness(&tiny, &Matrix::zeros(2, 2), 1).is_err());
+    }
+}

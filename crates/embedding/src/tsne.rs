@@ -1,0 +1,485 @@
+//! Exact t-SNE (Algorithm 2 of the paper).
+//!
+//! Pipeline: pairwise squared distances → per-point σᵢ by binary search on
+//! perplexity (Equations 7–8) → conditional `p_{j|i}` → symmetrized
+//! `p_ij = (p_{j|i} + p_{i|j}) / 2n` → gradient descent on the KL divergence
+//! (Equation 10) with the Student-t output kernel (Equation 11), the
+//! gradient of Equation 12, momentum, and early exaggeration.
+
+use crate::error::EmbeddingError;
+use crate::Result;
+use neurodeanon_linalg::vector::dist_sq;
+use neurodeanon_linalg::{Matrix, Rng64};
+
+/// t-SNE hyper-parameters; defaults follow van der Maaten & Hinton (2008).
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Output dimensionality (2 for the paper's task maps).
+    pub output_dims: usize,
+    /// Target perplexity (effective neighbour count), Equation 7.
+    pub perplexity: f64,
+    /// Total gradient iterations `T`.
+    pub n_iter: usize,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Momentum before the switch iteration.
+    pub initial_momentum: f64,
+    /// Momentum after the switch iteration.
+    pub final_momentum: f64,
+    /// Iteration at which momentum switches.
+    pub momentum_switch: usize,
+    /// Early-exaggeration multiplier on `P`.
+    pub exaggeration: f64,
+    /// Iterations during which exaggeration applies.
+    pub exaggeration_iters: usize,
+    /// RNG seed for the `N(0, 10⁻⁴ I)` initialization (Algorithm 2 line 3).
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            output_dims: 2,
+            perplexity: 30.0,
+            n_iter: 500,
+            learning_rate: 200.0,
+            initial_momentum: 0.5,
+            final_momentum: 0.8,
+            momentum_switch: 250,
+            exaggeration: 4.0,
+            exaggeration_iters: 100,
+            seed: 0x7e51e,
+        }
+    }
+}
+
+impl TsneConfig {
+    fn validate(&self, n: usize) -> Result<()> {
+        if n < 4 {
+            return Err(EmbeddingError::TooFewPoints {
+                required: 4,
+                got: n,
+            });
+        }
+        if self.output_dims == 0 {
+            return Err(EmbeddingError::InvalidParameter {
+                name: "output_dims",
+                reason: "must be at least 1",
+            });
+        }
+        if !(self.perplexity > 1.0 && self.perplexity < n as f64) {
+            return Err(EmbeddingError::InvalidParameter {
+                name: "perplexity",
+                reason: "must satisfy 1 < perplexity < n_points",
+            });
+        }
+        if self.n_iter == 0 {
+            return Err(EmbeddingError::InvalidParameter {
+                name: "n_iter",
+                reason: "must be at least 1",
+            });
+        }
+        if !(self.learning_rate > 0.0) || !(self.exaggeration >= 1.0) {
+            return Err(EmbeddingError::InvalidParameter {
+                name: "learning_rate/exaggeration",
+                reason: "need learning_rate > 0 and exaggeration >= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a t-SNE run.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    /// The `n × output_dims` embedding.
+    pub embedding: Matrix,
+    /// KL divergence after each iteration (without exaggeration correction
+    /// during the exaggerated phase — the raw optimized objective).
+    pub kl_history: Vec<f64>,
+}
+
+/// Embeds `points` (rows = samples) with the given configuration.
+pub fn tsne(points: &Matrix, config: &TsneConfig) -> Result<Tsne> {
+    let n = points.rows();
+    config.validate(n)?;
+    let d2 = pairwise_squared_distances(points);
+    tsne_from_distances(&d2, n, config)
+}
+
+/// Embeds from a precomputed condensed pairwise squared-distance buffer
+/// (row-major strict upper triangle). Lets callers reuse distances across
+/// repetitions (the paper's 100-iteration task-prediction protocol).
+pub fn tsne_from_distances(d2: &[f64], n: usize, config: &TsneConfig) -> Result<Tsne> {
+    config.validate(n)?;
+    if d2.len() != n * (n - 1) / 2 {
+        return Err(EmbeddingError::InvalidParameter {
+            name: "d2",
+            reason: "condensed distance length must be n(n-1)/2",
+        });
+    }
+    let p = joint_probabilities(d2, n, config.perplexity)?;
+
+    // Initialization: Y ~ N(0, 1e-4 I).
+    let mut rng = Rng64::new(config.seed);
+    let dims = config.output_dims;
+    let mut y = Matrix::from_fn(n, dims, |_, _| rng.gaussian() * 1e-2);
+    let mut velocity = Matrix::zeros(n, dims);
+    // Per-cell adaptive gains (the standard t-SNE "gains" trick).
+    let mut gains = Matrix::filled(n, dims, 1.0);
+
+    let mut kl_history = Vec::with_capacity(config.n_iter);
+    let mut q = vec![0.0; n * (n - 1) / 2];
+
+    for iter in 0..config.n_iter {
+        let exaggerate = if iter < config.exaggeration_iters {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        // Q from current embedding (Equation 11), unnormalized then summed.
+        let mut qsum = 0.0;
+        {
+            let mut idx = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let w = 1.0 / (1.0 + dist_sq(y.row(i), y.row(j)));
+                    q[idx] = w;
+                    qsum += 2.0 * w;
+                    idx += 1;
+                }
+            }
+        }
+
+        // Gradient (Equation 12): dC/dyᵢ = 4 Σⱼ (pᵢⱼ − qᵢⱼ)(yᵢ − yⱼ)wᵢⱼ.
+        let mut grad = Matrix::zeros(n, dims);
+        let mut kl = 0.0;
+        let mut idx = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let w = q[idx];
+                let qij = (w / qsum).max(1e-300);
+                let pij = p[idx];
+                let coeff = 4.0 * (exaggerate * pij - qij) * w;
+                for dcol in 0..dims {
+                    let diff = y[(i, dcol)] - y[(j, dcol)];
+                    grad[(i, dcol)] += coeff * diff;
+                    grad[(j, dcol)] -= coeff * diff;
+                }
+                if pij > 0.0 {
+                    // Both (i,j) and (j,i) contribute identically.
+                    kl += 2.0 * pij * (pij / qij).ln();
+                }
+                idx += 1;
+            }
+        }
+        kl_history.push(kl);
+
+        // Momentum + gains update (Algorithm 2 line 7).
+        let momentum = if iter < config.momentum_switch {
+            config.initial_momentum
+        } else {
+            config.final_momentum
+        };
+        for i in 0..n {
+            for dcol in 0..dims {
+                let g = grad[(i, dcol)];
+                let v = velocity[(i, dcol)];
+                let gain = &mut gains[(i, dcol)];
+                *gain = if g.signum() == v.signum() {
+                    (*gain * 0.8).max(0.01)
+                } else {
+                    *gain + 0.2
+                };
+                let nv = momentum * v - config.learning_rate * *gain * g;
+                velocity[(i, dcol)] = nv;
+                y[(i, dcol)] += nv;
+            }
+        }
+        // Re-center to keep the embedding from drifting.
+        for dcol in 0..dims {
+            let mean: f64 = (0..n).map(|i| y[(i, dcol)]).sum::<f64>() / n as f64;
+            for i in 0..n {
+                y[(i, dcol)] -= mean;
+            }
+        }
+    }
+
+    Ok(Tsne {
+        embedding: y,
+        kl_history,
+    })
+}
+
+/// Condensed (strict upper triangle, row-major) pairwise squared distances.
+pub fn pairwise_squared_distances(points: &Matrix) -> Vec<f64> {
+    let n = points.rows();
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push(dist_sq(points.row(i), points.row(j)));
+        }
+    }
+    out
+}
+
+/// Symmetrized joint probabilities `p_ij` from condensed squared distances,
+/// calibrating σᵢ per point to the target perplexity by binary search.
+fn joint_probabilities(d2: &[f64], n: usize, perplexity: f64) -> Result<Vec<f64>> {
+    let log_perp = perplexity.ln();
+    let cond_idx = |i: usize, j: usize| -> usize {
+        // Condensed index for i < j.
+        debug_assert!(i < j);
+        i * n - i * (i + 1) / 2 + (j - i - 1)
+    };
+    // Conditional probabilities p_{j|i}, dense row storage.
+    let mut cond = vec![0.0; n * n];
+    for i in 0..n {
+        // Shift distances by the row minimum before exponentiating: the
+        // conditional distribution is invariant to the shift, and without
+        // it exp(−β·d²) underflows to an all-zero row on high-dimensional
+        // inputs (the paper's 64,620-feature vectors have d² in the
+        // thousands).
+        let mut d_min = f64::INFINITY;
+        for j in 0..n {
+            if j != i {
+                d_min = d_min.min(d2[cond_idx(i.min(j), i.max(j))]);
+            }
+        }
+        if !d_min.is_finite() {
+            return Err(EmbeddingError::PerplexityCalibration { point: i });
+        }
+        // Binary search beta = 1/(2σ²).
+        let mut beta = 1.0;
+        let mut beta_min = f64::NEG_INFINITY;
+        let mut beta_max = f64::INFINITY;
+        let mut ok = false;
+        for _ in 0..64 {
+            // Compute entropy and row probabilities at this beta.
+            let mut sum = 0.0;
+            let mut dsum = 0.0; // Σ p·(d−d_min) for entropy
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let d = d2[cond_idx(i.min(j), i.max(j))] - d_min;
+                let pj = (-beta * d).exp();
+                cond[i * n + j] = pj;
+                sum += pj;
+                dsum += pj * d;
+            }
+            if sum <= 0.0 {
+                break; // all neighbours infinitely far: calibration fails
+            }
+            // Shannon entropy H = ln(sum) + beta * E[d].
+            let h = sum.ln() + beta * dsum / sum;
+            let diff = h - log_perp;
+            if diff.abs() < 1e-5 {
+                ok = true;
+                // Normalize row in place.
+                for j in 0..n {
+                    if j != i {
+                        cond[i * n + j] /= sum;
+                    }
+                }
+                break;
+            }
+            if diff > 0.0 {
+                beta_min = beta;
+                beta = if beta_max.is_finite() {
+                    (beta + beta_max) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_max = beta;
+                beta = if beta_min.is_finite() {
+                    (beta + beta_min) / 2.0
+                } else {
+                    beta / 2.0
+                };
+            }
+            if !beta.is_finite() || beta <= 0.0 {
+                break;
+            }
+        }
+        if !ok {
+            // Accept the last normalization if the entropy is merely close;
+            // otherwise fail loudly (duplicate-point degenerate cloud).
+            let sum: f64 = (0..n).filter(|&j| j != i).map(|j| cond[i * n + j]).sum();
+            if sum <= 0.0 || !sum.is_finite() {
+                return Err(EmbeddingError::PerplexityCalibration { point: i });
+            }
+            for j in 0..n {
+                if j != i {
+                    cond[i * n + j] /= sum;
+                }
+            }
+        }
+    }
+    // Symmetrize into condensed storage: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut p = vec![0.0; n * (n - 1) / 2];
+    let mut idx = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            p[idx] = (cond[i * n + j] + cond[j * n + i]) / (2.0 * n as f64);
+            idx += 1;
+        }
+    }
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs in 5-D, 12 points each.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::new(77);
+        let centers = [
+            [0.0, 0.0, 0.0, 0.0, 0.0],
+            [20.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 20.0, 0.0, 0.0, 20.0],
+        ];
+        let mut pts = Matrix::zeros(36, 5);
+        let mut labels = Vec::new();
+        for (b, c) in centers.iter().enumerate() {
+            for k in 0..12 {
+                let r = b * 12 + k;
+                for (col, &cc) in c.iter().enumerate() {
+                    pts[(r, col)] = cc + rng.gaussian();
+                }
+                labels.push(b);
+            }
+        }
+        (pts, labels)
+    }
+
+    fn quick_config() -> TsneConfig {
+        TsneConfig {
+            perplexity: 8.0,
+            n_iter: 300,
+            exaggeration_iters: 50,
+            momentum_switch: 100,
+            ..TsneConfig::default()
+        }
+    }
+
+    #[test]
+    fn joint_probabilities_sum_to_one() {
+        let (pts, _) = blobs();
+        let d2 = pairwise_squared_distances(&pts);
+        let p = joint_probabilities(&d2, 36, 8.0).unwrap();
+        let total: f64 = p.iter().sum::<f64>() * 2.0; // both triangles
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn every_point_controls_the_cost() {
+        // The outlier-robustness property §3.1.3 symmetrization exists for:
+        // Σⱼ p_ij ≥ 1/2n for every point i (each conditional row sums to 1,
+        // so the symmetrized row sum is at least 1/2n).
+        let (pts, _) = blobs();
+        let d2 = pairwise_squared_distances(&pts);
+        let n = 36;
+        let p = joint_probabilities(&d2, n, 8.0).unwrap();
+        let mut row_sum = vec![0.0; n];
+        let mut idx = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                row_sum[i] += p[idx];
+                row_sum[j] += p[idx];
+                idx += 1;
+            }
+        }
+        let floor = 1.0 / (2.0 * n as f64);
+        for (i, &s) in row_sum.iter().enumerate() {
+            assert!(s >= floor - 1e-9, "row {i}: {s} < {floor}");
+        }
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let (pts, labels) = blobs();
+        let out = tsne(&pts, &quick_config()).unwrap();
+        let y = &out.embedding;
+        // Mean intra-cluster distance ≪ mean inter-cluster distance.
+        let mut intra = 0.0;
+        let mut intra_n = 0.0;
+        let mut inter = 0.0;
+        let mut inter_n = 0.0;
+        for i in 0..36 {
+            for j in (i + 1)..36 {
+                let d = dist_sq(y.row(i), y.row(j)).sqrt();
+                if labels[i] == labels[j] {
+                    intra += d;
+                    intra_n += 1.0;
+                } else {
+                    inter += d;
+                    inter_n += 1.0;
+                }
+            }
+        }
+        let ratio = (inter / inter_n) / (intra / intra_n);
+        assert!(ratio > 2.5, "separation ratio {ratio}");
+    }
+
+    #[test]
+    fn kl_decreases_after_exaggeration() {
+        let (pts, _) = blobs();
+        let out = tsne(&pts, &quick_config()).unwrap();
+        let h = &out.kl_history;
+        // Compare KL right after exaggeration ends vs the final value.
+        let after_ex = h[60];
+        let final_kl = *h.last().unwrap();
+        assert!(final_kl < after_ex, "KL {after_ex} -> {final_kl}");
+        assert!(final_kl >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (pts, _) = blobs();
+        let a = tsne(&pts, &quick_config()).unwrap();
+        let b = tsne(&pts, &quick_config()).unwrap();
+        assert!(a
+            .embedding
+            .sub(&b.embedding)
+            .unwrap()
+            .max_abs()
+            < 1e-12);
+        let mut cfg = quick_config();
+        cfg.seed = 1;
+        let c = tsne(&pts, &cfg).unwrap();
+        assert!(a.embedding.sub(&c.embedding).unwrap().max_abs() > 1e-6);
+    }
+
+    #[test]
+    fn embedding_is_centered() {
+        let (pts, _) = blobs();
+        let out = tsne(&pts, &quick_config()).unwrap();
+        for d in 0..2 {
+            let mean: f64 = (0..36).map(|i| out.embedding[(i, d)]).sum::<f64>() / 36.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validates_config() {
+        let (pts, _) = blobs();
+        let mut cfg = quick_config();
+        cfg.perplexity = 100.0; // > n
+        assert!(tsne(&pts, &cfg).is_err());
+        let mut cfg = quick_config();
+        cfg.output_dims = 0;
+        assert!(tsne(&pts, &cfg).is_err());
+        let tiny = Matrix::zeros(3, 2);
+        assert!(tsne(&tiny, &quick_config()).is_err());
+    }
+
+    #[test]
+    fn distance_buffer_length_checked() {
+        let cfg = quick_config();
+        assert!(tsne_from_distances(&[1.0; 5], 36, &cfg).is_err());
+    }
+}

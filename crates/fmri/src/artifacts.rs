@@ -1,0 +1,363 @@
+//! Acquisition artifacts.
+//!
+//! Each injector perturbs a `voxel × time` matrix in place with one of the
+//! artifact classes the minimal preprocessing pipeline (paper Figure 4) must
+//! remove. The preprocessing-ablation experiment (DESIGN.md E10) toggles
+//! pipeline stages against volumes corrupted by these functions, so the
+//! injectors and the cleaners are deliberately written as inverse pairs.
+
+use crate::error::FmriError;
+use crate::field::smooth_field;
+use crate::volume::Volume4D;
+use crate::Result;
+use neurodeanon_linalg::Rng64;
+
+/// Adds scanner-heating drift: a linear + quadratic trend whose
+/// coefficients vary *smoothly* across the head (two random spatial fields
+/// scaled by `amplitude`) plus small per-voxel jitter. Spatial smoothness
+/// means the trend survives region averaging — the reason the temporal
+/// detrending stage exists.
+pub fn add_drift(vol: &mut Volume4D, amplitude: f64, rng: &mut Rng64) -> Result<()> {
+    if !(amplitude >= 0.0 && amplitude.is_finite()) {
+        return Err(FmriError::InvalidParameter {
+            name: "amplitude",
+            reason: "drift amplitude must be non-negative and finite",
+        });
+    }
+    let t = vol.time_points();
+    let lin_field = smooth_field(vol.dims(), rng);
+    let quad_field = smooth_field(vol.dims(), rng);
+    for v in 0..vol.n_voxels() {
+        let a = amplitude * (lin_field[v] + 0.2 * rng.gaussian());
+        let b = amplitude * (quad_field[v] + 0.2 * rng.gaussian());
+        let ts = vol.voxel_ts_mut(v);
+        for (i, x) in ts.iter_mut().enumerate() {
+            let tau = i as f64 / (t.max(2) - 1) as f64;
+            *x += a * tau + b * tau * tau;
+        }
+    }
+    Ok(())
+}
+
+/// Adds a global physiological signal: one smooth random series shared by
+/// all voxels, entering each voxel with a smoothly varying positive gain
+/// (vascular density differs across the head). Global signal regression
+/// removes it: every voxel carries the same temporal profile, so the
+/// per-series regression coefficient absorbs the local gain.
+pub fn add_global_signal(vol: &mut Volume4D, amplitude: f64, rng: &mut Rng64) -> Result<()> {
+    if !(amplitude >= 0.0 && amplitude.is_finite()) {
+        return Err(FmriError::InvalidParameter {
+            name: "amplitude",
+            reason: "global-signal amplitude must be non-negative and finite",
+        });
+    }
+    let t = vol.time_points();
+    // Smooth series: random walk with damping, then zero-meaned.
+    let mut g = vec![0.0; t];
+    let mut x = 0.0;
+    for gi in &mut g {
+        x = 0.95 * x + rng.gaussian() * 0.3;
+        *gi = x;
+    }
+    let mean = g.iter().sum::<f64>() / t as f64;
+    for gi in &mut g {
+        *gi = (*gi - mean) * amplitude;
+    }
+    let gain_field = smooth_field(vol.dims(), rng);
+    for v in 0..vol.n_voxels() {
+        // Positive gain in [0.25, 1.75], smooth across space.
+        let gain = 1.0 + 0.75 * gain_field[v];
+        let ts = vol.voxel_ts_mut(v);
+        for (xi, gi) in ts.iter_mut().zip(&g) {
+            *xi += gain * gi;
+        }
+    }
+    Ok(())
+}
+
+/// Injects spike artifacts: at `n_spikes` random time points, a random
+/// subset of voxels gets a large additive excursion (motion "jerks" and
+/// gradient glitches). Returns the affected time indices so QC tests can
+/// assert scrubbing removes them.
+pub fn add_spikes(
+    vol: &mut Volume4D,
+    n_spikes: usize,
+    magnitude: f64,
+    rng: &mut Rng64,
+) -> Result<Vec<usize>> {
+    if !(magnitude >= 0.0 && magnitude.is_finite()) {
+        return Err(FmriError::InvalidParameter {
+            name: "magnitude",
+            reason: "spike magnitude must be non-negative and finite",
+        });
+    }
+    let t = vol.time_points();
+    let frames = rng.sample_indices(t, n_spikes);
+    for &frame in &frames {
+        // A spike displaces the whole image coherently (motion jerk): a
+        // smooth spatial pattern of one sign, plus per-voxel noise.
+        let field = smooth_field(vol.dims(), rng);
+        for v in 0..vol.n_voxels() {
+            vol.voxel_ts_mut(v)[frame] +=
+                magnitude * (field[v] + 0.3 * rng.gaussian());
+        }
+    }
+    let mut sorted = frames.clone();
+    sorted.sort_unstable();
+    Ok(sorted)
+}
+
+/// Applies a static multiplicative coil-gain bias field: voxel `v` is scaled
+/// by `1 + strength · g(v)` where `g` is a smooth spatial gradient across the
+/// volume (field inhomogeneity, paper §3.2.1 "non-homogeneous magnetic
+/// fields"). Z-scoring each voxel time series removes a static gain exactly.
+pub fn add_gain_bias(vol: &mut Volume4D, strength: f64) -> Result<()> {
+    if !(0.0..1.0).contains(&strength) {
+        return Err(FmriError::InvalidParameter {
+            name: "strength",
+            reason: "gain bias strength must lie in [0, 1)",
+        });
+    }
+    let (nx, ny, nz) = vol.dims();
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                // Smooth low-order spatial polynomial in [-1, 1].
+                let gx = 2.0 * x as f64 / (nx.max(2) - 1) as f64 - 1.0;
+                let gy = 2.0 * y as f64 / (ny.max(2) - 1) as f64 - 1.0;
+                let gz = 2.0 * z as f64 / (nz.max(2) - 1) as f64 - 1.0;
+                let g = 0.5 * gx + 0.3 * gy * gy - 0.2 * gz;
+                let gain = 1.0 + strength * g;
+                let v = vol.voxel_index(x, y, z);
+                for s in vol.voxel_ts_mut(v) {
+                    *s *= gain;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Adds a respiratory oscillation: a shared sinusoid at `freq_hz` (typical
+/// breathing ≈ 0.3 Hz, outside the 0.008–0.1 Hz connectivity band) whose
+/// amplitude varies per voxel (vascular density) and whose phase/amplitude
+/// are random per scan. Because the per-voxel gains differ, the artifact
+/// inflates *specific* region-pair correlations differently in every scan —
+/// precisely the structured out-of-band noise the band-pass stage removes.
+pub fn add_respiration(
+    vol: &mut Volume4D,
+    amplitude: f64,
+    freq_hz: f64,
+    tr: f64,
+    rng: &mut Rng64,
+) -> Result<()> {
+    if !(amplitude >= 0.0) || !amplitude.is_finite() || !(freq_hz > 0.0) || !(tr > 0.0) {
+        return Err(FmriError::InvalidParameter {
+            name: "respiration",
+            reason: "need amplitude >= 0, freq_hz > 0, tr > 0",
+        });
+    }
+    let t = vol.time_points();
+    let phase = rng.uniform_range(0.0, std::f64::consts::TAU);
+    // Slight per-scan frequency jitter (breathing rate varies).
+    let f = freq_hz * rng.uniform_range(0.9, 1.1);
+    let wave: Vec<f64> = (0..t)
+        .map(|i| (std::f64::consts::TAU * f * i as f64 * tr + phase).sin())
+        .collect();
+    // Vascular gain: smooth positive field, different every scan, so the
+    // artifact distorts *specific* region pairs differently per scan.
+    let gain_field = smooth_field(vol.dims(), rng);
+    for v in 0..vol.n_voxels() {
+        let gain = amplitude * (0.6 + 0.4 * gain_field[v]);
+        let ts = vol.voxel_ts_mut(v);
+        for (x, w) in ts.iter_mut().zip(&wave) {
+            *x += gain * w;
+        }
+    }
+    Ok(())
+}
+
+/// Adds i.i.d. thermal noise with standard deviation `sigma` to every sample.
+pub fn add_thermal_noise(vol: &mut Volume4D, sigma: f64, rng: &mut Rng64) -> Result<()> {
+    if !(sigma >= 0.0 && sigma.is_finite()) {
+        return Err(FmriError::InvalidParameter {
+            name: "sigma",
+            reason: "noise sigma must be non-negative and finite",
+        });
+    }
+    for v in 0..vol.n_voxels() {
+        for s in vol.voxel_ts_mut(v) {
+            *s += sigma * rng.gaussian();
+        }
+    }
+    Ok(())
+}
+
+/// Simulates head motion: from each of `n_events` random onsets to the end
+/// of the scan, every voxel's value is replaced by a blend with its +x
+/// neighbour (`(1−w)·self + w·neighbour`), emulating a small rigid shift
+/// that motion correction must undo. Returns the onset frames.
+pub fn add_head_motion(
+    vol: &mut Volume4D,
+    n_events: usize,
+    blend: f64,
+    rng: &mut Rng64,
+) -> Result<Vec<usize>> {
+    if !(0.0..=1.0).contains(&blend) {
+        return Err(FmriError::InvalidParameter {
+            name: "blend",
+            reason: "motion blend weight must lie in [0, 1]",
+        });
+    }
+    let t = vol.time_points();
+    let (nx, ny, nz) = vol.dims();
+    let mut onsets = rng.sample_indices(t, n_events);
+    onsets.sort_unstable();
+    for &onset in &onsets {
+        // Apply the shift to all frames from `onset` on. Iterate x from 0 so
+        // each voxel blends with the *original* value of x+1 — process a
+        // frame snapshot per z-row to avoid cascading.
+        for frame in onset..t {
+            for z in 0..nz {
+                for y in 0..ny {
+                    // Save original row values along x before blending.
+                    let orig: Vec<f64> = (0..nx)
+                        .map(|x| vol.sample(vol.voxel_index(x, y, z), frame))
+                        .collect();
+                    for x in 0..nx {
+                        let neighbour = orig[(x + 1).min(nx - 1)];
+                        let v = vol.voxel_index(x, y, z);
+                        let cur = vol.voxel_ts_mut(v);
+                        cur[frame] = (1.0 - blend) * orig[x] + blend * neighbour;
+                    }
+                }
+            }
+        }
+    }
+    Ok(onsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(t: usize) -> Volume4D {
+        Volume4D::zeros(6, 6, 6, t).unwrap()
+    }
+
+    #[test]
+    fn drift_is_zero_at_first_frame_and_grows() {
+        let mut v = vol(50);
+        add_drift(&mut v, 2.0, &mut Rng64::new(1)).unwrap();
+        // First frame untouched (τ = 0).
+        for vox in 0..v.n_voxels() {
+            assert_eq!(v.sample(vox, 0), 0.0);
+        }
+        // Energy at the last frame strictly positive for most voxels.
+        let nonzero = (0..v.n_voxels())
+            .filter(|&vox| v.sample(vox, 49).abs() > 1e-12)
+            .count();
+        assert!(nonzero > v.n_voxels() / 2);
+    }
+
+    #[test]
+    fn drift_rejects_negative_amplitude() {
+        assert!(add_drift(&mut vol(5), -1.0, &mut Rng64::new(1)).is_err());
+        assert!(add_drift(&mut vol(5), f64::NAN, &mut Rng64::new(1)).is_err());
+    }
+
+    #[test]
+    fn global_signal_shares_temporal_profile_with_varying_gain() {
+        let mut v = vol(30);
+        add_global_signal(&mut v, 1.5, &mut Rng64::new(2)).unwrap();
+        // All voxels carry the same profile up to a positive scale factor:
+        // pairwise correlation of any two voxel series is 1.
+        let a = v.voxel_ts(0).to_vec();
+        for vox in [1, 7, 100, 200] {
+            let b = v.voxel_ts(vox);
+            let r = neurodeanon_linalg::stats::pearson(&a, b).unwrap();
+            assert!(r > 0.999, "voxel {vox}: corr {r}");
+        }
+        // Gains differ across space.
+        let scale0 = a.iter().map(|x| x * x).sum::<f64>();
+        let scale_far = v.voxel_ts(200).iter().map(|x| x * x).sum::<f64>();
+        assert!((scale0 - scale_far).abs() > 1e-9);
+        // Zero mean by construction.
+        let mean: f64 = a.iter().sum::<f64>() / 30.0;
+        assert!(mean.abs() < 1e-10);
+    }
+
+    #[test]
+    fn spikes_land_on_reported_frames() {
+        let mut v = vol(40);
+        let frames = add_spikes(&mut v, 3, 10.0, &mut Rng64::new(3)).unwrap();
+        assert_eq!(frames.len(), 3);
+        // Spiked frames carry energy; untouched frames carry none.
+        let energy = |t: usize| -> f64 { (0..v.n_voxels()).map(|vx| v.sample(vx, t).abs()).sum() };
+        let clean: f64 = (0..40)
+            .filter(|t| !frames.contains(t))
+            .map(energy)
+            .sum::<f64>();
+        assert_eq!(clean, 0.0);
+        for &f in &frames {
+            assert!(energy(f) > 1.0);
+        }
+    }
+
+    #[test]
+    fn gain_bias_scales_multiplicatively() {
+        let mut v = vol(4);
+        for vox in 0..v.n_voxels() {
+            v.voxel_ts_mut(vox).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        }
+        add_gain_bias(&mut v, 0.3).unwrap();
+        // Each voxel's series stays proportional to [1,2,3,4].
+        for vox in 0..v.n_voxels() {
+            let ts = v.voxel_ts(vox);
+            let g = ts[0];
+            assert!(g > 0.0);
+            for (i, &s) in ts.iter().enumerate() {
+                assert!((s - g * (i as f64 + 1.0)).abs() < 1e-10);
+            }
+        }
+        assert!(add_gain_bias(&mut vol(2), 1.5).is_err());
+    }
+
+    #[test]
+    fn thermal_noise_has_expected_sigma() {
+        let mut v = vol(100);
+        add_thermal_noise(&mut v, 2.0, &mut Rng64::new(4)).unwrap();
+        let all: Vec<f64> = (0..v.n_voxels())
+            .flat_map(|vx| v.voxel_ts(vx).to_vec())
+            .collect();
+        let mean: f64 = all.iter().sum::<f64>() / all.len() as f64;
+        let var: f64 = all.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / all.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn head_motion_blends_neighbours() {
+        let mut v = Volume4D::zeros(4, 1, 1, 2).unwrap();
+        // Gradient along x at both frames: 0, 1, 2, 3.
+        for x in 0..4 {
+            let idx = v.voxel_index(x, 0, 0);
+            v.voxel_ts_mut(idx).copy_from_slice(&[x as f64, x as f64]);
+        }
+        // Force a single onset at frame 0 by asking for 1 event on t=2 until
+        // we get onset 0; instead test deterministically with blend=1:
+        // value becomes the +x neighbour.
+        let mut rng = Rng64::new(5);
+        let onsets = add_head_motion(&mut v, 1, 1.0, &mut rng).unwrap();
+        let onset = onsets[0];
+        for x in 0..4 {
+            let idx = v.voxel_index(x, 0, 0);
+            let expect = ((x + 1).min(3)) as f64;
+            assert_eq!(v.sample(idx, onset), expect);
+        }
+    }
+
+    #[test]
+    fn head_motion_validates_blend() {
+        assert!(add_head_motion(&mut vol(4), 1, 1.5, &mut Rng64::new(1)).is_err());
+    }
+}

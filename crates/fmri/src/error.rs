@@ -1,0 +1,83 @@
+//! Error type for the synthetic fMRI layer.
+
+use std::fmt;
+
+/// Errors from volume handling and synthetic acquisition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FmriError {
+    /// Data length does not match the declared volume shape.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Provided number of elements.
+        got: usize,
+    },
+    /// A volume must have at least one voxel and one time point.
+    EmptyVolume,
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+    /// Error propagated from the atlas layer.
+    Atlas(neurodeanon_atlas::AtlasError),
+}
+
+impl fmt::Display for FmriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmriError::ShapeMismatch { expected, got } => {
+                write!(f, "volume shape mismatch: expected {expected} elements, got {got}")
+            }
+            FmriError::EmptyVolume => write!(f, "volume has zero voxels or time points"),
+            FmriError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            FmriError::Linalg(e) => write!(f, "linalg error: {e}"),
+            FmriError::Atlas(e) => write!(f, "atlas error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FmriError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FmriError::Linalg(e) => Some(e),
+            FmriError::Atlas(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for FmriError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        FmriError::Linalg(e)
+    }
+}
+
+impl From<neurodeanon_atlas::AtlasError> for FmriError {
+    fn from(e: neurodeanon_atlas::AtlasError) -> Self {
+        FmriError::Atlas(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = FmriError::ShapeMismatch {
+            expected: 10,
+            got: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let wrapped = FmriError::Linalg(neurodeanon_linalg::LinalgError::EmptyMatrix { op: "x" });
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&FmriError::EmptyVolume).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Smooth random spatial fields.
+//!
+//! Scanner artifacts are spatially structured: coil sensitivity, heating
+//! drift, and vascular density all vary smoothly across the head rather
+//! than independently per voxel. [`smooth_field`] draws a random low-order
+//! spatial pattern in `[-1, 1]` used by the artifact injectors, so that
+//! artifacts *survive region averaging* — which is what makes the
+//! preprocessing pipeline genuinely necessary (DESIGN.md E10).
+
+use neurodeanon_linalg::Rng64;
+
+/// Draws a smooth random spatial field over the grid, one value per voxel
+/// in flat (x-fastest) order, range approximately `[-1, 1]`.
+///
+/// The field is a sum of three low-frequency plane waves with random
+/// orientation and phase — smooth at the scale of parcels, different on
+/// every draw.
+pub fn smooth_field(dims: (usize, usize, usize), rng: &mut Rng64) -> Vec<f64> {
+    let (nx, ny, nz) = dims;
+    // Three random spatial frequencies, at most ~1.5 cycles across the box.
+    let mut waves = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let kx = rng.uniform_range(-1.5, 1.5) * std::f64::consts::TAU / nx.max(1) as f64;
+        let ky = rng.uniform_range(-1.5, 1.5) * std::f64::consts::TAU / ny.max(1) as f64;
+        let kz = rng.uniform_range(-1.5, 1.5) * std::f64::consts::TAU / nz.max(1) as f64;
+        let phase = rng.uniform_range(0.0, std::f64::consts::TAU);
+        let amp = rng.uniform_range(0.5, 1.0);
+        waves.push((kx, ky, kz, phase, amp));
+    }
+    let mut out = Vec::with_capacity(nx * ny * nz);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let mut v = 0.0;
+                for &(kx, ky, kz, phase, amp) in &waves {
+                    v += amp * (kx * x as f64 + ky * y as f64 + kz * z as f64 + phase).sin();
+                }
+                out.push(v / 3.0_f64.sqrt());
+            }
+        }
+    }
+    // Normalize to roughly unit peak.
+    let max = out.iter().fold(0.0_f64, |m, v| m.max(v.abs())).max(1e-12);
+    for v in &mut out {
+        *v /= max;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_in_range_and_smooth() {
+        let mut rng = Rng64::new(3);
+        let f = smooth_field((12, 12, 12), &mut rng);
+        assert_eq!(f.len(), 12 * 12 * 12);
+        assert!(f.iter().all(|v| (-1.0..=1.0).contains(v)));
+        // Smoothness: neighbouring voxels along x change gradually (well
+        // under the field's ±1 range; wavelength ≥ 2/3 of the box).
+        for z in 0..12 {
+            for y in 0..12 {
+                for x in 0..11 {
+                    let a = f[x + 12 * (y + 12 * z)];
+                    let b = f[x + 1 + 12 * (y + 12 * z)];
+                    assert!((a - b).abs() < 0.9, "rough at ({x},{y},{z})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn field_varies_across_space() {
+        let mut rng = Rng64::new(4);
+        let f = smooth_field((16, 16, 16), &mut rng);
+        let min = f.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = f.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.8, "field nearly constant: range {}", max - min);
+    }
+
+    #[test]
+    fn different_draws_differ() {
+        let mut rng = Rng64::new(5);
+        let a = smooth_field((8, 8, 8), &mut rng);
+        let b = smooth_field((8, 8, 8), &mut rng);
+        assert_ne!(a, b);
+    }
+}

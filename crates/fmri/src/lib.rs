@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-fmri
+//!
+//! Synthetic functional-MRI substrate: everything the paper obtained from a
+//! real 3T scanner, rebuilt as a generative model (see DESIGN.md §1 for the
+//! substitution argument).
+//!
+//! * [`signal`] — BOLD signal building blocks: a double-gamma hemodynamic
+//!   response function, block task designs, convolution, and band-limited
+//!   resting-state fluctuations.
+//! * [`volume`] — [`Volume4D`], the `voxel × time` container produced by
+//!   acquisition (3 spatial dimensions + time, §3.1 of the paper).
+//! * [`artifacts`] — the spatial/temporal artifacts the preprocessing
+//!   pipeline of Figure 4 exists to remove: scanner drift, head motion,
+//!   global physiological signal, spike artifacts, coil gain bias, and
+//!   thermal noise.
+//! * [`scanner`] — [`scanner::Scanner`]: renders latent region time series
+//!   into an artifact-laden 4-D volume, the "image acquisition" step.
+//! * [`noise`] — the paper's §3.3.5 multi-site simulation: Gaussian noise
+//!   with mean equal to the signal mean and variance a fraction of the
+//!   signal variance.
+
+pub mod artifacts;
+pub mod error;
+pub mod field;
+pub mod noise;
+pub mod scanner;
+pub mod signal;
+pub mod volume;
+
+pub use error::FmriError;
+pub use volume::Volume4D;
+
+/// Result alias for fMRI operations.
+pub type Result<T> = std::result::Result<T, FmriError>;

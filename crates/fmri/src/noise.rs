@@ -1,0 +1,123 @@
+//! Multi-site acquisition simulation, exactly as in §3.3.5 of the paper:
+//!
+//! > "for each time-series signal in the second session … we add Gaussian
+//! > noise whose mean is equal to the mean of the original signal and whose
+//! > variance is a fraction of the variance of the original signal."
+
+use crate::error::FmriError;
+use crate::Result;
+use neurodeanon_linalg::{Matrix, Rng64};
+
+/// Applies the paper's multi-site noise model to every row (time series) of
+/// a `series × time` matrix, in place.
+///
+/// For row `r` with mean `μ_r` and variance `σ_r²`, each sample gains an
+/// independent draw from `N(μ_r, fraction · σ_r²)`. `fraction` is the
+/// "Noise Variance (in %)" of Table 2 divided by 100 (e.g. `0.10`, `0.20`,
+/// `0.30`).
+pub fn multi_site_noise(ts: &mut Matrix, fraction: f64, rng: &mut Rng64) -> Result<()> {
+    if !(fraction >= 0.0 && fraction.is_finite()) {
+        return Err(FmriError::InvalidParameter {
+            name: "fraction",
+            reason: "noise variance fraction must be non-negative and finite",
+        });
+    }
+    let t = ts.cols();
+    if t == 0 {
+        return Err(FmriError::EmptyVolume);
+    }
+    for r in 0..ts.rows() {
+        let row = ts.row_mut(r);
+        let mean = row.iter().sum::<f64>() / t as f64;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t as f64;
+        let sd = (fraction * var).sqrt();
+        for x in row.iter_mut() {
+            *x += rng.normal(mean, sd);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_matrix() -> Matrix {
+        Matrix::from_fn(5, 400, |r, c| {
+            (c as f64 * 0.1 + r as f64).sin() * (r as f64 + 1.0) + r as f64 * 10.0
+        })
+    }
+
+    #[test]
+    fn zero_fraction_adds_signal_mean_only() {
+        let mut m = series_matrix();
+        let orig = m.clone();
+        multi_site_noise(&mut m, 0.0, &mut Rng64::new(1)).unwrap();
+        // With zero variance the "noise" is a constant shift by the row mean.
+        for r in 0..m.rows() {
+            let mean = orig.row(r).iter().sum::<f64>() / orig.cols() as f64;
+            for (a, b) in m.row(r).iter().zip(orig.row(r)) {
+                assert!((a - (b + mean)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_variance_scales_with_fraction() {
+        let mut m = series_matrix();
+        let orig = m.clone();
+        multi_site_noise(&mut m, 0.25, &mut Rng64::new(7)).unwrap();
+        for r in 0..m.rows() {
+            let t = m.cols() as f64;
+            let omean = orig.row(r).iter().sum::<f64>() / t;
+            let ovar = orig
+                .row(r)
+                .iter()
+                .map(|x| (x - omean) * (x - omean))
+                .sum::<f64>()
+                / t;
+            // Residual = added noise; its variance should be ≈ 0.25 × ovar.
+            let resid: Vec<f64> = m
+                .row(r)
+                .iter()
+                .zip(orig.row(r))
+                .map(|(a, b)| a - b)
+                .collect();
+            let rmean = resid.iter().sum::<f64>() / t;
+            let rvar = resid.iter().map(|x| (x - rmean) * (x - rmean)).sum::<f64>() / t;
+            let ratio = rvar / ovar;
+            assert!((ratio - 0.25).abs() < 0.12, "row {r}: ratio {ratio}");
+            // Noise mean ≈ signal mean, per the paper's model.
+            assert!((rmean - omean).abs() < 0.25 * ovar.sqrt().max(1.0), "row {r}");
+        }
+    }
+
+    #[test]
+    fn correlation_degrades_monotonically_with_noise() {
+        // The mechanism behind Table 2: more site noise, weaker correlation
+        // between the clean and noisy versions of the same series.
+        use neurodeanon_linalg::stats::pearson;
+        let clean = series_matrix();
+        let mut rs = Vec::new();
+        for &frac in &[0.1, 0.5, 2.0] {
+            let mut noisy = clean.clone();
+            multi_site_noise(&mut noisy, frac, &mut Rng64::new(11)).unwrap();
+            rs.push(pearson(clean.row(0), noisy.row(0)).unwrap());
+        }
+        assert!(rs[0] > rs[1] && rs[1] > rs[2], "{rs:?}");
+        assert!(rs[0] > 0.9);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let mut m = series_matrix();
+        assert!(multi_site_noise(&mut m, -0.1, &mut Rng64::new(1)).is_err());
+        assert!(multi_site_noise(&mut m, f64::INFINITY, &mut Rng64::new(1)).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_series() {
+        let mut m = Matrix::zeros(3, 0);
+        assert!(multi_site_noise(&mut m, 0.1, &mut Rng64::new(1)).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! BOLD signal building blocks.
+//!
+//! The blood-oxygen-level-dependent response to neural activity is modelled
+//! with the standard double-gamma hemodynamic response function (HRF); task
+//! sessions are block designs convolved with the HRF; resting-state
+//! fluctuations are band-limited noise in the 0.008–0.1 Hz band the paper's
+//! temporal filtering targets.
+
+use crate::error::FmriError;
+use crate::Result;
+use neurodeanon_linalg::Rng64;
+
+/// Canonical double-gamma HRF sampled at `t` seconds after stimulus onset.
+///
+/// Peak around 5 s, undershoot around 15 s, essentially zero past 30 s —
+/// the SPM canonical shape (peak gamma k=6, undershoot k=16, ratio 1/6).
+pub fn hrf(t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    // Gamma pdf with shape k, scale 1: t^(k-1) e^-t / (k-1)!
+    fn gamma_pdf(t: f64, k: f64) -> f64 {
+        // ln Γ(k) via Stirling series is overkill for the two fixed k used
+        // here; use libm's ln_gamma equivalent through the recurrence-free
+        // formula with k integer.
+        let mut log_fact = 0.0;
+        let mut i = 1.0;
+        while i < k {
+            log_fact += i.ln();
+            i += 1.0;
+        }
+        ((k - 1.0) * t.ln() - t - log_fact).exp()
+    }
+    gamma_pdf(t, 6.0) - gamma_pdf(t, 16.0) / 6.0
+}
+
+/// Samples the HRF kernel at repetition time `tr` seconds for `len` points.
+pub fn hrf_kernel(tr: f64, len: usize) -> Result<Vec<f64>> {
+    if tr <= 0.0 || !tr.is_finite() {
+        return Err(FmriError::InvalidParameter {
+            name: "tr",
+            reason: "repetition time must be positive and finite",
+        });
+    }
+    Ok((0..len).map(|i| hrf(i as f64 * tr)).collect())
+}
+
+/// A boxcar block design: alternating off/on blocks, starting with `off`.
+///
+/// `block_len` is in samples; the output has `n` samples of 0.0/1.0.
+pub fn block_design(n: usize, block_len: usize) -> Result<Vec<f64>> {
+    if block_len == 0 {
+        return Err(FmriError::InvalidParameter {
+            name: "block_len",
+            reason: "block length must be at least 1 sample",
+        });
+    }
+    Ok((0..n)
+        .map(|i| if (i / block_len) % 2 == 1 { 1.0 } else { 0.0 })
+        .collect())
+}
+
+/// Linear convolution truncated to the length of `signal` (same-size "causal"
+/// convolution, as used for stimulus → BOLD prediction).
+pub fn convolve(signal: &[f64], kernel: &[f64]) -> Vec<f64> {
+    let n = signal.len();
+    let mut out = vec![0.0; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        let kmax = kernel.len().min(i + 1);
+        for k in 0..kmax {
+            acc += kernel[k] * signal[i - k];
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Band-limited resting-state fluctuation: a sum of sinusoids with random
+/// phase and frequencies drawn uniformly from `[f_lo, f_hi]` Hz, normalized
+/// to unit variance. This mimics the low-frequency haemodynamic fluctuations
+/// (0.008–0.1 Hz) that carry resting-state connectivity.
+pub fn resting_fluctuation(
+    n: usize,
+    tr: f64,
+    f_lo: f64,
+    f_hi: f64,
+    n_components: usize,
+    rng: &mut Rng64,
+) -> Result<Vec<f64>> {
+    if tr <= 0.0 || f_lo < 0.0 || f_hi <= f_lo {
+        return Err(FmriError::InvalidParameter {
+            name: "band",
+            reason: "need tr > 0 and 0 <= f_lo < f_hi",
+        });
+    }
+    if n_components == 0 {
+        return Err(FmriError::InvalidParameter {
+            name: "n_components",
+            reason: "need at least one component",
+        });
+    }
+    let mut out = vec![0.0; n];
+    for _ in 0..n_components {
+        let f = rng.uniform_range(f_lo, f_hi);
+        let phase = rng.uniform_range(0.0, std::f64::consts::TAU);
+        let amp = rng.uniform_range(0.5, 1.0);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += amp * (std::f64::consts::TAU * f * (i as f64) * tr + phase).sin();
+        }
+    }
+    // Normalize to unit variance so callers control amplitude explicitly.
+    let mean = out.iter().sum::<f64>() / n.max(1) as f64;
+    let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n.max(1) as f64;
+    if var > 0.0 {
+        let inv = 1.0 / var.sqrt();
+        for v in &mut out {
+            *v = (*v - mean) * inv;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hrf_is_causal() {
+        assert_eq!(hrf(0.0), 0.0);
+        assert_eq!(hrf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn hrf_peaks_near_five_seconds() {
+        let peak_t = (0..300)
+            .map(|i| i as f64 * 0.1)
+            .max_by(|a, b| hrf(*a).partial_cmp(&hrf(*b)).unwrap())
+            .unwrap();
+        assert!((4.0..6.5).contains(&peak_t), "peak at {peak_t}");
+    }
+
+    #[test]
+    fn hrf_has_undershoot() {
+        // Negative dip somewhere in 10–20 s.
+        let min = (100..200)
+            .map(|i| hrf(i as f64 * 0.1))
+            .fold(f64::INFINITY, f64::min);
+        assert!(min < 0.0);
+    }
+
+    #[test]
+    fn hrf_decays_to_zero() {
+        assert!(hrf(40.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn hrf_kernel_validates_tr() {
+        assert!(hrf_kernel(0.0, 10).is_err());
+        assert!(hrf_kernel(-1.0, 10).is_err());
+        let k = hrf_kernel(0.72, 32).unwrap();
+        assert_eq!(k.len(), 32);
+        assert_eq!(k[0], 0.0);
+    }
+
+    #[test]
+    fn block_design_alternates() {
+        let d = block_design(12, 3).unwrap();
+        assert_eq!(d, vec![0., 0., 0., 1., 1., 1., 0., 0., 0., 1., 1., 1.]);
+        assert!(block_design(5, 0).is_err());
+    }
+
+    #[test]
+    fn convolve_with_delta_is_identity() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let out = convolve(&s, &[1.0]);
+        assert_eq!(out, s.to_vec());
+    }
+
+    #[test]
+    fn convolve_with_shifted_delta_shifts() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let out = convolve(&s, &[0.0, 1.0]);
+        assert_eq!(out, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn convolve_is_linear() {
+        let a = [1.0, -2.0, 0.5, 3.0, -1.0];
+        let b = [0.3, 0.7, -0.2, 1.1, 0.0];
+        let k = [0.5, 0.25, 0.125];
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let left = convolve(&sum, &k);
+        let ca = convolve(&a, &k);
+        let cb = convolve(&b, &k);
+        for i in 0..5 {
+            assert!((left[i] - (ca[i] + cb[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resting_fluctuation_unit_variance() {
+        let mut rng = Rng64::new(9);
+        let s = resting_fluctuation(500, 0.72, 0.008, 0.1, 12, &mut rng).unwrap();
+        let mean = s.iter().sum::<f64>() / 500.0;
+        let var = s.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 500.0;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resting_fluctuation_validates() {
+        let mut rng = Rng64::new(1);
+        assert!(resting_fluctuation(10, 0.0, 0.01, 0.1, 3, &mut rng).is_err());
+        assert!(resting_fluctuation(10, 1.0, 0.1, 0.01, 3, &mut rng).is_err());
+        assert!(resting_fluctuation(10, 1.0, 0.01, 0.1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resting_fluctuation_deterministic() {
+        let a = resting_fluctuation(64, 0.72, 0.01, 0.1, 5, &mut Rng64::new(4)).unwrap();
+        let b = resting_fluctuation(64, 0.72, 0.01, 0.1, 5, &mut Rng64::new(4)).unwrap();
+        assert_eq!(a, b);
+    }
+}

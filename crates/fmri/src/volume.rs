@@ -1,0 +1,169 @@
+//! The 4-D functional image container.
+
+use crate::error::FmriError;
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// A 4-D functional MRI: three spatial dimensions plus time (§3.1 of the
+/// paper: "a functional MRI is a 4D image … each 3D unit is a voxel").
+///
+/// Storage is a `voxel × time` matrix with voxels in x-fastest flat order —
+/// the same order `neurodeanon_atlas::VoxelGrid` uses — so the volume plugs
+/// straight into region averaging and the preprocessing stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume4D {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// `voxel × time` samples.
+    data: Matrix,
+}
+
+impl Volume4D {
+    /// Creates a zero-filled volume.
+    pub fn zeros(nx: usize, ny: usize, nz: usize, t: usize) -> Result<Self> {
+        if nx == 0 || ny == 0 || nz == 0 || t == 0 {
+            return Err(FmriError::EmptyVolume);
+        }
+        Ok(Volume4D {
+            nx,
+            ny,
+            nz,
+            data: Matrix::zeros(nx * ny * nz, t),
+        })
+    }
+
+    /// Wraps an existing `voxel × time` matrix; the row count must equal
+    /// `nx · ny · nz`.
+    pub fn from_matrix(nx: usize, ny: usize, nz: usize, data: Matrix) -> Result<Self> {
+        if nx == 0 || ny == 0 || nz == 0 || data.cols() == 0 {
+            return Err(FmriError::EmptyVolume);
+        }
+        if data.rows() != nx * ny * nz {
+            return Err(FmriError::ShapeMismatch {
+                expected: nx * ny * nz,
+                got: data.rows(),
+            });
+        }
+        Ok(Volume4D { nx, ny, nz, data })
+    }
+
+    /// Spatial dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// Number of time points.
+    pub fn time_points(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// Number of voxels.
+    pub fn n_voxels(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Flat voxel index for `(x, y, z)`, x fastest.
+    #[inline]
+    pub fn voxel_index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        x + self.nx * (y + self.ny * z)
+    }
+
+    /// Time series of one voxel.
+    pub fn voxel_ts(&self, voxel: usize) -> &[f64] {
+        self.data.row(voxel)
+    }
+
+    /// Mutable time series of one voxel.
+    pub fn voxel_ts_mut(&mut self, voxel: usize) -> &mut [f64] {
+        self.data.row_mut(voxel)
+    }
+
+    /// Sample at `(voxel, t)`.
+    pub fn sample(&self, voxel: usize, t: usize) -> f64 {
+        self.data[(voxel, t)]
+    }
+
+    /// Borrow the underlying `voxel × time` matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying matrix.
+    pub fn as_matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
+    /// Consume into the underlying matrix.
+    pub fn into_matrix(self) -> Matrix {
+        self.data
+    }
+
+    /// The 3-D snapshot at time `t` as a flat voxel vector.
+    pub fn frame(&self, t: usize) -> Result<Vec<f64>> {
+        if t >= self.time_points() {
+            return Err(FmriError::InvalidParameter {
+                name: "t",
+                reason: "frame index beyond last time point",
+            });
+        }
+        Ok((0..self.n_voxels()).map(|v| self.data[(v, t)]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let v = Volume4D::zeros(4, 5, 6, 7).unwrap();
+        assert_eq!(v.dims(), (4, 5, 6));
+        assert_eq!(v.time_points(), 7);
+        assert_eq!(v.n_voxels(), 120);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(Volume4D::zeros(0, 5, 5, 5).is_err());
+        assert!(Volume4D::zeros(5, 5, 5, 0).is_err());
+    }
+
+    #[test]
+    fn from_matrix_validates_rows() {
+        let m = Matrix::zeros(11, 3);
+        assert!(matches!(
+            Volume4D::from_matrix(2, 2, 3, m),
+            Err(FmriError::ShapeMismatch { .. })
+        ));
+        let ok = Matrix::zeros(12, 3);
+        assert!(Volume4D::from_matrix(2, 2, 3, ok).is_ok());
+    }
+
+    #[test]
+    fn voxel_index_flat_order() {
+        let v = Volume4D::zeros(3, 4, 5, 2).unwrap();
+        assert_eq!(v.voxel_index(0, 0, 0), 0);
+        assert_eq!(v.voxel_index(1, 0, 0), 1);
+        assert_eq!(v.voxel_index(0, 1, 0), 3);
+        assert_eq!(v.voxel_index(0, 0, 1), 12);
+    }
+
+    #[test]
+    fn voxel_ts_roundtrip() {
+        let mut v = Volume4D::zeros(2, 2, 2, 4).unwrap();
+        v.voxel_ts_mut(3).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.voxel_ts(3), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v.sample(3, 2), 3.0);
+    }
+
+    #[test]
+    fn frame_extracts_snapshot() {
+        let mut v = Volume4D::zeros(2, 1, 1, 3).unwrap();
+        v.voxel_ts_mut(0).copy_from_slice(&[1.0, 2.0, 3.0]);
+        v.voxel_ts_mut(1).copy_from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(v.frame(1).unwrap(), vec![2.0, 5.0]);
+        assert!(v.frame(3).is_err());
+    }
+}

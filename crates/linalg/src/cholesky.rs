@@ -1,0 +1,228 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The synthetic scanner draws region time series with a prescribed latent
+//! correlation structure `C` by coloring white Gaussian noise: if `C = L Lᵀ`
+//! then `x = L z` has covariance `C`. That factorization happens here.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+///
+/// Returns [`LinalgError::NotPositiveDefinite`] when a pivot drops to or
+/// below zero. Use [`cholesky_regularized`] for nearly-PSD inputs such as
+/// empirical correlation matrices.
+pub fn cholesky(a: &Matrix) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cholesky (square required)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "cholesky" });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "cholesky" });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        // Diagonal pivot.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            let v = l[(j, k)];
+            d -= v * v;
+        }
+        if d <= 0.0 {
+            return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+        }
+        let dj = d.sqrt();
+        l[(j, j)] = dj;
+        let inv = 1.0 / dj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s * inv;
+        }
+    }
+    Ok(l)
+}
+
+/// Cholesky with automatic diagonal loading.
+///
+/// Starting from `ridge = initial_ridge`, repeatedly tries
+/// `cholesky(A + ridge·I)` with a 10× escalation until it succeeds or the
+/// ridge exceeds `max_ridge`. Empirical correlation matrices built from
+/// fewer time points than regions are rank deficient, so this is the entry
+/// point the dataset generators actually use.
+pub fn cholesky_regularized(a: &Matrix, initial_ridge: f64, max_ridge: f64) -> Result<Matrix> {
+    if initial_ridge < 0.0 || max_ridge < initial_ridge {
+        return Err(LinalgError::InvalidParameter {
+            name: "ridge",
+            reason: "need 0 <= initial_ridge <= max_ridge",
+        });
+    }
+    match cholesky(a) {
+        Ok(l) => return Ok(l),
+        Err(LinalgError::NotPositiveDefinite { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    let n = a.rows();
+    let mut ridge = if initial_ridge == 0.0 { 1e-10 } else { initial_ridge };
+    while ridge <= max_ridge {
+        let mut loaded = a.clone();
+        for i in 0..n {
+            loaded[(i, i)] += ridge;
+        }
+        match cholesky(&loaded) {
+            Ok(l) => return Ok(l),
+            Err(LinalgError::NotPositiveDefinite { .. }) => ridge *= 10.0,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(LinalgError::NotPositiveDefinite {
+        pivot: 0,
+        value: ridge,
+    })
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then back
+/// substitution). `b` may have multiple right-hand-side columns.
+pub fn cholesky_solve(l: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let n = l.rows();
+    if l.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cholesky_solve (L must be square)",
+            lhs: l.shape(),
+            rhs: l.shape(),
+        });
+    }
+    if b.rows() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cholesky_solve",
+            lhs: l.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let k = b.cols();
+    let mut x = b.clone();
+    // Forward: L y = b.
+    for j in 0..k {
+        for i in 0..n {
+            let mut s = x[(i, j)];
+            for p in 0..i {
+                s -= l[(i, p)] * x[(p, j)];
+            }
+            let d = l[(i, i)];
+            if d == 0.0 {
+                return Err(LinalgError::Singular {
+                    op: "cholesky_solve",
+                });
+            }
+            x[(i, j)] = s / d;
+        }
+        // Backward: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = x[(i, j)];
+            for p in (i + 1)..n {
+                s -= l[(p, i)] * x[(p, j)];
+            }
+            x[(i, j)] = s / l[(i, i)];
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd(n: usize) -> Matrix {
+        // B Bᵀ + n·I is comfortably SPD.
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 5) as f64 - 2.0);
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd(8);
+        let l = cholesky(&a).unwrap();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        let diff = a.sub(&llt).unwrap().max_abs();
+        assert!(diff < 1e-9, "diff {diff}");
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let l = cholesky(&spd(6)).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eig -1, 3
+        assert!(matches!(
+            cholesky(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(cholesky(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn regularized_recovers_psd() {
+        // Rank-1 PSD matrix (singular) gets loaded until factorable.
+        let v = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let a = v.matmul(&v.transpose()).unwrap();
+        assert!(cholesky(&a).is_err());
+        let l = cholesky_regularized(&a, 1e-8, 1.0).unwrap();
+        let llt = l.matmul(&l.transpose()).unwrap();
+        // Reconstruction matches up to the added ridge.
+        assert!(a.sub(&llt).unwrap().max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn regularized_validates_params() {
+        let a = Matrix::identity(2);
+        assert!(cholesky_regularized(&a, -1.0, 1.0).is_err());
+        assert!(cholesky_regularized(&a, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn regularized_gives_up_beyond_max() {
+        let a = Matrix::from_rows(&[&[0.0, 5.0], &[5.0, 0.0]]).unwrap(); // eig ±5
+        assert!(cholesky_regularized(&a, 1e-10, 1e-9).is_err());
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = spd(5);
+        let l = cholesky(&a).unwrap();
+        let x_true = Matrix::from_fn(5, 2, |r, c| (r + c) as f64 - 1.5);
+        let b = a.matmul(&x_true).unwrap();
+        let x = cholesky_solve(&l, &b).unwrap();
+        assert!(x.sub(&x_true).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn solve_checks_dims() {
+        let l = cholesky(&spd(4)).unwrap();
+        assert!(cholesky_solve(&l, &Matrix::zeros(5, 1)).is_err());
+    }
+}

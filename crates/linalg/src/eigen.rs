@@ -1,0 +1,230 @@
+//! Symmetric eigendecomposition by the cyclic Jacobi method.
+//!
+//! The Gram-matrix SVD route (the fast path for the paper's tall group
+//! matrices, 64,620 × 100) needs the full eigendecomposition of the small
+//! `AᵀA`. Cyclic Jacobi is simple, unconditionally stable for symmetric
+//! input, and converges quadratically once off-diagonals are small.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 60;
+
+/// Eigendecomposition `A = V diag(λ) Vᵀ` of a symmetric matrix.
+///
+/// Eigenvalues are sorted in descending order and `V`'s columns follow the
+/// same order.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Orthonormal eigenvectors as columns, same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// The input is validated for shape and finiteness; asymmetry beyond a small
+/// tolerance is rejected because silently symmetrizing would hide upstream
+/// bugs in connectome construction.
+pub fn sym_eigen(a: &Matrix) -> Result<SymEigen> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "sym_eigen (square required)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "sym_eigen" });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "sym_eigen" });
+    }
+    let scale = a.max_abs().max(1.0);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (a[(i, j)] - a[(j, i)]).abs() > 1e-8 * scale {
+                return Err(LinalgError::InvalidParameter {
+                    name: "a",
+                    reason: "matrix is not symmetric",
+                });
+            }
+        }
+    }
+
+    let mut w = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for sweep in 0..MAX_SWEEPS {
+        // Off-diagonal Frobenius mass decides convergence.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += w[(i, j)] * w[(i, j)];
+            }
+        }
+        if off.sqrt() <= 1e-14 * scale * n as f64 {
+            return Ok(finish(w, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = w[(p, q)];
+                if apq.abs() <= 1e-300 {
+                    continue;
+                }
+                let app = w[(p, p)];
+                let aqq = w[(q, q)];
+                // Rotation angle from the standard stable formulas.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Update W = Jᵀ W J over rows/cols p and q.
+                for k in 0..n {
+                    let wkp = w[(k, p)];
+                    let wkq = w[(k, q)];
+                    w[(k, p)] = c * wkp - s * wkq;
+                    w[(k, q)] = s * wkp + c * wkq;
+                }
+                for k in 0..n {
+                    let wpk = w[(p, k)];
+                    let wqk = w[(q, k)];
+                    w[(p, k)] = c * wpk - s * wqk;
+                    w[(q, k)] = s * wpk + c * wqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+        let _ = sweep;
+    }
+    Err(LinalgError::NoConvergence {
+        algo: "jacobi eigen",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Extracts eigenvalues from the (now nearly diagonal) working matrix and
+/// sorts everything descending.
+fn finish(w: Matrix, v: Matrix) -> SymEigen {
+    let n = w.rows();
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (w[(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let order: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+    let vectors = v.select_cols(&order).expect("permutation indices in range");
+    SymEigen { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: usize, f: impl Fn(usize, usize) -> f64) -> Matrix {
+        Matrix::from_fn(n, n, |r, c| if r <= c { f(r, c) } else { f(c, r) })
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 5.0;
+        a[(2, 2)] = 3.0;
+        let e = sym_eigen(&a).unwrap();
+        assert_eq!(e.values, vec![5.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = sym(7, |r, c| ((r * 3 + c * 5) % 9) as f64 - 4.0);
+        let e = sym_eigen(&a).unwrap();
+        let d = Matrix::from_fn(7, 7, |r, c| if r == c { e.values[r] } else { 0.0 });
+        let rec = e
+            .vectors
+            .matmul(&d)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap();
+        assert!(a.sub(&rec).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn vectors_are_orthonormal() {
+        let a = sym(6, |r, c| (r + c) as f64 * 0.5);
+        let e = sym_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!(vtv.sub(&Matrix::identity(6)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_pairs_satisfy_av_eq_lv() {
+        let a = sym(5, |r, c| ((r * r + c) % 7) as f64);
+        let e = sym_eigen(&a).unwrap();
+        for k in 0..5 {
+            let vk = Matrix::from_vec(5, 1, e.vectors.col(k)).unwrap();
+            let av = a.matmul(&vk).unwrap();
+            let lv = vk.scaled(e.values[k]);
+            assert!(av.sub(&lv).unwrap().max_abs() < 1e-8, "pair {k}");
+        }
+    }
+
+    #[test]
+    fn trace_equals_eigenvalue_sum() {
+        let a = sym(8, |r, c| ((r * 11 + c * 2) % 6) as f64 - 2.0);
+        let e = sym_eigen(&a).unwrap();
+        let trace: f64 = (0..8).map(|i| a[(i, i)]).sum();
+        let esum: f64 = e.values.iter().sum();
+        assert!((trace - esum).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_asymmetric() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0]]).unwrap();
+        assert!(sym_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_and_nan() {
+        assert!(sym_eigen(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = f64::INFINITY;
+        assert!(sym_eigen(&a).is_err());
+    }
+
+    #[test]
+    fn identity_eigen() {
+        let e = sym_eigen(&Matrix::identity(4)).unwrap();
+        assert!(e.values.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn negative_eigenvalues_supported() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[2.0, 0.0]]).unwrap();
+        let e = sym_eigen(&a).unwrap();
+        assert!((e.values[0] - 2.0).abs() < 1e-10);
+        assert!((e.values[1] + 2.0).abs() < 1e-10);
+    }
+}

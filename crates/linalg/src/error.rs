@@ -1,0 +1,144 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by the linear-algebra layer.
+///
+/// Every routine in this crate validates its inputs and reports problems
+/// through this type rather than panicking, so callers higher in the attack
+/// pipeline can surface clean diagnostics for degenerate connectomes
+/// (constant time series, rank-deficient group matrices, …).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be non-empty had zero rows or columns.
+    EmptyMatrix {
+        /// Operation that required a non-empty input.
+        op: &'static str,
+    },
+    /// Cholesky factorization failed because the matrix is not positive
+    /// definite (within the numerical tolerance).
+    NotPositiveDefinite {
+        /// Index of the pivot where factorization broke down.
+        pivot: usize,
+        /// Value found at the failing pivot.
+        value: f64,
+    },
+    /// An iterative algorithm (Jacobi SVD/eigen) failed to converge.
+    NoConvergence {
+        /// Algorithm name.
+        algo: &'static str,
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained NaN or infinite entries.
+    NonFinite {
+        /// Operation that detected the non-finite value.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        /// Offending index `(row, col)`.
+        index: (usize, usize),
+        /// Matrix shape `(rows, cols)`.
+        shape: (usize, usize),
+    },
+    /// A singular (or numerically singular) matrix was passed to a routine
+    /// that requires invertibility.
+    Singular {
+        /// Operation that required an invertible input.
+        op: &'static str,
+    },
+    /// A scalar parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs {}x{} vs rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::EmptyMatrix { op } => write!(f, "empty matrix passed to {op}"),
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix not positive definite: pivot {pivot} has value {value:.6e}"
+            ),
+            LinalgError::NoConvergence { algo, iterations } => {
+                write!(f, "{algo} did not converge after {iterations} iterations")
+            }
+            LinalgError::NonFinite { op } => write!(f, "non-finite value encountered in {op}"),
+            LinalgError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::Singular { op } => write!(f, "singular matrix passed to {op}"),
+            LinalgError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch_mentions_shapes() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (3, 4),
+            rhs: (5, 6),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x6"));
+    }
+
+    #[test]
+    fn display_not_positive_definite_mentions_pivot() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 7,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("pivot 7"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&LinalgError::EmptyMatrix { op: "svd" });
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Singular { op: "inv" },
+            LinalgError::Singular { op: "inv" }
+        );
+        assert_ne!(
+            LinalgError::Singular { op: "inv" },
+            LinalgError::Singular { op: "solve" }
+        );
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-linalg
+//!
+//! From-scratch dense linear algebra for the `neurodeanon` workspace.
+//!
+//! This crate provides every numerical primitive the de-anonymization attack
+//! of Ravindra & Grama (SIGMOD 2021) depends on, with no external numerics
+//! dependencies:
+//!
+//! * [`Matrix`] — an owned, row-major dense `f64` matrix with blocked,
+//!   optionally multi-threaded multiplication.
+//! * [`qr`] — Householder QR factorization.
+//! * [`svd`] — thin singular value decomposition (one-sided Jacobi for
+//!   square-ish inputs, Gram-matrix route for tall matrices such as the
+//!   64,620 × 100 group matrices of the paper).
+//! * [`cholesky`] — Cholesky factorization used by the synthetic scanner to
+//!   draw time series with a prescribed correlation structure.
+//! * [`eigen`] — symmetric Jacobi eigendecomposition.
+//! * [`stats`] — means, variances, z-scoring, Pearson correlation.
+//! * [`rsvd`] — randomized range-finder SVD (Halko–Martinsson–Tropp) and
+//!   approximate leverage scores, the fast path for very large group
+//!   matrices.
+//! * [`rng`] — a small deterministic xoshiro256++ RNG with Gaussian sampling,
+//!   so the whole reproduction is seed-reproducible end to end.
+//!
+//! All fallible operations return [`LinalgError`] instead of panicking, per
+//! the workspace convention that library code never aborts on bad input.
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod pinv;
+pub mod qr;
+pub mod rng;
+pub mod rsvd;
+pub mod stats;
+pub mod svd;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use rng::Rng64;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,796 @@
+//! Owned, row-major dense `f64` matrix.
+//!
+//! [`Matrix`] is the workhorse container of the reproduction: group matrices
+//! (features × subjects), connectomes (regions × regions), time-series blocks
+//! (regions × time) and t-SNE embeddings all use it. The multiplication
+//! kernel is cache-blocked and parallelizes over row panels with scoped
+//! threads, which is what makes the 64,620-feature group-matrix products of
+//! the paper tractable on a laptop.
+
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Default cache block edge for the blocked matmul kernel.
+///
+/// 64 × 64 f64 tiles are 32 KiB — three tiles fit comfortably in a typical
+/// 256 KiB L2 slice, which the Rust Performance Book's blocking guidance
+/// targets.
+const BLOCK: usize = 64;
+
+/// Minimum number of scalar multiply-adds before the matmul kernel bothers
+/// spawning threads; below this the spawn overhead dominates.
+const PAR_THRESHOLD: usize = 1 << 22;
+
+/// An owned, row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use neurodeanon_linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+/// let b = Matrix::identity(2);
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c, a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for c in 0..show_cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if self.cols > show_cols {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of row slices.
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if rows have unequal
+    /// lengths and [`LinalgError::EmptyMatrix`] for an empty input.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(LinalgError::EmptyMatrix { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// Returns an error if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (1, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` if the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Borrow the flat row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the flat row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix, returning the flat row-major data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.rows()`; use [`Matrix::try_row`] for a checked
+    /// variant.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Checked row access.
+    pub fn try_row(&self, r: usize) -> Result<&[f64]> {
+        if r >= self.rows {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, 0),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.row(r))
+    }
+
+    /// Mutably borrow row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy column `c` into a new vector.
+    ///
+    /// # Panics
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column {c} out of bounds ({})", self.cols);
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Overwrite column `c` with `values`.
+    pub fn set_col(&mut self, c: usize, values: &[f64]) -> Result<()> {
+        if c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (0, c),
+                shape: self.shape(),
+            });
+        }
+        if values.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "set_col",
+                lhs: (self.rows, 1),
+                rhs: (values.len(), 1),
+            });
+        }
+        for (r, &v) in values.iter().enumerate() {
+            self.data[r * self.cols + c] = v;
+        }
+        Ok(())
+    }
+
+    /// Overwrite row `r` with `values`.
+    pub fn set_row(&mut self, r: usize, values: &[f64]) -> Result<()> {
+        if r >= self.rows {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, 0),
+                shape: self.shape(),
+            });
+        }
+        if values.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "set_row",
+                lhs: (1, self.cols),
+                rhs: (1, values.len()),
+            });
+        }
+        self.row_mut(r).copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        // Tile the transpose to keep both the read and write streams in
+        // cache; a naive double loop thrashes on tall group matrices.
+        for rb in (0..self.rows).step_by(BLOCK) {
+            for cb in (0..self.cols).step_by(BLOCK) {
+                let rend = (rb + BLOCK).min(self.rows);
+                let cend = (cb + BLOCK).min(self.cols);
+                for r in rb..rend {
+                    for c in cb..cend {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs` using a cache-blocked kernel, parallel
+    /// over row panels when the product is large enough to amortize thread
+    /// spawn cost.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        let work = m * k * n;
+        let threads = available_threads();
+        if work >= PAR_THRESHOLD && threads > 1 && m >= 2 {
+            let rows_per = m.div_ceil(threads);
+            let a = &self.data;
+            let b = &rhs.data;
+            let chunks: Vec<&mut [f64]> = out.data.chunks_mut(rows_per * n).collect();
+            std::thread::scope(|s| {
+                for (t, chunk) in chunks.into_iter().enumerate() {
+                    let row0 = t * rows_per;
+                    s.spawn(move || {
+                        let local_rows = chunk.len() / n;
+                        matmul_panel(&a[row0 * k..(row0 + local_rows) * k], b, chunk, k, n);
+                    });
+                }
+            });
+        } else {
+            matmul_panel(&self.data, &rhs.data, &mut out.data, k, n);
+        }
+        Ok(out)
+    }
+
+    /// Computes `selfᵀ * self` (the Gram matrix) exploiting symmetry.
+    ///
+    /// This is the hot kernel on group matrices: for `A ∈ R^{64620×100}` the
+    /// Gram matrix is only 100 × 100 and drives the SVD used for leverage
+    /// scores.
+    pub fn gram(&self) -> Matrix {
+        let (m, n) = (self.rows, self.cols);
+        let mut g = Matrix::zeros(n, n);
+        // Accumulate rank-1 updates row by row: G += a_r a_rᵀ. Row-major
+        // access keeps this sequential over `self.data`.
+        for r in 0..m {
+            let row = &self.data[r * n..(r + 1) * n];
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                let grow = &mut g.data[i * n..(i + 1) * n];
+                for j in i..n {
+                    grow[j] += ri * row[j];
+                }
+            }
+        }
+        // Mirror the upper triangle into the lower.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g.data[j * n + i] = g.data[i * n + j];
+            }
+        }
+        g
+    }
+
+    /// Elementwise sum with `rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "hadamard", |a, b| a * b)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiply every element by `s`, in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// `true` if all entries are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Returns a new matrix containing only the listed rows, in order.
+    ///
+    /// This is how the attack restricts a group matrix to its principal
+    /// features subspace: `group.select_rows(&top_leverage_indices)`.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            if i >= self.rows {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (i, 0),
+                    shape: self.shape(),
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        Ok(Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns a new matrix containing only the listed columns, in order.
+    pub fn select_cols(&self, indices: &[usize]) -> Result<Matrix> {
+        for &c in indices {
+            if c >= self.cols {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: (0, c),
+                    shape: self.shape(),
+                });
+            }
+        }
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (k, &c) in indices.iter().enumerate() {
+                dst[k] = src[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Stacks `self` on top of `other` (both must have equal column counts).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Concatenates `self` with `other` side by side (equal row counts).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Result<f64> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, c),
+                shape: self.shape(),
+            });
+        }
+        Ok(self.data[r * self.cols + c])
+    }
+
+    /// Checked element write.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) -> Result<()> {
+        if r >= self.rows || c >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (r, c),
+                shape: self.shape(),
+            });
+        }
+        self.data[r * self.cols + c] = v;
+        Ok(())
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Serial blocked kernel computing `out += a * b` for a row panel of `a`.
+///
+/// `a` is `(out.len()/n) × k`, `b` is `k × n`, `out` is the destination panel.
+/// Loop order (i, kk-block, j) streams `b` rows and accumulates into `out`
+/// rows, the classic ikj order that vectorizes well.
+fn matmul_panel(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
+    let m = a.len().checked_div(k).unwrap_or(0);
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = arow[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Number of worker threads to use for parallel kernels.
+pub(crate) fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let e = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(e, LinalgError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinalgError::EmptyMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(7, 13, |r, c| (r * 13 + c) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert!(approx_eq(&c, &expect, 1e-12));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(5, 5, |r, c| (r + 2 * c) as f64);
+        let i = Matrix::identity(5);
+        assert!(approx_eq(&a.matmul(&i).unwrap(), &a, 1e-12));
+        assert!(approx_eq(&i.matmul(&a).unwrap(), &a, 1e-12));
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_rectangular() {
+        let a = Matrix::from_fn(9, 17, |r, c| ((r * 31 + c * 7) % 11) as f64 - 5.0);
+        let b = Matrix::from_fn(17, 5, |r, c| ((r * 13 + c * 3) % 7) as f64 - 3.0);
+        let c = a.matmul(&b).unwrap();
+        for i in 0..9 {
+            for j in 0..5 {
+                let mut s = 0.0;
+                for k in 0..17 {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                assert!((c[(i, j)] - s).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Big enough to cross PAR_THRESHOLD.
+        let a = Matrix::from_fn(256, 300, |r, c| ((r * 7 + c) % 13) as f64 * 0.25 - 1.0);
+        let b = Matrix::from_fn(300, 64, |r, c| ((r + c * 5) % 17) as f64 * 0.125 - 1.0);
+        let par = a.matmul(&b).unwrap();
+        // Serial reference.
+        let mut serial = Matrix::zeros(256, 64);
+        matmul_panel(a.as_slice(), b.as_slice(), serial.as_mut_slice(), 300, 64);
+        assert!(approx_eq(&par, &serial, 1e-9));
+    }
+
+    #[test]
+    fn gram_matches_explicit_ata() {
+        let a = Matrix::from_fn(23, 6, |r, c| ((r * 3 + c * 11) % 9) as f64 - 4.0);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(approx_eq(&g, &explicit, 1e-9));
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::from_fn(11, 7, |r, c| (r as f64 * 0.3).sin() + c as f64);
+        let g = a.gram();
+        for i in 0..7 {
+            for j in 0..7 {
+                assert_eq!(g[(i, j)], g[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_sub_hadamard() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]).unwrap();
+        assert_eq!(a.add(&b).unwrap()[(1, 1)], 44.0);
+        assert_eq!(b.sub(&a).unwrap()[(0, 1)], 18.0);
+        assert_eq!(a.hadamard(&b).unwrap()[(1, 0)], 90.0);
+        assert!(a.add(&Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn frobenius_norm_of_known_matrix() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_rows_picks_and_orders() {
+        let m = Matrix::from_fn(5, 2, |r, _| r as f64);
+        let s = m.select_rows(&[4, 0, 2]).unwrap();
+        assert_eq!(s.col(0), vec![4.0, 0.0, 2.0]);
+        assert!(m.select_rows(&[5]).is_err());
+    }
+
+    #[test]
+    fn select_cols_picks_and_orders() {
+        let m = Matrix::from_fn(2, 5, |_, c| c as f64);
+        let s = m.select_cols(&[3, 1]).unwrap();
+        assert_eq!(s.row(0), &[3.0, 1.0]);
+        assert!(m.select_cols(&[9]).is_err());
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let b = Matrix::filled(1, 3, 2.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (3, 3));
+        assert_eq!(v[(2, 0)], 2.0);
+
+        let c = Matrix::filled(2, 1, 5.0);
+        let h = a.hstack(&c).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(0, 3)], 5.0);
+
+        assert!(a.vstack(&c).is_err());
+        assert!(a.hstack(&b).is_err());
+    }
+
+    #[test]
+    fn get_set_checked() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(1, 1, 9.0).unwrap();
+        assert_eq!(m.get(1, 1).unwrap(), 9.0);
+        assert!(m.get(2, 0).is_err());
+        assert!(m.set(0, 2, 1.0).is_err());
+    }
+
+    #[test]
+    fn set_row_and_col() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set_row(1, &[1.0, 2.0]).unwrap();
+        m.set_col(0, &[7.0, 8.0, 9.0]).unwrap();
+        assert_eq!(m[(1, 0)], 8.0);
+        assert_eq!(m[(1, 1)], 2.0);
+        assert!(m.set_row(1, &[1.0]).is_err());
+        assert!(m.set_col(5, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.is_finite());
+        m[(0, 1)] = f64::NAN;
+        assert!(!m.is_finite());
+    }
+
+    #[test]
+    fn debug_format_truncates() {
+        let m = Matrix::zeros(100, 100);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 100x100"));
+        assert!(s.len() < 2000);
+    }
+}

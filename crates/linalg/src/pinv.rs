@@ -1,0 +1,100 @@
+//! Moore–Penrose pseudo-inverse via the thin SVD.
+//!
+//! The paper's Equation 4 error bound is stated in terms of `A Ã† Ã` with
+//! `†` the pseudo-inverse of the sampled sketch; the sketch-quality checks
+//! in `neurodeanon-sampling` evaluate that expression with this routine.
+
+use crate::matrix::Matrix;
+use crate::svd::thin_svd;
+use crate::Result;
+
+/// Computes the pseudo-inverse `A† ∈ R^{n×m}` of `A ∈ R^{m×n}`.
+///
+/// Wide inputs are handled by transposing first (`(Aᵀ)†ᵀ = A†`). Singular
+/// directions below the SVD's rank tolerance are zeroed, which is exactly
+/// the Moore–Penrose convention.
+pub fn pinv(a: &Matrix) -> Result<Matrix> {
+    if a.rows() < a.cols() {
+        let p = pinv(&a.transpose())?;
+        return Ok(p.transpose());
+    }
+    let f = thin_svd(a)?;
+    let n = f.sigma.len();
+    let rank = f.rank();
+    // A† = V Σ† Uᵀ; build V Σ† first (n × n), then multiply by Uᵀ.
+    let mut vs = f.v.clone();
+    for c in 0..n {
+        let inv = if c < rank && f.sigma[c] > 0.0 {
+            1.0 / f.sigma[c]
+        } else {
+            0.0
+        };
+        for r in 0..n {
+            vs[(r, c)] *= inv;
+        }
+    }
+    vs.matmul(&f.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_diff(a: &Matrix, b: &Matrix) -> f64 {
+        a.sub(b).unwrap().max_abs()
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let id = a.matmul(&p).unwrap();
+        assert!(max_diff(&id, &Matrix::identity(2)) < 1e-10);
+    }
+
+    #[test]
+    fn moore_penrose_conditions_tall() {
+        let a = Matrix::from_fn(9, 3, |r, c| ((r * 5 + c * 7) % 11) as f64 - 5.0);
+        let p = pinv(&a).unwrap();
+        // A A† A = A
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(max_diff(&apa, &a) < 1e-8);
+        // A† A A† = A†
+        let pap = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert!(max_diff(&pap, &p) < 1e-8);
+        // (A A†)ᵀ = A A†
+        let aap = a.matmul(&p).unwrap();
+        assert!(max_diff(&aap, &aap.transpose()) < 1e-8);
+        // (A† A)ᵀ = A† A
+        let paa = p.matmul(&a).unwrap();
+        assert!(max_diff(&paa, &paa.transpose()) < 1e-8);
+    }
+
+    #[test]
+    fn moore_penrose_conditions_wide() {
+        let a = Matrix::from_fn(3, 8, |r, c| ((r * 3 + c * 5) % 7) as f64 - 3.0);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (8, 3));
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(max_diff(&apa, &a) < 1e-8);
+    }
+
+    #[test]
+    fn pinv_of_rank_deficient() {
+        // Rank-1: a = u vᵀ.
+        let u = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let v = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let a = u.matmul(&v).unwrap();
+        let p = pinv(&a).unwrap();
+        let apa = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(max_diff(&apa, &a) < 1e-8);
+    }
+
+    #[test]
+    fn pinv_of_zero_is_zero() {
+        let a = Matrix::zeros(4, 2);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (2, 4));
+        assert!(p.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Householder QR factorization.
+//!
+//! QR gives an orthonormal basis `Q` for the column space of a matrix — the
+//! `U` needed by the leverage-score definition (Equation 3 of the paper) can
+//! be taken from either SVD or QR. We keep both routes: QR is the cheaper
+//! option when singular values are not needed, and it cross-validates the
+//! Jacobi SVD in tests.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// The thin QR factorization `A = Q R` with `Q ∈ R^{m×n}` orthonormal and
+/// `R ∈ R^{n×n}` upper triangular (requires `m ≥ n`).
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor, `m × n`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `n × n`.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR factorization of `a` by Householder reflections.
+///
+/// Returns [`LinalgError::DimensionMismatch`] when `a.rows() < a.cols()`
+/// (the thin form needs a tall or square input) and
+/// [`LinalgError::NonFinite`] when the input contains NaN/∞.
+pub fn qr(a: &Matrix) -> Result<Qr> {
+    let (m, n) = a.shape();
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "qr" });
+    }
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "qr (need rows >= cols)",
+            lhs: (m, n),
+            rhs: (n, n),
+        });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "qr" });
+    }
+
+    // Work on a copy; store Householder vectors in-place below the diagonal.
+    let mut work = a.clone();
+    // Scalar factors tau_k for each reflector.
+    let mut taus = vec![0.0_f64; n];
+
+    for k in 0..n {
+        // Build the reflector that zeroes work[k+1.., k].
+        let mut norm_sq = 0.0;
+        for i in k..m {
+            let v = work[(i, k)];
+            norm_sq += v * v;
+        }
+        let norm = norm_sq.sqrt();
+        if norm == 0.0 {
+            taus[k] = 0.0;
+            continue;
+        }
+        let alpha = if work[(k, k)] >= 0.0 { -norm } else { norm };
+        // v = x - alpha e1, normalized so v[0] = 1. The sign choice above
+        // makes v0 = x0 - alpha large in magnitude, avoiding cancellation.
+        let v0 = work[(k, k)] - alpha;
+        let mut v = vec![0.0; m - k];
+        v[0] = 1.0;
+        for i in (k + 1)..m {
+            v[i - k] = work[(i, k)] / v0;
+        }
+        let vtv: f64 = v.iter().map(|x| x * x).sum();
+        let tau = 2.0 / vtv;
+        taus[k] = tau;
+
+        // Apply H = I - tau v vᵀ to the trailing columns k..n of work.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * work[(i, j)];
+            }
+            let f = tau * dot;
+            for i in k..m {
+                work[(i, j)] -= f * v[i - k];
+            }
+        }
+        // Record R's diagonal and store v below it.
+        work[(k, k)] = alpha;
+        for i in (k + 1)..m {
+            work[(i, k)] = v[i - k];
+        }
+    }
+
+    // Extract R (upper triangle of the top n×n block).
+    let mut r = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = work[(i, j)];
+        }
+    }
+
+    // Form thin Q by applying the reflectors to the first n columns of I.
+    let mut q = Matrix::zeros(m, n);
+    for i in 0..n {
+        q[(i, i)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let tau = taus[k];
+        if tau == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            // dot = v ⋅ q[k.., j], with v[0] = 1 implicit.
+            let mut dot = q[(k, j)];
+            for i in (k + 1)..m {
+                dot += work[(i, k)] * q[(i, j)];
+            }
+            let f = tau * dot;
+            q[(k, j)] -= f;
+            for i in (k + 1)..m {
+                let w = work[(i, k)];
+                q[(i, j)] -= f * w;
+            }
+        }
+    }
+
+    Ok(Qr { q, r })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(qr_: &Qr) -> Matrix {
+        qr_.q.matmul(&qr_.r).unwrap()
+    }
+
+    fn max_diff(a: &Matrix, b: &Matrix) -> f64 {
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn qr_reconstructs_square() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        let f = qr(&a).unwrap();
+        assert!(max_diff(&reconstruct(&f), &a) < 1e-10);
+    }
+
+    #[test]
+    fn qr_reconstructs_tall() {
+        let a = Matrix::from_fn(20, 5, |r, c| ((r * 13 + c * 7) % 17) as f64 - 8.0);
+        let f = qr(&a).unwrap();
+        assert!(max_diff(&reconstruct(&f), &a) < 1e-9);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_fn(15, 6, |r, c| ((r * 5 + c * 3) % 11) as f64 * 0.7 - 3.0);
+        let f = qr(&a).unwrap();
+        let qtq = f.q.transpose().matmul(&f.q).unwrap();
+        assert!(max_diff(&qtq, &Matrix::identity(6)) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(10, 4, |r, c| ((r + 1) * (c + 2)) as f64 % 7.0);
+        let f = qr(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(f.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        let a = Matrix::zeros(2, 5);
+        assert!(matches!(
+            qr(&a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn qr_rejects_nan() {
+        let mut a = Matrix::zeros(3, 2);
+        a[(1, 1)] = f64::NAN;
+        assert!(matches!(qr(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn qr_handles_rank_deficient_column() {
+        // Second column identical to first: reflector for col 2 sees a zero
+        // residual, tau = 0 path.
+        let a = Matrix::from_rows(&[
+            &[1.0, 1.0],
+            &[2.0, 2.0],
+            &[3.0, 3.0],
+        ])
+        .unwrap();
+        let f = qr(&a).unwrap();
+        assert!(max_diff(&reconstruct(&f), &a) < 1e-10);
+    }
+
+    #[test]
+    fn qr_identity() {
+        let i = Matrix::identity(4);
+        let f = qr(&i).unwrap();
+        assert!(max_diff(&reconstruct(&f), &i) < 1e-12);
+    }
+}

@@ -1,0 +1,330 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The whole reproduction — synthetic cohorts, scanner noise, sampling
+//! algorithms, t-SNE initialization, train/test splits — must be replayable
+//! from a single seed. [`Rng64`] implements xoshiro256++ (Blackman & Vigna)
+//! seeded through SplitMix64, with Gaussian sampling via the polar
+//! Box–Muller transform. Keeping the generator in-crate means no library
+//! crate depends on `rand`, and the byte-for-byte stream is stable across
+//! toolchain upgrades.
+
+/// A deterministic xoshiro256++ pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use neurodeanon_linalg::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+    /// Cached second Gaussian from the polar method.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed, expanding it with SplitMix64 so that
+    /// nearby seeds yield uncorrelated streams.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            // SplitMix64 step.
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        // xoshiro's all-zero state is absorbing; SplitMix64 cannot produce it
+        // for four consecutive outputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng64 {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derives an independent child generator; used to give each subject /
+    /// session / experiment repetition its own stream so that adding more
+    /// draws in one place never perturbs another.
+    pub fn fork(&mut self, stream: u64) -> Rng64 {
+        let mix = self.next_u64() ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        Rng64::new(mix)
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng64::below(0)");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let lo = m as u64;
+            if lo >= n {
+                return (m >> 64) as usize;
+            }
+            // Rejection zone: accept unless lo < (2^64 mod n).
+            let threshold = n.wrapping_neg() % n;
+            if lo >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Standard normal draw via the polar Box–Muller method.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(v) = self.gauss_spare.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.gauss_spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Fills `out` with i.i.d. standard normal draws.
+    pub fn fill_gaussian(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.gaussian();
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (a uniform random subset,
+    /// order randomized). Returns fewer than `k` only if `k > n`.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: only the first k positions need settling.
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Draws an index according to the (unnormalized, non-negative) weights.
+    ///
+    /// Returns `None` if the weights sum to zero or the slice is empty.
+    /// This is the primitive behind the paper's Algorithm 1 row sampler.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| w.is_finite()).sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w <= 0.0 {
+                continue;
+            }
+            target -= w;
+            if target <= 0.0 {
+                return Some(i);
+            }
+        }
+        // Floating-point slack: return the last positive-weight index.
+        weights.iter().rposition(|&w| w > 0.0 && w.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = Rng64::new(123);
+        let mut b = Rng64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = Rng64::new(7);
+        for _ in 0..10_000 {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = Rng64::new(99);
+        let n = 50_000;
+        let m: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn below_bounds_and_coverage() {
+        let mut r = Rng64::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        Rng64::new(0).below(0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = Rng64::new(2024);
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut r = Rng64::new(11);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>()); // astronomically unlikely
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = Rng64::new(17);
+        let s = r.sample_indices(100, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_caps_at_n() {
+        let mut r = Rng64::new(17);
+        assert_eq!(r.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = Rng64::new(21);
+        let w = [0.0, 1.0, 0.0, 3.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[r.weighted_index(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        let ratio = counts[3] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate() {
+        let mut r = Rng64::new(1);
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+        assert_eq!(r.weighted_index(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn fork_streams_are_independent_of_parent_use() {
+        let mut a = Rng64::new(5);
+        let mut fork_a = a.fork(1);
+        let mut b = Rng64::new(5);
+        let mut fork_b = b.fork(1);
+        assert_eq!(fork_a.next_u64(), fork_b.next_u64());
+        // Different stream ids give different streams.
+        let mut c = Rng64::new(5);
+        let mut fork_c = c.fork(2);
+        let mut d = Rng64::new(5);
+        let mut fork_d = d.fork(1);
+        assert_ne!(fork_c.next_u64(), fork_d.next_u64());
+    }
+}

@@ -1,0 +1,232 @@
+//! Randomized SVD (Halko–Martinsson–Tropp range finder).
+//!
+//! The paper's §3.1.2 machinery descends from randomized numerical linear
+//! algebra; this module completes the family with the randomized
+//! range-finder SVD: project onto `A Ω` for a Gaussian test matrix `Ω`,
+//! orthonormalize, and solve the small projected problem. With `q` power
+//! iterations the approximation error decays rapidly for matrices with
+//! decaying spectra — exactly the group matrices the attack builds — and
+//! the cost drops from `O(mn²)` to `O(mn(k+p))`.
+//!
+//! Regime note (measured in `benches/micro.rs`): for the paper's group
+//! matrices the column count is the *subject* count (≈ 100), so the exact
+//! Gram-route SVD is already `O(mn²)` with tiny `n` and beats this code.
+//! The randomized path pays off when the column count grows — e.g.
+//! voxel-level feature spaces or stacked multi-condition designs.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::qr;
+use crate::rng::Rng64;
+use crate::svd::{thin_svd, Svd};
+use crate::Result;
+
+/// Configuration for the randomized SVD.
+#[derive(Debug, Clone)]
+pub struct RsvdConfig {
+    /// Target rank `k` (number of singular triplets returned).
+    pub rank: usize,
+    /// Oversampling `p` (extra random directions; 5–10 is standard).
+    pub oversample: usize,
+    /// Power iterations `q` (0–2; each sharpens the spectrum's tail).
+    pub power_iters: usize,
+    /// RNG seed for the Gaussian test matrix.
+    pub seed: u64,
+}
+
+impl Default for RsvdConfig {
+    fn default() -> Self {
+        RsvdConfig {
+            rank: 10,
+            oversample: 8,
+            power_iters: 1,
+            seed: 0x125d,
+        }
+    }
+}
+
+/// Computes a rank-`k` approximate SVD of `a` (`m × n`, any shape with
+/// `m ≥ k`): returns `U ∈ R^{m×k}`, `σ₁ ≥ … ≥ σ_k`, `V ∈ R^{n×k}` such that
+/// `A ≈ U Σ Vᵀ`.
+pub fn randomized_svd(a: &Matrix, config: &RsvdConfig) -> Result<Svd> {
+    let (m, n) = a.shape();
+    if a.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "randomized_svd" });
+    }
+    let k = config.rank;
+    if k == 0 || k > m.min(n) {
+        return Err(LinalgError::InvalidParameter {
+            name: "rank",
+            reason: "need 1 <= rank <= min(rows, cols)",
+        });
+    }
+    let l = (k + config.oversample).min(n);
+    // Gaussian test matrix Ω ∈ R^{n×l}.
+    let mut rng = Rng64::new(config.seed);
+    let omega = Matrix::from_fn(n, l, |_, _| rng.gaussian());
+    // Sample the range: Y = A Ω, with optional power iterations
+    // Y ← A (Aᵀ Y) re-orthonormalized each half-step for stability.
+    let mut y = a.matmul(&omega)?;
+    for _ in 0..config.power_iters {
+        let q1 = qr(&y)?.q;
+        let z = a.transpose().matmul(&q1)?;
+        let q2 = qr(&z)?.q;
+        y = a.matmul(&q2)?;
+    }
+    let q_basis = qr(&y)?.q; // m × l orthonormal
+    // Project: B = Qᵀ A (l × n), solve the small SVD.
+    let b = q_basis.transpose().matmul(a)?;
+    // thin_svd requires rows ≥ cols; transpose if needed.
+    let small = if b.rows() >= b.cols() {
+        thin_svd(&b)?
+    } else {
+        let f = thin_svd(&b.transpose())?;
+        Svd {
+            u: f.v,
+            sigma: f.sigma,
+            v: f.u,
+        }
+    };
+    // Lift back: U = Q · U_b, truncate to k.
+    let idx: Vec<usize> = (0..k.min(small.sigma.len())).collect();
+    let u = q_basis.matmul(&small.u.select_cols(&idx)?)?;
+    let v = small.v.select_cols(&idx)?;
+    let sigma: Vec<f64> = idx.iter().map(|&i| small.sigma[i]).collect();
+    Ok(Svd { u, sigma, v })
+}
+
+/// Approximate leverage scores from a randomized rank-`k` SVD — the fast
+/// path for feature selection on very large group matrices.
+pub fn randomized_leverage_scores(a: &Matrix, config: &RsvdConfig) -> Result<Vec<f64>> {
+    let f = randomized_svd(a, config)?;
+    let m = a.rows();
+    let mut scores = vec![0.0; m];
+    for (r, s) in scores.iter_mut().enumerate() {
+        *s = f.u.row(r).iter().map(|x| x * x).sum();
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svd::leverage_scores;
+    use crate::vector::argsort_desc;
+
+    /// A tall matrix with sharply decaying spectrum (rank-3 + noise).
+    fn structured(m: usize, n: usize) -> Matrix {
+        Matrix::from_fn(m, n, |r, c| {
+            let u1 = (r as f64 * 0.13).sin();
+            let u2 = (r as f64 * 0.041).cos();
+            let u3 = ((r * r) as f64 * 0.002).sin();
+            8.0 * u1 * ((c + 1) as f64 * 0.5).cos()
+                + 3.0 * u2 * (c as f64 * 0.9).sin()
+                + 1.0 * u3 * ((c * c) as f64 * 0.1).cos()
+                + 0.01 * (((r * 31 + c * 7) % 13) as f64 - 6.0)
+        })
+    }
+
+    #[test]
+    fn matches_exact_svd_on_leading_triplets() {
+        let a = structured(300, 40);
+        let exact = thin_svd(&a).unwrap();
+        let approx = randomized_svd(
+            &a,
+            &RsvdConfig {
+                rank: 5,
+                power_iters: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..3 {
+            let rel = (approx.sigma[i] - exact.sigma[i]).abs() / exact.sigma[i];
+            assert!(rel < 0.02, "σ_{i}: {} vs {}", approx.sigma[i], exact.sigma[i]);
+        }
+    }
+
+    #[test]
+    fn low_rank_reconstruction_error_near_optimal() {
+        let a = structured(200, 30);
+        let k = 3;
+        let approx = randomized_svd(
+            &a,
+            &RsvdConfig {
+                rank: k,
+                power_iters: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rec = approx.reconstruct().unwrap();
+        let err = a.sub(&rec).unwrap().frobenius_norm();
+        let exact = thin_svd(&a).unwrap();
+        let opt: f64 = exact.sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        assert!(err < 1.6 * opt + 1e-9, "err {err} vs optimal {opt}");
+    }
+
+    #[test]
+    fn randomized_leverage_agrees_on_top_features() {
+        // The top-20 deterministic and randomized selections overlap
+        // heavily on a spectrally decaying matrix.
+        let a = structured(400, 20);
+        let exact = leverage_scores(&a, Some(5)).unwrap();
+        let approx = randomized_leverage_scores(
+            &a,
+            &RsvdConfig {
+                rank: 5,
+                power_iters: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let top_exact: std::collections::HashSet<usize> =
+            argsort_desc(&exact)[..20].iter().copied().collect();
+        let top_approx = argsort_desc(&approx);
+        let overlap = top_approx[..20]
+            .iter()
+            .filter(|i| top_exact.contains(i))
+            .count();
+        assert!(overlap >= 15, "only {overlap}/20 overlap");
+    }
+
+    #[test]
+    fn u_and_v_orthonormal() {
+        let a = structured(150, 25);
+        let f = randomized_svd(&a, &RsvdConfig::default()).unwrap();
+        let utu = f.u.transpose().matmul(&f.u).unwrap();
+        let vtv = f.v.transpose().matmul(&f.v).unwrap();
+        let k = f.sigma.len();
+        assert!(utu.sub(&Matrix::identity(k)).unwrap().max_abs() < 1e-8);
+        assert!(vtv.sub(&Matrix::identity(k)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = structured(100, 15);
+        let f1 = randomized_svd(&a, &RsvdConfig::default()).unwrap();
+        let f2 = randomized_svd(&a, &RsvdConfig::default()).unwrap();
+        assert_eq!(f1.sigma, f2.sigma);
+    }
+
+    #[test]
+    fn validations() {
+        let a = structured(50, 10);
+        assert!(randomized_svd(
+            &a,
+            &RsvdConfig {
+                rank: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(randomized_svd(
+            &a,
+            &RsvdConfig {
+                rank: 11,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+}

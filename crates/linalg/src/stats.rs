@@ -1,0 +1,416 @@
+//! Statistical kernels: means, variances, z-scoring, Pearson correlation.
+//!
+//! These implement the paper's §3.1.1 data path: time-series matrices are
+//! z-score normalized and turned into Pearson correlation ("co-firing")
+//! matrices, and the attack's final matching step correlates subject columns
+//! across reduced group matrices.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the preprocessing QC metrics to summarize long voxel time series
+/// in one pass without storing them.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (÷ n). 0 when fewer than one observation.
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (÷ n−1). 0 when fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    crate::vector::mean(xs)
+}
+
+/// Population variance of a slice (÷ n, 0 for empty).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Z-scores a slice in place: subtract the mean, divide by the population
+/// standard deviation. A constant (zero-variance) series becomes all zeros
+/// rather than NaN — constant voxel series are common at brain-mask edges
+/// and must not poison downstream correlations.
+pub fn zscore_in_place(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s <= f64::EPSILON * m.abs().max(1.0) {
+        for x in xs.iter_mut() {
+            *x = 0.0;
+        }
+        return;
+    }
+    let inv = 1.0 / s;
+    for x in xs.iter_mut() {
+        *x = (*x - m) * inv;
+    }
+}
+
+/// Z-scores every row of a matrix in place (each row treated as one series).
+pub fn zscore_rows(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        zscore_in_place(m.row_mut(r));
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns an error on length mismatch or empty input. A zero-variance
+/// series yields correlation `0.0` (no linear association measurable),
+/// matching the convention used for constant parcels.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "pearson",
+            lhs: (1, x.len()),
+            rhs: (1, y.len()),
+        });
+    }
+    if x.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "pearson" });
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Ok(0.0);
+    }
+    // Clamp to [-1, 1]: rounding can push |r| epsilon past 1.
+    Ok((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Row-by-row Pearson correlation matrix of `m` (rows are series).
+///
+/// For a `regions × time` matrix this produces the `regions × regions`
+/// functional connectome of §3.1.1. Implemented by z-scoring a copy of the
+/// rows and taking a scaled Gram product, so the heavy lifting is one
+/// matmul rather than `n²/2` pair scans.
+pub fn correlation_matrix(m: &Matrix) -> Result<Matrix> {
+    if m.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "correlation_matrix",
+        });
+    }
+    if m.cols() < 2 {
+        return Err(LinalgError::InvalidParameter {
+            name: "time points",
+            reason: "need at least 2 samples per series for correlation",
+        });
+    }
+    let mut z = m.clone();
+    zscore_rows(&mut z);
+    // corr = Z Zᵀ / T  (population normalization matches zscore_in_place).
+    let zt = z.transpose();
+    let mut c = z.matmul(&zt)?;
+    c.scale_mut(1.0 / m.cols() as f64);
+    // Exact ones on the diagonal, clamp rounding noise elsewhere.
+    let n = c.rows();
+    for i in 0..n {
+        for j in 0..n {
+            let v = c[(i, j)].clamp(-1.0, 1.0);
+            c[(i, j)] = if i == j {
+                // A zero-variance row z-scored to zeros has self-corr 0.
+                if v == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                v
+            };
+        }
+    }
+    Ok(c)
+}
+
+/// Pearson correlation between every column of `a` and every column of `b`.
+///
+/// Output is `a.cols() × b.cols()`; entry `(i, j)` is the correlation of
+/// `a[:, i]` with `b[:, j]`. This is the attack's cross-dataset similarity
+/// matrix (Figure 1/2): columns are subjects, rows are the retained features.
+pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if a.is_empty() || b.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation",
+        });
+    }
+    // Z-score columns of both, then out = Aᵀ B / rows.
+    let mut az = a.transpose();
+    let mut bz = b.transpose();
+    zscore_rows(&mut az);
+    zscore_rows(&mut bz);
+    let mut out = az.matmul(&bz.transpose())?;
+    out.scale_mut(1.0 / a.rows() as f64);
+    for v in out.as_mut_slice() {
+        *v = v.clamp(-1.0, 1.0);
+    }
+    Ok(out)
+}
+
+/// Normalized root-mean-squared error, in percent, as used by Table 1.
+///
+/// `nRMSE = 100 · sqrt(mean((pred − truth)²)) / (max(truth) − min(truth))`.
+/// Returns an error on length mismatch, empty input, or a constant truth
+/// vector (zero range).
+pub fn nrmse_percent(pred: &[f64], truth: &[f64]) -> Result<f64> {
+    if pred.len() != truth.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "nrmse",
+            lhs: (1, pred.len()),
+            rhs: (1, truth.len()),
+        });
+    }
+    if truth.is_empty() {
+        return Err(LinalgError::EmptyMatrix { op: "nrmse" });
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &t in truth {
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    let range = hi - lo;
+    if range <= 0.0 {
+        return Err(LinalgError::InvalidParameter {
+            name: "truth",
+            reason: "constant target vector has zero range",
+        });
+    }
+    let mse = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / truth.len() as f64;
+    Ok(100.0 * mse.sqrt() / range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), 0.0);
+        w.push(3.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.mean(), 3.0);
+    }
+
+    #[test]
+    fn zscore_normalizes() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        zscore_in_place(&mut xs);
+        assert!(mean(&xs).abs() < 1e-12);
+        assert!((variance(&xs) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_constant_becomes_zero() {
+        let mut xs = vec![7.0; 10];
+        zscore_in_place(&mut xs);
+        assert!(xs.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_shift_scale_invariant() {
+        let x = [0.3, -1.2, 2.5, 0.0, 1.1];
+        let y = [1.0, 0.2, -0.7, 0.9, 2.2];
+        let r1 = pearson(&x, &y).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| 3.0 * v + 10.0).collect();
+        let r2 = pearson(&xs, &y).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_errors() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn correlation_matrix_diagonal_ones() {
+        let m = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0, 4.0],
+            &[4.0, 3.0, 2.0, 1.0],
+            &[1.0, -1.0, 1.0, -1.0],
+        ])
+        .unwrap();
+        let c = correlation_matrix(&m).unwrap();
+        assert_eq!(c.shape(), (3, 3));
+        for i in 0..3 {
+            assert!((c[(i, i)] - 1.0).abs() < 1e-12);
+        }
+        assert!((c[(0, 1)] + 1.0).abs() < 1e-9);
+        // Symmetry.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_matches_pairwise_pearson() {
+        let m = Matrix::from_fn(5, 30, |r, c| ((r * 7 + c * 13) % 11) as f64 + (c as f64 * 0.1));
+        let cm = correlation_matrix(&m).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let p = pearson(m.row(i), m.row(j)).unwrap();
+                assert!((cm[(i, j)] - p).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_rejects_single_sample() {
+        let m = Matrix::zeros(3, 1);
+        assert!(correlation_matrix(&m).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_self_diag_is_one() {
+        let a = Matrix::from_fn(20, 4, |r, c| ((r * (c + 2)) % 7) as f64 - 3.0);
+        let x = cross_correlation(&a, &a).unwrap();
+        for i in 0..4 {
+            assert!((x[(i, i)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_correlation_matches_pearson_on_columns() {
+        let a = Matrix::from_fn(15, 3, |r, c| ((r + c * 5) % 6) as f64);
+        let b = Matrix::from_fn(15, 2, |r, c| ((r * 2 + c) % 5) as f64);
+        let x = cross_correlation(&a, &b).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                let p = pearson(&a.col(i), &b.col(j)).unwrap();
+                assert!((x[(i, j)] - p).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_correlation_shape_mismatch() {
+        let a = Matrix::zeros(5, 2);
+        let b = Matrix::zeros(6, 2);
+        assert!(cross_correlation(&a, &b).is_err());
+    }
+
+    #[test]
+    fn nrmse_zero_for_exact_prediction() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(nrmse_percent(&t, &t).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn nrmse_known_value() {
+        // errors all 1, range 10 -> 100 * 1 / 10 = 10%.
+        let truth = [0.0, 5.0, 10.0];
+        let pred = [1.0, 6.0, 11.0];
+        assert!((nrmse_percent(&pred, &truth).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrmse_rejects_constant_truth() {
+        assert!(nrmse_percent(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! ML error type.
+
+use std::fmt;
+
+/// Errors from the ML layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Features and targets disagree in sample count.
+    SampleCountMismatch {
+        /// Samples in the feature matrix.
+        features: usize,
+        /// Entries in the target vector.
+        targets: usize,
+    },
+    /// A model was asked to predict before being fitted.
+    NotFitted,
+    /// Too few samples for the requested operation.
+    TooFewSamples {
+        /// Minimum required.
+        required: usize,
+        /// Provided.
+        got: usize,
+    },
+    /// Prediction-time feature dimensionality differs from training.
+    FeatureDimMismatch {
+        /// Dimensionality at fit time.
+        fitted: usize,
+        /// Dimensionality at predict time.
+        got: usize,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::SampleCountMismatch { features, targets } => write!(
+                f,
+                "sample count mismatch: {features} feature rows vs {targets} targets"
+            ),
+            MlError::NotFitted => write!(f, "model used before fitting"),
+            MlError::TooFewSamples { required, got } => {
+                write!(f, "too few samples: need {required}, got {got}")
+            }
+            MlError::FeatureDimMismatch { fitted, got } => write!(
+                f,
+                "feature dimensionality mismatch: fitted with {fitted}, got {got}"
+            ),
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for MlError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        MlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MlError::NotFitted.to_string().contains("fitting"));
+        let e = MlError::SampleCountMismatch {
+            features: 10,
+            targets: 8,
+        };
+        assert!(e.to_string().contains("10") && e.to_string().contains('8'));
+    }
+}

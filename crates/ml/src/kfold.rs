@@ -1,0 +1,91 @@
+//! k-fold cross-validation.
+//!
+//! The paper evaluates with repeated random splits; k-fold is the
+//! complementary protocol the library also supports, giving every subject
+//! exactly one appearance in a test fold.
+
+use crate::error::MlError;
+use crate::split::Split;
+use crate::Result;
+use neurodeanon_linalg::Rng64;
+
+/// Produces `k` train/test splits covering `n` samples: the samples are
+/// shuffled once, divided into `k` nearly equal folds, and each fold takes
+/// one turn as the test set.
+pub fn kfold(n: usize, k: usize, rng: &mut Rng64) -> Result<Vec<Split>> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: "need at least 2 folds",
+        });
+    }
+    if n < k {
+        return Err(MlError::TooFewSamples {
+            required: k,
+            got: n,
+        });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let mut splits = Vec::with_capacity(k);
+    // Fold f gets samples [bounds[f], bounds[f+1]).
+    let bounds: Vec<usize> = (0..=k).map(|f| f * n / k).collect();
+    for f in 0..k {
+        let test: Vec<usize> = idx[bounds[f]..bounds[f + 1]].to_vec();
+        let train: Vec<usize> = idx[..bounds[f]]
+            .iter()
+            .chain(&idx[bounds[f + 1]..])
+            .copied()
+            .collect();
+        splits.push(Split { train, test });
+    }
+    Ok(splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_samples() {
+        let mut rng = Rng64::new(2);
+        let splits = kfold(23, 5, &mut rng).unwrap();
+        assert_eq!(splits.len(), 5);
+        // Every sample appears in exactly one test fold.
+        let mut seen = [0usize; 23];
+        for s in &splits {
+            for &t in &s.test {
+                seen[t] += 1;
+            }
+            // Train + test = everything, disjoint.
+            assert_eq!(s.train.len() + s.test.len(), 23);
+            let tset: std::collections::HashSet<_> = s.test.iter().collect();
+            assert!(s.train.iter().all(|t| !tset.contains(t)));
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn fold_sizes_nearly_equal() {
+        let mut rng = Rng64::new(3);
+        let splits = kfold(10, 3, &mut rng).unwrap();
+        let sizes: Vec<usize> = splits.iter().map(|s| s.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = kfold(12, 4, &mut Rng64::new(7)).unwrap();
+        let b = kfold(12, 4, &mut Rng64::new(7)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validations() {
+        let mut rng = Rng64::new(1);
+        assert!(kfold(5, 1, &mut rng).is_err());
+        assert!(kfold(3, 5, &mut rng).is_err());
+        assert!(kfold(5, 5, &mut rng).is_ok());
+    }
+}

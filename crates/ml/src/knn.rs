@@ -1,0 +1,158 @@
+//! k-nearest-neighbour classification.
+//!
+//! §3.3.2 assigns task labels to anonymous points "on the basis of their
+//! nearest neighbor with known task label" — 1-NN on the 2-D t-SNE map.
+//! The classifier here generalizes to odd `k` with majority voting.
+
+use crate::error::MlError;
+use crate::Result;
+use neurodeanon_linalg::vector::dist_sq;
+use neurodeanon_linalg::Matrix;
+
+/// A k-NN classifier over `usize` class labels.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    train_x: Option<Matrix>,
+    train_y: Vec<usize>,
+}
+
+impl KnnClassifier {
+    /// Creates a classifier with neighbourhood size `k ≥ 1`.
+    pub fn new(k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: "neighbourhood size must be at least 1",
+            });
+        }
+        Ok(KnnClassifier {
+            k,
+            train_x: None,
+            train_y: Vec::new(),
+        })
+    }
+
+    /// Stores the training set (samples × features and labels).
+    pub fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<()> {
+        if x.rows() != y.len() {
+            return Err(MlError::SampleCountMismatch {
+                features: x.rows(),
+                targets: y.len(),
+            });
+        }
+        if x.rows() < self.k {
+            return Err(MlError::TooFewSamples {
+                required: self.k,
+                got: x.rows(),
+            });
+        }
+        self.train_x = Some(x.clone());
+        self.train_y = y.to_vec();
+        Ok(())
+    }
+
+    /// Predicts the label of each row of `x` by majority vote among the `k`
+    /// nearest training points (ties break toward the nearest member).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<usize>> {
+        let train = self.train_x.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != train.cols() {
+            return Err(MlError::FeatureDimMismatch {
+                fitted: train.cols(),
+                got: x.cols(),
+            });
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let query = x.row(r);
+            // Collect (distance, label) and partial-select the k smallest.
+            let mut dists: Vec<(f64, usize)> = (0..train.rows())
+                .map(|t| (dist_sq(query, train.row(t)), self.train_y[t]))
+                .collect();
+            dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let neighbours = &dists[..self.k];
+            // Majority vote; on ties the label of the closest tied member
+            // wins (scan in distance order).
+            let mut counts = std::collections::HashMap::new();
+            for &(_, label) in neighbours {
+                *counts.entry(label).or_insert(0usize) += 1;
+            }
+            let best_count = *counts.values().max().expect("k >= 1");
+            let winner = neighbours
+                .iter()
+                .find(|(_, l)| counts[l] == best_count)
+                .expect("at least one neighbour")
+                .1;
+            out.push(winner);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> (Matrix, Vec<usize>) {
+        // Class 0 near origin, class 1 near (10, 10).
+        let mut x = Matrix::zeros(10, 2);
+        let mut y = Vec::new();
+        for i in 0..5 {
+            x[(i, 0)] = i as f64 * 0.1;
+            x[(i, 1)] = -(i as f64) * 0.1;
+            y.push(0);
+        }
+        for i in 5..10 {
+            x[(i, 0)] = 10.0 + i as f64 * 0.1;
+            x[(i, 1)] = 10.0 - i as f64 * 0.1;
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn one_nn_classifies_clusters() {
+        let (x, y) = two_clusters();
+        let mut knn = KnnClassifier::new(1).unwrap();
+        knn.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[&[0.5, 0.5], &[9.0, 9.0]]).unwrap();
+        assert_eq!(knn.predict(&q).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn three_nn_majority_overrides_single_outlier() {
+        // One mislabeled point inside class 0's region.
+        let (mut x, mut y) = two_clusters();
+        x[(4, 0)] = 0.2;
+        x[(4, 1)] = 0.2;
+        y[4] = 1; // outlier label
+        let mut knn = KnnClassifier::new(3).unwrap();
+        knn.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[&[0.2, 0.2]]).unwrap();
+        // 1-NN would say 1 (the outlier); 3-NN majority says 0.
+        assert_eq!(knn.predict(&q).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn training_point_maps_to_itself_with_one_nn() {
+        let (x, y) = two_clusters();
+        let mut knn = KnnClassifier::new(1).unwrap();
+        knn.fit(&x, &y).unwrap();
+        let pred = knn.predict(&x).unwrap();
+        assert_eq!(pred, y);
+    }
+
+    #[test]
+    fn validations() {
+        assert!(KnnClassifier::new(0).is_err());
+        let knn = KnnClassifier::new(1).unwrap();
+        assert!(knn.predict(&Matrix::zeros(1, 2)).is_err());
+        let (x, y) = two_clusters();
+        let mut knn = KnnClassifier::new(20).unwrap();
+        assert!(knn.fit(&x, &y).is_err());
+        let mut knn = KnnClassifier::new(1).unwrap();
+        assert!(knn.fit(&x, &y[..4]).is_err());
+        knn.fit(&x, &y).unwrap();
+        assert!(knn.predict(&Matrix::zeros(1, 3)).is_err());
+    }
+}

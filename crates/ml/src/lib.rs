@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-ml
+//!
+//! The machine-learning layer of the reproduction.
+//!
+//! * [`svr`] — linear ε-insensitive Support Vector Regression trained by
+//!   dual coordinate descent; the estimator behind the paper's
+//!   task-performance prediction (§3.3.3, "We use SVM for regression").
+//! * [`ridge`] — ridge regression, the linear baseline for the same task.
+//! * [`knn`] — k-nearest-neighbour classification (1-NN label transfer is
+//!   the paper's task-prediction rule on the t-SNE map, §3.3.2) and
+//!   regression.
+//! * [`split`] — seeded train/test splitting (the 80/20 × 1000-repeats
+//!   protocol of Table 1).
+//! * [`metrics`] — accuracy, confusion matrices, nRMSE, R².
+
+pub mod error;
+pub mod kfold;
+pub mod knn;
+pub mod metrics;
+pub mod ridge;
+pub mod split;
+pub mod svr;
+
+pub use error::MlError;
+pub use knn::KnnClassifier;
+pub use ridge::Ridge;
+pub use kfold::kfold;
+pub use split::train_test_split;
+pub use svr::{Svr, SvrConfig};
+
+/// Result alias for ML operations.
+pub type Result<T> = std::result::Result<T, MlError>;

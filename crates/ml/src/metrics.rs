@@ -1,0 +1,134 @@
+//! Evaluation metrics.
+
+use crate::error::MlError;
+use crate::Result;
+
+/// Classification accuracy in `[0, 1]`.
+pub fn accuracy(pred: &[usize], truth: &[usize]) -> Result<f64> {
+    if pred.len() != truth.len() {
+        return Err(MlError::SampleCountMismatch {
+            features: pred.len(),
+            targets: truth.len(),
+        });
+    }
+    if pred.is_empty() {
+        return Err(MlError::TooFewSamples {
+            required: 1,
+            got: 0,
+        });
+    }
+    let hits = pred.iter().zip(truth).filter(|(a, b)| a == b).count();
+    Ok(hits as f64 / pred.len() as f64)
+}
+
+/// Confusion matrix: `counts[t][p]` = samples with true class `t` predicted
+/// as class `p`. `n_classes` must exceed every label.
+pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Result<Vec<Vec<usize>>> {
+    if pred.len() != truth.len() {
+        return Err(MlError::SampleCountMismatch {
+            features: pred.len(),
+            targets: truth.len(),
+        });
+    }
+    let mut counts = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in pred.iter().zip(truth) {
+        if p >= n_classes || t >= n_classes {
+            return Err(MlError::InvalidParameter {
+                name: "n_classes",
+                reason: "a label exceeds the declared class count",
+            });
+        }
+        counts[t][p] += 1;
+    }
+    Ok(counts)
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(pred: &[f64], truth: &[f64]) -> Result<f64> {
+    if pred.len() != truth.len() {
+        return Err(MlError::SampleCountMismatch {
+            features: pred.len(),
+            targets: truth.len(),
+        });
+    }
+    if truth.len() < 2 {
+        return Err(MlError::TooFewSamples {
+            required: 2,
+            got: truth.len(),
+        });
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot <= 0.0 {
+        return Err(MlError::InvalidParameter {
+            name: "truth",
+            reason: "constant target vector",
+        });
+    }
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Mean and (sample) standard deviation of a slice — the `μ ± σ` pairs the
+/// paper's tables report over experiment repetitions.
+pub fn mean_std(values: &[f64]) -> Result<(f64, f64)> {
+    if values.is_empty() {
+        return Err(MlError::TooFewSamples {
+            required: 1,
+            got: 0,
+        });
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() == 1 {
+        return Ok((mean, 0.0));
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    Ok((mean, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 3]).unwrap(), 1.0);
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 0, 0]).unwrap(), 1.0 / 3.0);
+        assert!(accuracy(&[], &[]).is_err());
+        assert!(accuracy(&[1], &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let cm = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 0], 2).unwrap();
+        assert_eq!(cm[0][0], 2); // true 0 predicted 0
+        assert_eq!(cm[0][1], 1); // true 0 predicted 1
+        assert_eq!(cm[1][1], 1);
+        assert_eq!(cm[1][0], 0);
+        assert!(confusion_matrix(&[2], &[0], 2).is_err());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&t, &t).unwrap() - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &t).unwrap().abs() < 1e-12);
+        assert!(r_squared(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mean_std_matches_table_convention() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+        let (m1, s1) = mean_std(&[3.0]).unwrap();
+        assert_eq!((m1, s1), (3.0, 0.0));
+        assert!(mean_std(&[]).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Ridge regression — the linear baseline for performance prediction.
+//!
+//! Solves `(XᵀX + λI) w = Xᵀy` by Cholesky on standardized inputs.
+
+use crate::error::MlError;
+use crate::Result;
+use neurodeanon_linalg::cholesky::{cholesky_regularized, cholesky_solve};
+use neurodeanon_linalg::Matrix;
+
+/// A ridge-regression model.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    lambda: f64,
+    state: Option<FittedRidge>,
+}
+
+#[derive(Debug, Clone)]
+struct FittedRidge {
+    w: Vec<f64>,
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    y_mean: f64,
+}
+
+impl Ridge {
+    /// Creates an unfitted model with regularization strength `lambda ≥ 0`.
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda >= 0.0 && lambda.is_finite()) {
+            return Err(MlError::InvalidParameter {
+                name: "lambda",
+                reason: "must be non-negative and finite",
+            });
+        }
+        Ok(Ridge {
+            lambda,
+            state: None,
+        })
+    }
+
+    /// Fits on `x` (samples × features) and targets `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        let (n, d) = x.shape();
+        if n != y.len() {
+            return Err(MlError::SampleCountMismatch {
+                features: n,
+                targets: y.len(),
+            });
+        }
+        if n < 2 {
+            return Err(MlError::TooFewSamples {
+                required: 2,
+                got: n,
+            });
+        }
+        let mut x_mean = vec![0.0; d];
+        let mut x_std = vec![0.0; d];
+        for c in 0..d {
+            let col: Vec<f64> = (0..n).map(|r| x[(r, c)]).collect();
+            let m = col.iter().sum::<f64>() / n as f64;
+            let v = col.iter().map(|a| (a - m) * (a - m)).sum::<f64>() / n as f64;
+            x_mean[c] = m;
+            x_std[c] = if v > 1e-24 { v.sqrt() } else { 1.0 };
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let xs = Matrix::from_fn(n, d, |r, c| (x[(r, c)] - x_mean[c]) / x_std[c]);
+        let yc: Vec<f64> = y.iter().map(|&t| t - y_mean).collect();
+
+        let mut gram = xs.gram();
+        // Always load at least a whisper of ridge so the solve is defined
+        // even for collinear features.
+        let lambda = self.lambda.max(1e-10);
+        for i in 0..d {
+            gram[(i, i)] += lambda;
+        }
+        let l = cholesky_regularized(&gram, 1e-10, 1e3)?;
+        let xty = xs.transpose().matmul(&Matrix::from_vec(n, 1, yc)?)?;
+        let w = cholesky_solve(&l, &xty)?;
+        self.state = Some(FittedRidge {
+            w: w.col(0),
+            x_mean,
+            x_std,
+            y_mean,
+        });
+        Ok(())
+    }
+
+    /// Predicts targets for `x`.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != st.w.len() {
+            return Err(MlError::FeatureDimMismatch {
+                fitted: st.w.len(),
+                got: x.cols(),
+            });
+        }
+        Ok((0..x.rows())
+            .map(|r| {
+                let mut acc = st.y_mean;
+                for (c, &wv) in st.w.iter().enumerate() {
+                    acc += wv * (x[(r, c)] - st.x_mean[c]) / st.x_std[c];
+                }
+                acc
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_linalg::Rng64;
+
+    #[test]
+    fn recovers_linear_relation() {
+        let mut rng = Rng64::new(1);
+        let x = Matrix::from_fn(80, 2, |_, _| rng.gaussian());
+        let y: Vec<f64> = (0..80).map(|r| 3.0 * x[(r, 0)] - x[(r, 1)] + 5.0).collect();
+        let mut model = Ridge::new(1e-6).unwrap();
+        model.fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        for (p, t) in pred.iter().zip(&y) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn heavy_regularization_shrinks_to_mean() {
+        let mut rng = Rng64::new(2);
+        let x = Matrix::from_fn(40, 2, |_, _| rng.gaussian());
+        let y: Vec<f64> = (0..40).map(|r| x[(r, 0)]).collect();
+        let mut model = Ridge::new(1e9).unwrap();
+        model.fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / 40.0;
+        assert!(pred.iter().all(|p| (p - mean).abs() < 0.01));
+    }
+
+    #[test]
+    fn survives_collinear_features() {
+        let mut rng = Rng64::new(3);
+        let mut x = Matrix::zeros(30, 2);
+        for r in 0..30 {
+            let v = rng.gaussian();
+            x[(r, 0)] = v;
+            x[(r, 1)] = 2.0 * v; // perfectly collinear
+        }
+        let y: Vec<f64> = (0..30).map(|r| x[(r, 0)]).collect();
+        let mut model = Ridge::new(0.0).unwrap();
+        model.fit(&x, &y).unwrap();
+        let pred = model.predict(&x).unwrap();
+        assert!(pred.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Ridge::new(-1.0).is_err());
+        let model = Ridge::new(1.0).unwrap();
+        assert!(model.predict(&Matrix::zeros(1, 1)).is_err());
+        let mut model = Ridge::new(1.0).unwrap();
+        assert!(model.fit(&Matrix::zeros(5, 2), &[0.0; 4]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Train/test splitting.
+//!
+//! Table 1 of the paper uses random 80/20 splits repeated 1000 times; the
+//! splitter here is seeded so every repetition of every experiment is
+//! replayable.
+
+use crate::error::MlError;
+use crate::Result;
+use neurodeanon_linalg::Rng64;
+
+/// A train/test index split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices assigned to the training set.
+    pub train: Vec<usize>,
+    /// Indices assigned to the test set.
+    pub test: Vec<usize>,
+}
+
+/// Splits `n` samples into train/test with `test_fraction` of the samples
+/// (rounded, at least 1 each side) going to the test set.
+pub fn train_test_split(n: usize, test_fraction: f64, rng: &mut Rng64) -> Result<Split> {
+    if n < 2 {
+        return Err(MlError::TooFewSamples {
+            required: 2,
+            got: n,
+        });
+    }
+    if !(0.0 < test_fraction && test_fraction < 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "test_fraction",
+            reason: "must lie strictly between 0 and 1",
+        });
+    }
+    let n_test = ((n as f64 * test_fraction).round() as usize).clamp(1, n - 1);
+    let mut idx: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut idx);
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    Ok(Split { train, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_all_indices() {
+        let mut rng = Rng64::new(4);
+        let s = train_test_split(100, 0.2, &mut rng).unwrap();
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn at_least_one_each_side() {
+        let mut rng = Rng64::new(4);
+        let s = train_test_split(2, 0.01, &mut rng).unwrap();
+        assert_eq!(s.test.len(), 1);
+        assert_eq!(s.train.len(), 1);
+        let s = train_test_split(2, 0.99, &mut rng).unwrap();
+        assert_eq!(s.test.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let a = train_test_split(50, 0.2, &mut Rng64::new(7)).unwrap();
+        let b = train_test_split(50, 0.2, &mut Rng64::new(7)).unwrap();
+        assert_eq!(a, b);
+        let c = train_test_split(50, 0.2, &mut Rng64::new(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validation() {
+        let mut rng = Rng64::new(1);
+        assert!(train_test_split(1, 0.5, &mut rng).is_err());
+        assert!(train_test_split(10, 0.0, &mut rng).is_err());
+        assert!(train_test_split(10, 1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,334 @@
+//! Linear ε-insensitive Support Vector Regression.
+//!
+//! Solves the L1-loss SVR dual by coordinate descent (the liblinear
+//! `L2R_L1LOSS_SVR_DUAL` recipe):
+//!
+//! ```text
+//! min_β  ½ βᵀQβ + ε‖β‖₁ − yᵀβ     s.t. |βᵢ| ≤ C,   Q = X Xᵀ,
+//! w = Σᵢ βᵢ xᵢ
+//! ```
+//!
+//! Each coordinate has a closed-form soft-thresholded update, so the solver
+//! needs only the per-sample squared norms and the running `w`. Inputs are
+//! standardized internally (zero mean, unit variance per feature; target
+//! centered and scaled) because the connectome features the attack feeds in
+//! have wildly varying scales after leverage selection.
+
+use crate::error::MlError;
+use crate::Result;
+use neurodeanon_linalg::vector::{dot, norm2_sq};
+use neurodeanon_linalg::{Matrix, Rng64};
+
+/// SVR hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SvrConfig {
+    /// Box constraint `C` (regularization inverse).
+    pub c: f64,
+    /// ε-insensitive tube half-width, in *standardized target* units.
+    pub epsilon: f64,
+    /// Maximum coordinate-descent passes over the data.
+    pub max_passes: usize,
+    /// Stop when the largest coordinate update in a pass falls below this.
+    pub tol: f64,
+    /// Seed for the coordinate-permutation RNG.
+    pub seed: u64,
+}
+
+impl Default for SvrConfig {
+    fn default() -> Self {
+        SvrConfig {
+            c: 1.0,
+            epsilon: 0.1,
+            max_passes: 200,
+            tol: 1e-6,
+            seed: 0x5f3759df,
+        }
+    }
+}
+
+/// A fitted (or fresh) linear SVR model.
+#[derive(Debug, Clone)]
+pub struct Svr {
+    config: SvrConfig,
+    state: Option<Fitted>,
+}
+
+#[derive(Debug, Clone)]
+struct Fitted {
+    /// Weights in standardized feature space.
+    w: Vec<f64>,
+    /// Intercept in standardized target space.
+    b: f64,
+    /// Per-feature means/stds for input standardization.
+    x_mean: Vec<f64>,
+    x_std: Vec<f64>,
+    /// Target mean/std.
+    y_mean: f64,
+    y_std: f64,
+}
+
+impl Svr {
+    /// Creates an unfitted model.
+    pub fn new(config: SvrConfig) -> Result<Self> {
+        if !(config.c > 0.0) || !(config.epsilon >= 0.0) || config.max_passes == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "config",
+                reason: "need c > 0, epsilon >= 0, max_passes >= 1",
+            });
+        }
+        Ok(Svr {
+            config,
+            state: None,
+        })
+    }
+
+    /// Fits on `x` (samples × features) and targets `y`.
+    pub fn fit(&mut self, x: &Matrix, y: &[f64]) -> Result<()> {
+        let (n, d) = x.shape();
+        if n != y.len() {
+            return Err(MlError::SampleCountMismatch {
+                features: n,
+                targets: y.len(),
+            });
+        }
+        if n < 2 {
+            return Err(MlError::TooFewSamples {
+                required: 2,
+                got: n,
+            });
+        }
+        // Standardize features and target.
+        let mut x_mean = vec![0.0; d];
+        let mut x_std = vec![0.0; d];
+        for c in 0..d {
+            let col: Vec<f64> = (0..n).map(|r| x[(r, c)]).collect();
+            let m = col.iter().sum::<f64>() / n as f64;
+            let v = col.iter().map(|a| (a - m) * (a - m)).sum::<f64>() / n as f64;
+            x_mean[c] = m;
+            x_std[c] = if v > 1e-24 { v.sqrt() } else { 1.0 };
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let y_var = y.iter().map(|a| (a - y_mean) * (a - y_mean)).sum::<f64>() / n as f64;
+        let y_std = if y_var > 1e-24 { y_var.sqrt() } else { 1.0 };
+
+        let xs = Matrix::from_fn(n, d, |r, c| (x[(r, c)] - x_mean[c]) / x_std[c]);
+        let ys: Vec<f64> = y.iter().map(|&t| (t - y_mean) / y_std).collect();
+
+        // Dual coordinate descent. Append an implicit bias feature of 1.0
+        // (handled via `b` alongside `w`).
+        let mut beta = vec![0.0; n];
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        // Per-sample ‖xᵢ‖² + 1 (bias).
+        let qii: Vec<f64> = (0..n).map(|r| norm2_sq(xs.row(r)) + 1.0).collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Rng64::new(self.config.seed);
+        let (c_box, eps) = (self.config.c, self.config.epsilon);
+
+        for _pass in 0..self.config.max_passes {
+            rng.shuffle(&mut order);
+            let mut max_delta = 0.0_f64;
+            for &i in &order {
+                if qii[i] <= 0.0 {
+                    continue;
+                }
+                let xi = xs.row(i);
+                // Gradient of the smooth part wrt βᵢ: (w·xᵢ + b) − yᵢ.
+                let g = dot(&w, xi) + b - ys[i];
+                // Soft-threshold update (L1 term ε|βᵢ|), projected to box.
+                let old = beta[i];
+                // Candidate without the ε term: β ← β − g/qii, then
+                // soft-threshold (the unconstrained optimum of
+                // ½·qii·(β−raw)² + ε|β|) and project to the box.
+                let raw = old - g / qii[i];
+                let shrink = eps / qii[i];
+                let mut new = if raw > shrink {
+                    raw - shrink
+                } else if raw < -shrink {
+                    raw + shrink
+                } else {
+                    0.0
+                };
+                new = new.clamp(-c_box, c_box);
+                let delta = new - old;
+                if delta.abs() > 1e-15 {
+                    beta[i] = new;
+                    for (wc, &xv) in w.iter_mut().zip(xi) {
+                        *wc += delta * xv;
+                    }
+                    b += delta;
+                    max_delta = max_delta.max(delta.abs());
+                }
+            }
+            if max_delta < self.config.tol {
+                break;
+            }
+        }
+
+        self.state = Some(Fitted {
+            w,
+            b,
+            x_mean,
+            x_std,
+            y_mean,
+            y_std,
+        });
+        Ok(())
+    }
+
+    /// Predicts targets for `x` (samples × features).
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        if x.cols() != st.w.len() {
+            return Err(MlError::FeatureDimMismatch {
+                fitted: st.w.len(),
+                got: x.cols(),
+            });
+        }
+        let mut out = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let mut acc = st.b;
+            for (c, (&xv, &wv)) in row.iter().zip(&st.w).enumerate() {
+                acc += wv * (xv - st.x_mean[c]) / st.x_std[c];
+            }
+            out.push(acc * st.y_std + st.y_mean);
+        }
+        Ok(out)
+    }
+
+    /// Weights mapped back to the *original* feature scale (for inspecting
+    /// which connectome edges drive a performance prediction).
+    pub fn weights_original_scale(&self) -> Result<Vec<f64>> {
+        let st = self.state.as_ref().ok_or(MlError::NotFitted)?;
+        Ok(st
+            .w
+            .iter()
+            .zip(&st.x_std)
+            .map(|(&w, &s)| w * st.y_std / s)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, noise: f64, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = Rng64::new(seed);
+        let x = Matrix::from_fn(n, 3, |_, _| rng.gaussian());
+        let y: Vec<f64> = (0..n)
+            .map(|r| 2.0 * x[(r, 0)] - 1.5 * x[(r, 1)] + 0.5 * x[(r, 2)] + 3.0
+                + noise * rng.gaussian())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn recovers_noiseless_linear_function() {
+        let (x, y) = linear_data(100, 0.0, 1);
+        let mut svr = Svr::new(SvrConfig {
+            epsilon: 0.01,
+            c: 10.0,
+            ..Default::default()
+        })
+        .unwrap();
+        svr.fit(&x, &y).unwrap();
+        let pred = svr.predict(&x).unwrap();
+        let nrmse = neurodeanon_linalg::stats::nrmse_percent(&pred, &y).unwrap();
+        assert!(nrmse < 2.0, "nRMSE {nrmse}%");
+    }
+
+    #[test]
+    fn generalizes_with_noise() {
+        let (x, y) = linear_data(150, 0.2, 2);
+        let (xt, yt) = linear_data(50, 0.2, 3);
+        let mut svr = Svr::new(SvrConfig::default()).unwrap();
+        svr.fit(&x, &y).unwrap();
+        let pred = svr.predict(&xt).unwrap();
+        let nrmse = neurodeanon_linalg::stats::nrmse_percent(&pred, &yt).unwrap();
+        assert!(nrmse < 8.0, "test nRMSE {nrmse}%");
+    }
+
+    #[test]
+    fn epsilon_tube_tolerates_small_errors() {
+        // With a huge epsilon, the model can satisfy everything with w = 0
+        // (predicting the mean).
+        let (x, y) = linear_data(60, 0.0, 4);
+        let mut svr = Svr::new(SvrConfig {
+            epsilon: 100.0,
+            ..Default::default()
+        })
+        .unwrap();
+        svr.fit(&x, &y).unwrap();
+        let w = svr.weights_original_scale().unwrap();
+        assert!(w.iter().all(|&v| v.abs() < 1e-6), "{w:?}");
+        let pred = svr.predict(&x).unwrap();
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        assert!(pred.iter().all(|&p| (p - mean).abs() < 1e-6));
+    }
+
+    #[test]
+    fn predict_before_fit_errors() {
+        let svr = Svr::new(SvrConfig::default()).unwrap();
+        assert!(matches!(
+            svr.predict(&Matrix::zeros(2, 3)),
+            Err(MlError::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let (x, y) = linear_data(20, 0.0, 5);
+        let mut svr = Svr::new(SvrConfig::default()).unwrap();
+        assert!(svr.fit(&x, &y[..10]).is_err());
+        svr.fit(&x, &y).unwrap();
+        assert!(svr.predict(&Matrix::zeros(2, 5)).is_err());
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let mut x = Matrix::zeros(30, 2);
+        let mut rng = Rng64::new(6);
+        for r in 0..30 {
+            x[(r, 0)] = rng.gaussian();
+            x[(r, 1)] = 5.0; // constant column
+        }
+        let y: Vec<f64> = (0..30).map(|r| x[(r, 0)] * 3.0).collect();
+        let mut svr = Svr::new(SvrConfig {
+            epsilon: 0.01,
+            c: 10.0,
+            ..Default::default()
+        })
+        .unwrap();
+        svr.fit(&x, &y).unwrap();
+        let pred = svr.predict(&x).unwrap();
+        assert!(pred.iter().all(|p| p.is_finite()));
+        let nrmse = neurodeanon_linalg::stats::nrmse_percent(&pred, &y).unwrap();
+        assert!(nrmse < 3.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(Svr::new(SvrConfig {
+            c: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Svr::new(SvrConfig {
+            epsilon: -1.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (x, y) = linear_data(50, 0.1, 7);
+        let mut a = Svr::new(SvrConfig::default()).unwrap();
+        let mut b = Svr::new(SvrConfig::default()).unwrap();
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+}

@@ -1,0 +1,158 @@
+//! Polynomial detrending.
+//!
+//! The paper's temporal pipeline starts with "a minimal high pass filter …
+//! so as to achieve de-trending of data". Scanner drift in the synthetic
+//! model is linear + quadratic per voxel, so least-squares removal of a
+//! low-order polynomial per series is the matching cleaner.
+
+use crate::error::PreprocessError;
+use crate::Result;
+use neurodeanon_linalg::qr::qr;
+use neurodeanon_linalg::Matrix;
+
+/// Removes the best-fit polynomial of the given `degree` from each row of
+/// `ts` in place. `degree = 0` removes the mean, `degree = 1` a linear
+/// trend, `degree = 2` the quadratic drift of the synthetic scanner.
+///
+/// The fit basis is shared across rows, so the (tiny) QR factorization of
+/// the Vandermonde matrix is computed once.
+pub fn detrend_rows(ts: &mut Matrix, degree: usize) -> Result<()> {
+    let t = ts.cols();
+    if degree + 2 > t {
+        return Err(PreprocessError::SeriesTooShort {
+            required: degree + 2,
+            got: t,
+        });
+    }
+    if degree > 8 {
+        return Err(PreprocessError::InvalidParameter {
+            name: "degree",
+            reason: "polynomial degree above 8 is numerically fragile; use the bandpass filter",
+        });
+    }
+    // Vandermonde basis on normalized time τ ∈ [-1, 1] for conditioning.
+    let basis = Matrix::from_fn(t, degree + 1, |i, d| {
+        let tau = 2.0 * i as f64 / (t - 1).max(1) as f64 - 1.0;
+        tau.powi(d as i32)
+    });
+    let f = qr(&basis)?;
+    // Projection of each series y: y_hat = Q Qᵀ y. Compute row-block-wise:
+    // coefficients-free form avoids solving R c = Qᵀ y explicitly.
+    let qt = f.q.transpose();
+    // ts is rows × t; we need for each row y: y - Q (Qᵀ y).
+    // Stack as matrix ops: Y' = Y - (Y Q) Qᵀ  where Y is rows × t.
+    let yq = ts.matmul(&f.q)?; // rows × (degree+1)
+    let proj = yq.matmul(&qt)?; // rows × t
+    let cleaned = ts.sub(&proj)?;
+    *ts = cleaned;
+    Ok(())
+}
+
+/// Fits and returns the polynomial trend coefficients (in the normalized
+/// τ-basis) for one series — exposed for QC diagnostics.
+pub fn fit_trend(series: &[f64], degree: usize) -> Result<Vec<f64>> {
+    let t = series.len();
+    if degree + 2 > t {
+        return Err(PreprocessError::SeriesTooShort {
+            required: degree + 2,
+            got: t,
+        });
+    }
+    let basis = Matrix::from_fn(t, degree + 1, |i, d| {
+        let tau = 2.0 * i as f64 / (t - 1).max(1) as f64 - 1.0;
+        tau.powi(d as i32)
+    });
+    let f = qr(&basis)?;
+    let y = Matrix::from_vec(t, 1, series.to_vec())?;
+    let qty = f.q.transpose().matmul(&y)?; // (degree+1) × 1
+    // Back-substitute R c = Qᵀ y.
+    let k = degree + 1;
+    let mut c = vec![0.0; k];
+    for i in (0..k).rev() {
+        let mut s = qty[(i, 0)];
+        for j in (i + 1)..k {
+            s -= f.r[(i, j)] * c[j];
+        }
+        let d = f.r[(i, i)];
+        if d.abs() < 1e-300 {
+            return Err(PreprocessError::Linalg(
+                neurodeanon_linalg::LinalgError::Singular { op: "fit_trend" },
+            ));
+        }
+        c[i] = s / d;
+    }
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_mean_at_degree_zero() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]).unwrap();
+        detrend_rows(&mut m, 0).unwrap();
+        let s: f64 = m.row(0).iter().sum();
+        assert!(s.abs() < 1e-10);
+    }
+
+    #[test]
+    fn removes_linear_trend_exactly() {
+        let t = 50;
+        let mut m = Matrix::from_fn(3, t, |r, i| 2.0 * i as f64 + r as f64 * 5.0);
+        detrend_rows(&mut m, 1).unwrap();
+        assert!(m.max_abs() < 1e-9, "residual {}", m.max_abs());
+    }
+
+    #[test]
+    fn removes_quadratic_preserves_high_frequency() {
+        let t = 200;
+        let signal: Vec<f64> = (0..t).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut m = Matrix::from_fn(1, t, |_, i| {
+            let tau = i as f64 / (t - 1) as f64;
+            signal[i] + 3.0 * tau + 2.0 * tau * tau + 7.0
+        });
+        detrend_rows(&mut m, 2).unwrap();
+        // Residual ≈ the oscillation (which a degree-2 fit barely touches).
+        let mut err = 0.0;
+        let mean_sig: f64 = signal.iter().sum::<f64>() / t as f64;
+        for i in 0..t {
+            err += (m[(0, i)] - (signal[i] - mean_sig)).powi(2);
+        }
+        assert!((err / t as f64).sqrt() < 0.1);
+    }
+
+    #[test]
+    fn rejects_short_series_and_big_degree() {
+        let mut m = Matrix::zeros(1, 3);
+        assert!(detrend_rows(&mut m, 2).is_err());
+        let mut m = Matrix::zeros(1, 100);
+        assert!(detrend_rows(&mut m, 9).is_err());
+    }
+
+    #[test]
+    fn fit_trend_recovers_coefficients() {
+        let t = 40;
+        // y = 5 + 3τ in the normalized basis.
+        let series: Vec<f64> = (0..t)
+            .map(|i| {
+                let tau = 2.0 * i as f64 / (t - 1) as f64 - 1.0;
+                5.0 + 3.0 * tau
+            })
+            .collect();
+        let c = fit_trend(&series, 1).unwrap();
+        assert!((c[0] - 5.0).abs() < 1e-9);
+        assert!((c[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detrend_is_idempotent() {
+        let mut m = Matrix::from_fn(2, 60, |r, i| {
+            ((i + r) as f64 * 0.37).sin() + i as f64 * 0.05
+        });
+        detrend_rows(&mut m, 2).unwrap();
+        let once = m.clone();
+        detrend_rows(&mut m, 2).unwrap();
+        assert!(m.sub(&once).unwrap().max_abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Preprocessing error type.
+
+use std::fmt;
+
+/// Errors from preprocessing stages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PreprocessError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        reason: &'static str,
+    },
+    /// The series is too short for the requested operation (e.g. polynomial
+    /// detrend of degree ≥ length, or filtering a 1-sample series).
+    SeriesTooShort {
+        /// Required minimum length.
+        required: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+    /// Error propagated from the atlas layer.
+    Atlas(neurodeanon_atlas::AtlasError),
+    /// Error propagated from the fMRI layer.
+    Fmri(neurodeanon_fmri::FmriError),
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            PreprocessError::SeriesTooShort { required, got } => {
+                write!(f, "series too short: need {required} samples, got {got}")
+            }
+            PreprocessError::Linalg(e) => write!(f, "linalg error: {e}"),
+            PreprocessError::Atlas(e) => write!(f, "atlas error: {e}"),
+            PreprocessError::Fmri(e) => write!(f, "fmri error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PreprocessError::Linalg(e) => Some(e),
+            PreprocessError::Atlas(e) => Some(e),
+            PreprocessError::Fmri(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for PreprocessError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        PreprocessError::Linalg(e)
+    }
+}
+
+impl From<neurodeanon_atlas::AtlasError> for PreprocessError {
+    fn from(e: neurodeanon_atlas::AtlasError) -> Self {
+        PreprocessError::Atlas(e)
+    }
+}
+
+impl From<neurodeanon_fmri::FmriError> for PreprocessError {
+    fn from(e: neurodeanon_fmri::FmriError) -> Self {
+        PreprocessError::Fmri(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PreprocessError::SeriesTooShort {
+            required: 8,
+            got: 2,
+        };
+        assert!(e.to_string().contains('8'));
+        let e = PreprocessError::InvalidParameter {
+            name: "band",
+            reason: "bad",
+        };
+        assert!(e.to_string().contains("band"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let inner = neurodeanon_linalg::LinalgError::EmptyMatrix { op: "t" };
+        let e: PreprocessError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

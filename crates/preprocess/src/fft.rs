@@ -1,0 +1,176 @@
+//! Radix-2 complex FFT.
+//!
+//! A self-contained iterative Cooley–Tukey transform used by the spectral
+//! band-pass filter. Sizes must be powers of two; callers zero-pad.
+
+use crate::error::PreprocessError;
+use crate::Result;
+
+/// One complex sample, `(re, im)`.
+pub type Complex = (f64, f64);
+
+/// In-place forward FFT of a power-of-two-length complex buffer.
+pub fn fft(buf: &mut [Complex]) -> Result<()> {
+    transform(buf, false)
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+pub fn ifft(buf: &mut [Complex]) -> Result<()> {
+    transform(buf, true)?;
+    let n = buf.len() as f64;
+    for c in buf.iter_mut() {
+        c.0 /= n;
+        c.1 /= n;
+    }
+    Ok(())
+}
+
+fn transform(buf: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = buf.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(PreprocessError::InvalidParameter {
+            name: "fft length",
+            reason: "length must be a non-zero power of two",
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut cur = (1.0_f64, 0.0_f64);
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2];
+                let t = (
+                    b.0 * cur.0 - b.1 * cur.1,
+                    b.0 * cur.1 + b.1 * cur.0,
+                );
+                buf[start + k] = (a.0 + t.0, a.1 + t.1);
+                buf[start + k + len / 2] = (a.0 - t.0, a.1 - t.1);
+                cur = (cur.0 * wr - cur.1 * wi, cur.0 * wi + cur.1 * wr);
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Next power of two ≥ `n` (n ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_complex(v: &[f64]) -> Vec<Complex> {
+        v.iter().map(|&x| (x, 0.0)).collect()
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut b = vec![(0.0, 0.0); 6];
+        assert!(fft(&mut b).is_err());
+        let mut b: Vec<Complex> = vec![];
+        assert!(fft(&mut b).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut b = to_complex(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        fft(&mut b).unwrap();
+        for &(re, im) in &b {
+            assert!((re - 1.0).abs() < 1e-12);
+            assert!(im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let mut b = to_complex(&[1.0; 8]);
+        fft(&mut b).unwrap();
+        assert!((b[0].0 - 8.0).abs() < 1e-12);
+        for &(re, im) in &b[1..] {
+            assert!(re.abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let orig: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut b = to_complex(&orig);
+        fft(&mut b).unwrap();
+        ifft(&mut b).unwrap();
+        for (i, &(re, im)) in b.iter().enumerate() {
+            assert!((re - orig[i]).abs() < 1e-10);
+            assert!(im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 32;
+        let k = 5;
+        let mut b: Vec<Complex> = (0..n)
+            .map(|i| ((std::f64::consts::TAU * k as f64 * i as f64 / n as f64).cos(), 0.0))
+            .collect();
+        fft(&mut b).unwrap();
+        // Energy concentrated in bins k and n-k.
+        for (i, &(re, im)) in b.iter().enumerate() {
+            let mag = (re * re + im * im).sqrt();
+            if i == k || i == n - k {
+                assert!((mag - n as f64 / 2.0).abs() < 1e-9, "bin {i} mag {mag}");
+            } else {
+                assert!(mag < 1e-9, "bin {i} mag {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let orig: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let time_energy: f64 = orig.iter().map(|x| x * x).sum();
+        let mut b = to_complex(&orig);
+        fft(&mut b).unwrap();
+        let freq_energy: f64 =
+            b.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 16.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(64), 64);
+        assert_eq!(next_pow2(65), 128);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.3).sin()).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x + y).collect();
+        let mut fa = to_complex(&a);
+        let mut fb = to_complex(&b);
+        let mut fs = to_complex(&sum);
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        fft(&mut fs).unwrap();
+        for i in 0..16 {
+            assert!((fs[i].0 - (2.0 * fa[i].0 + fb[i].0)).abs() < 1e-9);
+            assert!((fs[i].1 - (2.0 * fa[i].1 + fb[i].1)).abs() < 1e-9);
+        }
+    }
+}

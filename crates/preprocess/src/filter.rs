@@ -1,0 +1,317 @@
+//! Band-pass filtering.
+//!
+//! The paper uses "a bandpass filter between 0.008 Hz and 0.1 Hz" on
+//! resting-state data (§3.2.1). Two interchangeable implementations:
+//!
+//! * [`fir_bandpass`] — windowed-sinc (Hamming) FIR applied by direct
+//!   convolution with symmetric edge padding; linear phase, no ringing
+//!   surprises, O(T·L).
+//! * [`fft_bandpass`] — zero-phase spectral masking with raised-cosine band
+//!   edges via the in-crate FFT; O(T log T), the default for long scans.
+//!
+//! A unit test drives both with the same tones and asserts matching
+//! pass/stop behaviour, which keeps the two implementations honest.
+
+use crate::error::PreprocessError;
+use crate::fft::{fft, ifft, next_pow2, Complex};
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// Validated band-pass specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Band {
+    /// Low cutoff in Hz (pass above this).
+    pub f_lo: f64,
+    /// High cutoff in Hz (pass below this).
+    pub f_hi: f64,
+    /// Sampling frequency in Hz (`1 / TR`).
+    pub fs: f64,
+}
+
+impl Band {
+    /// Creates a band after validating `0 ≤ f_lo < f_hi ≤ fs/2`.
+    pub fn new(f_lo: f64, f_hi: f64, fs: f64) -> Result<Self> {
+        if !(fs > 0.0 && fs.is_finite()) {
+            return Err(PreprocessError::InvalidParameter {
+                name: "fs",
+                reason: "sampling frequency must be positive and finite",
+            });
+        }
+        if !(0.0..).contains(&f_lo) || f_lo >= f_hi || f_hi > fs / 2.0 {
+            return Err(PreprocessError::InvalidParameter {
+                name: "band",
+                reason: "need 0 <= f_lo < f_hi <= fs/2",
+            });
+        }
+        Ok(Band { f_lo, f_hi, fs })
+    }
+
+    /// The paper's resting-state band at the HCP repetition time (0.72 s):
+    /// 0.008–0.1 Hz at fs ≈ 1.389 Hz.
+    pub fn hcp_resting() -> Self {
+        Band {
+            f_lo: 0.008,
+            f_hi: 0.1,
+            fs: 1.0 / 0.72,
+        }
+    }
+}
+
+/// Designs a windowed-sinc band-pass FIR kernel with `taps` coefficients
+/// (odd; even values are bumped up by one). Hamming window.
+pub fn design_fir(band: Band, taps: usize) -> Result<Vec<f64>> {
+    if taps < 3 {
+        return Err(PreprocessError::InvalidParameter {
+            name: "taps",
+            reason: "need at least 3 taps",
+        });
+    }
+    let taps = if taps % 2 == 0 { taps + 1 } else { taps };
+    let m = (taps - 1) as f64;
+    let nyq = band.fs / 2.0;
+    let lo = band.f_lo / nyq; // normalized (0..1)
+    let hi = band.f_hi / nyq;
+    let mut h = vec![0.0; taps];
+    for (i, hv) in h.iter_mut().enumerate() {
+        let n = i as f64 - m / 2.0;
+        // Ideal band-pass = highpass(lo) ∩ lowpass(hi) = sinc(hi) - sinc(lo).
+        let ideal = if n == 0.0 {
+            hi - lo
+        } else {
+            let x = std::f64::consts::PI * n;
+            ((hi * x).sin() - (lo * x).sin()) / x
+        };
+        let window = 0.54 - 0.46 * (std::f64::consts::TAU * i as f64 / m).cos();
+        *hv = ideal * window;
+    }
+    Ok(h)
+}
+
+/// Applies an FIR kernel to one series with symmetric (mirror) edge padding,
+/// returning a same-length output with the kernel's group delay removed.
+pub fn fir_apply(series: &[f64], kernel: &[f64]) -> Result<Vec<f64>> {
+    let t = series.len();
+    let l = kernel.len();
+    if t < 2 {
+        return Err(PreprocessError::SeriesTooShort {
+            required: 2,
+            got: t,
+        });
+    }
+    let half = l / 2;
+    // Mirror-pad: s[-k] = s[k], s[T-1+k] = s[T-1-k].
+    let padded: Vec<f64> = (0..t + 2 * half)
+        .map(|i| {
+            let idx = i as isize - half as isize;
+            let idx = if idx < 0 {
+                (-idx) as usize
+            } else if idx as usize >= t {
+                2 * (t - 1) - idx as usize
+            } else {
+                idx as usize
+            };
+            series[idx.min(t - 1)]
+        })
+        .collect();
+    let mut out = vec![0.0; t];
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (k, &h) in kernel.iter().enumerate() {
+            acc += h * padded[i + l - 1 - k];
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+/// FIR band-pass of every row of `ts` in place.
+pub fn fir_bandpass(ts: &mut Matrix, band: Band, taps: usize) -> Result<()> {
+    let kernel = design_fir(band, taps)?;
+    for r in 0..ts.rows() {
+        let filtered = fir_apply(ts.row(r), &kernel)?;
+        ts.row_mut(r).copy_from_slice(&filtered);
+    }
+    Ok(())
+}
+
+/// Zero-phase FFT band-pass of every row of `ts` in place.
+///
+/// Each series is mean-padded to the next power of two, transformed,
+/// multiplied by a raised-cosine band mask (10% transition width), and
+/// inverse-transformed.
+pub fn fft_bandpass(ts: &mut Matrix, band: Band) -> Result<()> {
+    let t = ts.cols();
+    if t < 4 {
+        return Err(PreprocessError::SeriesTooShort {
+            required: 4,
+            got: t,
+        });
+    }
+    let n = next_pow2(t * 2); // 2× padding softens wrap-around leakage
+    let df = band.fs / n as f64;
+    // Precompute the mask over the first n/2+1 bins.
+    let trans_lo = (band.f_lo * 0.5).max(df); // transition half-widths
+    let trans_hi = band.f_hi * 0.1;
+    let mask: Vec<f64> = (0..=n / 2)
+        .map(|k| {
+            let f = k as f64 * df;
+            raised_cosine_gain(f, band.f_lo, band.f_hi, trans_lo, trans_hi)
+        })
+        .collect();
+    for r in 0..ts.rows() {
+        let row = ts.row_mut(r);
+        let mean = row.iter().sum::<f64>() / t as f64;
+        let mut buf: Vec<Complex> = Vec::with_capacity(n);
+        buf.extend(row.iter().map(|&x| (x - mean, 0.0)));
+        buf.resize(n, (0.0, 0.0));
+        fft(&mut buf)?;
+        for k in 0..n {
+            let bin = if k <= n / 2 { k } else { n - k };
+            let g = mask[bin];
+            buf[k].0 *= g;
+            buf[k].1 *= g;
+        }
+        ifft(&mut buf)?;
+        for (x, c) in row.iter_mut().zip(&buf) {
+            *x = c.0;
+        }
+    }
+    Ok(())
+}
+
+/// Raised-cosine gain: 0 outside the band, 1 inside, smooth half-cosine
+/// transitions of the given widths at each edge.
+fn raised_cosine_gain(f: f64, lo: f64, hi: f64, w_lo: f64, w_hi: f64) -> f64 {
+    let rise = |x: f64| 0.5 - 0.5 * (std::f64::consts::PI * x.clamp(0.0, 1.0)).cos();
+    if f < lo - w_lo || f > hi + w_hi {
+        0.0
+    } else if f < lo + w_lo {
+        rise((f - (lo - w_lo)) / (2.0 * w_lo))
+    } else if f > hi - w_hi {
+        rise(((hi + w_hi) - f) / (2.0 * w_hi))
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(t: usize, fs: f64, f: f64) -> Vec<f64> {
+        (0..t)
+            .map(|i| (std::f64::consts::TAU * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    fn rms(v: &[f64]) -> f64 {
+        (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn band_validation() {
+        assert!(Band::new(0.1, 0.01, 1.0).is_err());
+        assert!(Band::new(0.01, 0.6, 1.0).is_err()); // above Nyquist
+        assert!(Band::new(0.01, 0.1, 0.0).is_err());
+        assert!(Band::new(0.008, 0.1, 1.0 / 0.72).is_ok());
+    }
+
+    #[test]
+    fn hcp_band_matches_paper() {
+        let b = Band::hcp_resting();
+        assert_eq!(b.f_lo, 0.008);
+        assert_eq!(b.f_hi, 0.1);
+        assert!((b.fs - 1.3888).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fir_kernel_is_symmetric_linear_phase() {
+        let b = Band::new(0.05, 0.2, 1.0).unwrap();
+        let h = design_fir(b, 41).unwrap();
+        assert_eq!(h.len(), 41);
+        for i in 0..20 {
+            assert!((h[i] - h[40 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fir_passes_in_band_rejects_out_of_band() {
+        let fs = 1.0;
+        let b = Band::new(0.05, 0.2, fs).unwrap();
+        let h = design_fir(b, 101).unwrap();
+        let t = 600;
+        let pass = fir_apply(&tone(t, fs, 0.12), &h).unwrap();
+        let stop_hi = fir_apply(&tone(t, fs, 0.45), &h).unwrap();
+        let stop_lo = fir_apply(&tone(t, fs, 0.005), &h).unwrap();
+        // Ignore filter edges when measuring.
+        let core = 100..t - 100;
+        assert!(rms(&pass[core.clone()]) > 0.5, "pass rms {}", rms(&pass[core.clone()]));
+        assert!(rms(&stop_hi[core.clone()]) < 0.05);
+        assert!(rms(&stop_lo[core]) < 0.15);
+    }
+
+    #[test]
+    fn fft_passes_in_band_rejects_out_of_band() {
+        let fs = 1.0;
+        let b = Band::new(0.05, 0.2, fs).unwrap();
+        let t = 512;
+        let mut m = Matrix::zeros(3, t);
+        m.set_row(0, &tone(t, fs, 0.12)).unwrap();
+        m.set_row(1, &tone(t, fs, 0.45)).unwrap();
+        m.set_row(2, &tone(t, fs, 0.005)).unwrap();
+        fft_bandpass(&mut m, b).unwrap();
+        let core = 64..t - 64;
+        assert!(rms(&m.row(0)[core.clone()]) > 0.6);
+        assert!(rms(&m.row(1)[core.clone()]) < 0.05);
+        assert!(rms(&m.row(2)[core]) < 0.15);
+    }
+
+    #[test]
+    fn fir_and_fft_agree_on_band_energy() {
+        let fs = 1.0 / 0.72;
+        let b = Band::hcp_resting();
+        let t = 400;
+        // Mixed signal: in-band 0.05 Hz + out-of-band 0.5 Hz.
+        let sig: Vec<f64> = (0..t)
+            .map(|i| {
+                let time = i as f64 / fs;
+                (std::f64::consts::TAU * 0.05 * time).sin()
+                    + (std::f64::consts::TAU * 0.5 * time).sin()
+            })
+            .collect();
+        let mut fir_m = Matrix::from_vec(1, t, sig.clone()).unwrap();
+        let mut fft_m = Matrix::from_vec(1, t, sig).unwrap();
+        fir_bandpass(&mut fir_m, b, 101).unwrap();
+        fft_bandpass(&mut fft_m, b).unwrap();
+        let core = 80..t - 80;
+        let r_fir = rms(&fir_m.row(0)[core.clone()]);
+        let r_fft = rms(&fft_m.row(0)[core.clone()]);
+        // Both keep roughly the in-band unit-amplitude tone (rms ≈ 0.707).
+        assert!((r_fir - 0.707).abs() < 0.12, "fir rms {r_fir}");
+        assert!((r_fft - 0.707).abs() < 0.12, "fft rms {r_fft}");
+        // And they correlate strongly sample-by-sample in the core.
+        let r = neurodeanon_linalg::stats::pearson(
+            &fir_m.row(0)[core.clone()],
+            &fft_m.row(0)[core],
+        )
+        .unwrap();
+        assert!(r > 0.95, "agreement r = {r}");
+    }
+
+    #[test]
+    fn fft_bandpass_removes_dc() {
+        let b = Band::new(0.05, 0.2, 1.0).unwrap();
+        let mut m = Matrix::filled(2, 128, 7.5);
+        fft_bandpass(&mut m, b).unwrap();
+        assert!(m.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        let b = Band::new(0.05, 0.2, 1.0).unwrap();
+        let mut m = Matrix::zeros(1, 2);
+        assert!(fft_bandpass(&mut m, b).is_err());
+        assert!(fir_apply(&[1.0], &[1.0]).is_err());
+        assert!(design_fir(b, 2).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Global signal regression (GSR).
+//!
+//! §3.2.1: "We also apply global signal regression on resting state data.
+//! This procedure removes signal-components that are expressed uniformly
+//! throughout the brain." The global regressor is the mean time series over
+//! all rows; each row is replaced by its residual after projecting out the
+//! (centered) global signal.
+
+use crate::error::PreprocessError;
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// Removes the global mean signal from every row of `ts` in place.
+///
+/// Returns the fraction of total variance removed — a useful QC number
+/// (large values indicate a strong shared component, exactly what the
+/// synthetic scanner's `global_signal` knob injects).
+pub fn global_signal_regression(ts: &mut Matrix) -> Result<f64> {
+    let (rows, t) = ts.shape();
+    if rows == 0 || t < 2 {
+        return Err(PreprocessError::SeriesTooShort {
+            required: 2,
+            got: t,
+        });
+    }
+    // Global signal: mean over rows at each time point, then centered.
+    let mut g = vec![0.0; t];
+    for r in 0..rows {
+        for (gi, &x) in g.iter_mut().zip(ts.row(r)) {
+            *gi += x;
+        }
+    }
+    let inv_rows = 1.0 / rows as f64;
+    for gi in &mut g {
+        *gi *= inv_rows;
+    }
+    let gmean = g.iter().sum::<f64>() / t as f64;
+    for gi in &mut g {
+        *gi -= gmean;
+    }
+    let gg: f64 = g.iter().map(|x| x * x).sum();
+    if gg <= f64::EPSILON {
+        // No global component to remove (e.g. already regressed).
+        return Ok(0.0);
+    }
+
+    let mut total_var = 0.0;
+    let mut removed_var = 0.0;
+    for r in 0..rows {
+        let row = ts.row_mut(r);
+        let rmean = row.iter().sum::<f64>() / t as f64;
+        // beta = <x - x̄, g> / <g, g>
+        let mut beta = 0.0;
+        for (x, gi) in row.iter().zip(&g) {
+            beta += (x - rmean) * gi;
+        }
+        beta /= gg;
+        for (x, gi) in row.iter_mut().zip(&g) {
+            let before = *x - rmean;
+            total_var += before * before;
+            *x -= beta * gi;
+            let after = *x - rmean;
+            removed_var += before * before - after * after;
+        }
+    }
+    Ok(if total_var > 0.0 {
+        (removed_var / total_var).clamp(0.0, 1.0)
+    } else {
+        0.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_linalg::Rng64;
+
+    #[test]
+    fn removes_pure_shared_component() {
+        let t = 64;
+        let shared: Vec<f64> = (0..t).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut m = Matrix::from_fn(5, t, |r, i| shared[i] * (1.0 + r as f64 * 0.5));
+        let frac = global_signal_regression(&mut m).unwrap();
+        // Everything was the shared signal ⇒ nearly all variance removed.
+        // (GSR preserves row means, so check residual variance, not values.)
+        assert!(frac > 0.99, "removed {frac}");
+        for r in 0..5 {
+            let row = m.row(r);
+            let mean: f64 = row.iter().sum::<f64>() / t as f64;
+            let var: f64 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t as f64;
+            assert!(var < 1e-12, "row {r} residual var {var}");
+        }
+    }
+
+    #[test]
+    fn preserves_orthogonal_components() {
+        // Exact Fourier tones on the grid: shared at 4 cycles, row tones at
+        // 8 + r cycles — mutually orthogonal, so GSR's behaviour is exact.
+        let t = 256;
+        let cycles = |k: usize, i: usize| {
+            (std::f64::consts::TAU * k as f64 * i as f64 / t as f64).sin()
+        };
+        let shared: Vec<f64> = (0..t).map(|i| cycles(4, i)).collect();
+        let mut m = Matrix::from_fn(4, t, |r, i| shared[i] + cycles(8 + r, i));
+        global_signal_regression(&mut m).unwrap();
+        // Row-specific parts survive.
+        for r in 0..4 {
+            let tone: Vec<f64> = (0..t).map(|i| cycles(8 + r, i)).collect();
+            let corr = neurodeanon_linalg::stats::pearson(m.row(r), &tone).unwrap();
+            assert!(corr > 0.8, "row {r} corr {corr}");
+        }
+        // The shared component is gone from the residual mean series.
+        let mut g = vec![0.0; t];
+        for r in 0..4 {
+            for (gi, &x) in g.iter_mut().zip(m.row(r)) {
+                *gi += x / 4.0;
+            }
+        }
+        // With orthogonal tones beta is exactly 1 for every row, so the
+        // residual mean is identically zero up to rounding.
+        let amp = g.iter().fold(0.0_f64, |m, x| m.max(x.abs()));
+        assert!(amp < 1e-9, "residual mean amplitude {amp}");
+    }
+
+    #[test]
+    fn no_global_component_is_noop() {
+        // Antisymmetric rows: global mean is exactly zero.
+        let t = 32;
+        let base: Vec<f64> = (0..t).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut m = Matrix::zeros(2, t);
+        m.set_row(0, &base).unwrap();
+        let neg: Vec<f64> = base.iter().map(|x| -x).collect();
+        m.set_row(1, &neg).unwrap();
+        let orig = m.clone();
+        let frac = global_signal_regression(&mut m).unwrap();
+        assert_eq!(frac, 0.0);
+        assert!(m.sub(&orig).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_partial_removal_fraction() {
+        let t = 500;
+        let mut rng = Rng64::new(3);
+        let shared: Vec<f64> = (0..t).map(|i| (i as f64 * 0.05).sin() * 2.0).collect();
+        let mut m = Matrix::from_fn(6, t, |_, i| shared[i]);
+        // Add independent noise of similar scale.
+        for r in 0..6 {
+            for x in m.row_mut(r) {
+                *x += rng.gaussian() * 2.0;
+            }
+        }
+        let frac = global_signal_regression(&mut m).unwrap();
+        assert!((0.15..0.65).contains(&frac), "frac {frac}");
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        let mut m = Matrix::zeros(3, 1);
+        assert!(global_signal_regression(&mut m).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-preprocess
+//!
+//! The "minimal preprocessing pipeline" of the paper's Figure 4, rebuilt for
+//! the synthetic scanner. Raw 4-D volumes carry spatial artifacts (gain
+//! bias, head motion) and temporal artifacts (drift, global physiological
+//! signal, spikes, thermal noise); the stages here remove them and reduce
+//! the volume to the clean `region × time` matrix the attack consumes.
+//!
+//! Two of Figure 4's boxes are identities in the synthetic setting and are
+//! therefore not separate stages: *registration to the subject's structural
+//! image* and *MNI-space normalization* — every synthetic scan already
+//! lives on the cohort's shared voxel grid, which is exactly the state real
+//! pipelines work to reach. (The atlas crate plays the role of the MNI-space
+//! parcellation.)
+//!
+//! Stage inventory (paper §3.2.1):
+//!
+//! * [`motion`] — frame-wise rigid realignment along the scanner x axis
+//!   (the synthetic motion model's single degree of freedom).
+//! * [`scrub`] — framewise-displacement spike detection + interpolation.
+//! * [`skullstrip`] — temporal-variance brain masking.
+//! * [`slicetime`] — first-order slice-time correction (the "extra step"
+//!   the paper's Figure 4 discussion mentions).
+//! * [`detrend`] — per-series polynomial detrending (the paper's high-pass
+//!   "slow roll-off" de-trending step).
+//! * [`filter`] — band-pass filtering, both windowed-sinc FIR and FFT
+//!   implementations (0.008–0.1 Hz for resting state).
+//! * [`fft`] — radix-2 complex FFT used by the spectral filter.
+//! * [`gsr`] — global signal regression.
+//! * [`pipeline`] — [`pipeline::Pipeline`]: composes everything into the
+//!   volume → region-time path with per-stage QC reports and per-stage
+//!   toggles for the ablation experiment (DESIGN.md E10).
+
+pub mod detrend;
+pub mod error;
+pub mod fft;
+pub mod filter;
+pub mod gsr;
+pub mod motion;
+pub mod pipeline;
+pub mod scrub;
+pub mod skullstrip;
+pub mod slicetime;
+
+pub use error::PreprocessError;
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+
+/// Result alias for preprocessing operations.
+pub type Result<T> = std::result::Result<T, PreprocessError>;

@@ -1,0 +1,200 @@
+//! Spike scrubbing (motion/artifact censoring).
+//!
+//! Computes a framewise-displacement proxy — the root-mean-square change of
+//! the whole image between consecutive frames — flags frames whose
+//! displacement exceeds `threshold × median`, and replaces flagged frames by
+//! linear interpolation between their clean neighbours. This is the
+//! "censoring + interpolation" treatment common in connectome pipelines and
+//! undoes the spike artifacts injected by the synthetic scanner.
+
+use crate::error::PreprocessError;
+use crate::Result;
+use neurodeanon_linalg::Matrix;
+
+/// Framewise displacement proxy: `fd[t] = RMS over rows of (x[t] − x[t−1])`,
+/// with `fd[0] = 0`.
+pub fn framewise_displacement(ts: &Matrix) -> Result<Vec<f64>> {
+    let (rows, t) = ts.shape();
+    if rows == 0 || t < 2 {
+        return Err(PreprocessError::SeriesTooShort {
+            required: 2,
+            got: t,
+        });
+    }
+    let mut fd = vec![0.0; t];
+    for frame in 1..t {
+        let mut acc = 0.0;
+        for r in 0..rows {
+            let d = ts[(r, frame)] - ts[(r, frame - 1)];
+            acc += d * d;
+        }
+        fd[frame] = (acc / rows as f64).sqrt();
+    }
+    Ok(fd)
+}
+
+/// Scrubs spike frames in place. A frame is flagged when its framewise
+/// displacement exceeds `threshold` times the median displacement; flagged
+/// frames are replaced by linear interpolation between the nearest clean
+/// frames on each side (clamped at the scan edges). Returns the flagged
+/// frame indices.
+pub fn scrub_spikes(ts: &mut Matrix, threshold: f64) -> Result<Vec<usize>> {
+    if !(threshold > 1.0 && threshold.is_finite()) {
+        return Err(PreprocessError::InvalidParameter {
+            name: "threshold",
+            reason: "scrub threshold must be a finite multiplier > 1",
+        });
+    }
+    let fd = framewise_displacement(ts)?;
+    let t = ts.cols();
+    let mut sorted: Vec<f64> = fd[1..].to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    if median <= 0.0 {
+        return Ok(Vec::new()); // perfectly static data, nothing to scrub
+    }
+    // A spike contaminates the frame it lands on; fd flags the jump into it
+    // and the jump out of it. Mark frames whose incoming OR outgoing
+    // displacement is extreme, then keep only frames where both transitions
+    // are extreme relative to their neighbours (isolated spikes), falling
+    // back to the simple rule for edge frames.
+    let cut = threshold * median;
+    let mut bad = vec![false; t];
+    for frame in 1..t {
+        if fd[frame] > cut {
+            // The jump could be into frame `frame` or out of `frame-1`;
+            // attribute it to whichever side also has a large opposite jump.
+            let into_next = fd.get(frame + 1).copied().unwrap_or(0.0);
+            if into_next > cut {
+                bad[frame] = true; // spike sits at `frame`
+            } else {
+                // A step change: flag the later frame conservatively.
+                bad[frame] = true;
+            }
+        }
+    }
+    let flagged: Vec<usize> = (0..t).filter(|&i| bad[i]).collect();
+    if flagged.is_empty() {
+        return Ok(flagged);
+    }
+    // Interpolate each row across bad frames.
+    for r in 0..ts.rows() {
+        let row = ts.row_mut(r);
+        let mut frame = 0;
+        while frame < t {
+            if !bad[frame] {
+                frame += 1;
+                continue;
+            }
+            // Find the run of bad frames [frame, end).
+            let start = frame;
+            let mut end = frame;
+            while end < t && bad[end] {
+                end += 1;
+            }
+            let left = start.checked_sub(1);
+            let right = if end < t { Some(end) } else { None };
+            match (left, right) {
+                (Some(l), Some(rr)) => {
+                    let span = (rr - l) as f64;
+                    for i in start..end {
+                        let w = (i - l) as f64 / span;
+                        row[i] = (1.0 - w) * row[l] + w * row[rr];
+                    }
+                }
+                (Some(l), None) => {
+                    for i in start..end {
+                        row[i] = row[l];
+                    }
+                }
+                (None, Some(rr)) => {
+                    for i in start..end {
+                        row[i] = row[rr];
+                    }
+                }
+                (None, None) => {} // all frames bad; leave untouched
+            }
+            frame = end;
+        }
+    }
+    Ok(flagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth_matrix(rows: usize, t: usize) -> Matrix {
+        Matrix::from_fn(rows, t, |r, i| ((i as f64 * 0.12) + r as f64).sin())
+    }
+
+    #[test]
+    fn fd_zero_for_static_data() {
+        let m = Matrix::filled(4, 10, 3.0);
+        let fd = framewise_displacement(&m).unwrap();
+        assert!(fd.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn fd_detects_single_jump() {
+        let mut m = Matrix::filled(2, 10, 0.0);
+        for r in 0..2 {
+            m[(r, 5)] = 10.0;
+        }
+        let fd = framewise_displacement(&m).unwrap();
+        assert!(fd[5] > 9.0 && fd[6] > 9.0);
+        assert!(fd[3] == 0.0);
+    }
+
+    #[test]
+    fn scrub_removes_injected_spike() {
+        let mut m = smooth_matrix(6, 80);
+        let clean = m.clone();
+        for r in 0..6 {
+            m[(r, 40)] += 25.0;
+        }
+        let flagged = scrub_spikes(&mut m, 4.0).unwrap();
+        assert!(flagged.contains(&40), "flagged {flagged:?}");
+        // Post-scrub data close to the clean original at the spike frame.
+        for r in 0..6 {
+            assert!((m[(r, 40)] - clean[(r, 40)]).abs() < 0.2);
+        }
+    }
+
+    #[test]
+    fn scrub_noop_on_clean_data() {
+        let mut m = smooth_matrix(4, 60);
+        let orig = m.clone();
+        let flagged = scrub_spikes(&mut m, 6.0).unwrap();
+        assert!(flagged.is_empty());
+        assert_eq!(m, orig);
+    }
+
+    #[test]
+    fn scrub_handles_spike_at_last_frame() {
+        let mut m = smooth_matrix(3, 50);
+        for r in 0..3 {
+            m[(r, 49)] += 30.0;
+        }
+        let flagged = scrub_spikes(&mut m, 4.0).unwrap();
+        assert!(flagged.contains(&49));
+        // Last frame copied from its left neighbour.
+        for r in 0..3 {
+            assert!((m[(r, 49)] - m[(r, 48)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scrub_validates_threshold() {
+        let mut m = smooth_matrix(2, 10);
+        assert!(scrub_spikes(&mut m, 0.5).is_err());
+        assert!(scrub_spikes(&mut m, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn static_data_scrubs_nothing() {
+        let mut m = Matrix::filled(3, 20, 1.0);
+        let flagged = scrub_spikes(&mut m, 3.0).unwrap();
+        assert!(flagged.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Skull stripping: classify voxels as brain / non-brain and mask the
+//! latter (§2 of the paper describes the classic procedure; here the
+//! classifier uses temporal variance — brain voxels fluctuate with neural
+//! signal, skull voxels are static apart from thermal noise).
+
+use crate::error::PreprocessError;
+use crate::Result;
+use neurodeanon_fmri::Volume4D;
+
+/// The brain mask produced by skull stripping.
+#[derive(Debug, Clone)]
+pub struct BrainMask {
+    /// Per-voxel flag, flat voxel order.
+    pub is_brain: Vec<bool>,
+}
+
+impl BrainMask {
+    /// Number of voxels classified as brain.
+    pub fn brain_count(&self) -> usize {
+        self.is_brain.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Classifies voxels by temporal variance using a two-class threshold (Otsu
+/// on the log-variance histogram) and zeroes the non-brain voxels in place.
+///
+/// Returns the mask. Works because skull voxels in the synthetic scanner
+/// have near-constant intensity while brain voxels carry BOLD fluctuation;
+/// the same contrast drives intensity-based strippers on real data.
+pub fn skull_strip(vol: &mut Volume4D) -> Result<BrainMask> {
+    let n = vol.n_voxels();
+    let t = vol.time_points();
+    if t < 2 {
+        return Err(PreprocessError::SeriesTooShort {
+            required: 2,
+            got: t,
+        });
+    }
+    // Log temporal variance per voxel (log separates the two clusters far
+    // better than raw variance, which spans orders of magnitude).
+    let mut logvar = vec![0.0_f64; n];
+    for (v, lv) in logvar.iter_mut().enumerate() {
+        let ts = vol.voxel_ts(v);
+        let mean = ts.iter().sum::<f64>() / t as f64;
+        let var = ts.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t as f64;
+        *lv = (var + 1e-12).ln();
+    }
+    let threshold = otsu_threshold(&logvar);
+    let is_brain: Vec<bool> = logvar.iter().map(|&lv| lv > threshold).collect();
+    for (v, &keep) in is_brain.iter().enumerate() {
+        if !keep {
+            for s in vol.voxel_ts_mut(v) {
+                *s = 0.0;
+            }
+        }
+    }
+    Ok(BrainMask { is_brain })
+}
+
+/// Otsu's method on a 256-bin histogram: the threshold maximizing
+/// between-class variance.
+fn otsu_threshold(values: &[f64]) -> f64 {
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !(hi > lo) {
+        return lo; // constant input: everything above lo is "brain" (none)
+    }
+    const BINS: usize = 256;
+    let mut hist = [0usize; BINS];
+    let scale = (BINS as f64 - 1.0) / (hi - lo);
+    for &v in values {
+        let b = ((v - lo) * scale) as usize;
+        hist[b.min(BINS - 1)] += 1;
+    }
+    let total = values.len() as f64;
+    let total_mean: f64 = hist
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| i as f64 * c as f64)
+        .sum::<f64>()
+        / total;
+    let mut best_sigma = -1.0;
+    let mut best_bin = 0;
+    let mut w0 = 0.0;
+    let mut sum0 = 0.0;
+    for (bin, &c) in hist.iter().enumerate().take(BINS - 1) {
+        w0 += c as f64 / total;
+        sum0 += bin as f64 * c as f64 / total;
+        if w0 <= 0.0 || w0 >= 1.0 {
+            continue;
+        }
+        let mu0 = sum0 / w0;
+        let mu1 = (total_mean - sum0) / (1.0 - w0);
+        let sigma = w0 * (1.0 - w0) * (mu0 - mu1) * (mu0 - mu1);
+        if sigma > best_sigma {
+            best_sigma = sigma;
+            best_bin = bin;
+        }
+    }
+    lo + (best_bin as f64 + 0.5) / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurodeanon_atlas::{grown_atlas, VoxelGrid};
+    use neurodeanon_fmri::scanner::{Scanner, ScannerConfig};
+    use neurodeanon_linalg::{Matrix, Rng64};
+
+    #[test]
+    fn strips_synthetic_skull() {
+        let parc = grown_atlas("s", VoxelGrid::new(12, 12, 12).unwrap(), 8, 5).unwrap();
+        let ts = Matrix::from_fn(8, 60, |r, c| ((c as f64 * 0.3 + r as f64).sin()) * 2.0);
+        let mut cfg = ScannerConfig::clean();
+        cfg.skull_intensity = 3.0; // static bright skull
+        cfg.voxel_noise = 0.1;
+        let scanner = Scanner::new(cfg).unwrap();
+        let mut vol = scanner.acquire(&ts, &parc, &mut Rng64::new(2)).unwrap();
+        let mask = skull_strip(&mut vol).unwrap();
+        // Agreement with the true brain mask from the parcellation.
+        let mut agree = 0usize;
+        for v in 0..vol.n_voxels() {
+            let truth = parc.region_of(v).is_some();
+            if mask.is_brain[v] == truth {
+                agree += 1;
+            }
+        }
+        let acc = agree as f64 / vol.n_voxels() as f64;
+        assert!(acc > 0.95, "mask accuracy {acc}");
+        // Non-brain voxels were zeroed.
+        for v in 0..vol.n_voxels() {
+            if !mask.is_brain[v] {
+                assert!(vol.voxel_ts(v).iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn otsu_separates_two_clusters() {
+        let mut values = vec![0.0; 100];
+        values.extend(vec![10.0; 100]);
+        let t = otsu_threshold(&values);
+        // Any threshold strictly between the clusters separates them.
+        assert!((0.0..10.0).contains(&t), "threshold {t}");
+        let above = values.iter().filter(|&&v| v > t).count();
+        assert_eq!(above, 100);
+    }
+
+    #[test]
+    fn otsu_constant_input() {
+        let t = otsu_threshold(&[5.0; 10]);
+        assert_eq!(t, 5.0);
+    }
+
+    #[test]
+    fn rejects_single_frame() {
+        let mut vol = Volume4D::zeros(4, 4, 4, 1).unwrap();
+        assert!(skull_strip(&mut vol).is_err());
+    }
+
+    #[test]
+    fn mask_count_consistent() {
+        let mut vol = Volume4D::zeros(4, 4, 4, 8).unwrap();
+        // Half the voxels fluctuate.
+        let mut rng = Rng64::new(1);
+        for v in 0..32 {
+            for s in vol.voxel_ts_mut(v) {
+                *s = rng.gaussian();
+            }
+        }
+        let mask = skull_strip(&mut vol).unwrap();
+        assert_eq!(
+            mask.brain_count(),
+            mask.is_brain.iter().filter(|&&b| b).count()
+        );
+        assert!((28..=36).contains(&mask.brain_count()), "{}", mask.brain_count());
+    }
+}

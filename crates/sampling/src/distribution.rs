@@ -1,0 +1,135 @@
+//! Sampling distributions over matrix rows.
+//!
+//! Algorithm 1 is parameterized by a probability distribution `P` over the
+//! rows of `A`; the paper discusses three choices with increasingly strong
+//! guarantees: uniform (poor), ℓ₂ row norms (Equation 1, additive error
+//! bound of Equation 2), and leverage scores (Equation 3, relative error
+//! bound of Equation 4).
+
+use crate::error::SamplingError;
+use crate::Result;
+use neurodeanon_linalg::svd::leverage_scores;
+use neurodeanon_linalg::vector::norm2_sq;
+use neurodeanon_linalg::Matrix;
+
+/// The row-sampling distribution family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingDistribution {
+    /// Uniform over rows — the straw-man baseline the paper notes
+    /// "performs poorly in practice".
+    Uniform,
+    /// ℓ₂ row-norm weighting (Equation 1): `pᵢ = ‖Aᵢ‖² / ‖A‖_F²`.
+    L2Norm,
+    /// Leverage scores (Equation 3): `pᵢ = ‖Uᵢ‖² / n` with `U` an
+    /// orthonormal column-space basis of `A`.
+    Leverage,
+}
+
+impl SamplingDistribution {
+    /// Computes the probability vector for rows of `a` (sums to 1).
+    pub fn probabilities(&self, a: &Matrix) -> Result<Vec<f64>> {
+        let m = a.rows();
+        if m == 0 || a.cols() == 0 {
+            return Err(SamplingError::Linalg(
+                neurodeanon_linalg::LinalgError::EmptyMatrix {
+                    op: "sampling probabilities",
+                },
+            ));
+        }
+        let weights = match self {
+            SamplingDistribution::Uniform => vec![1.0; m],
+            SamplingDistribution::L2Norm => {
+                (0..m).map(|r| norm2_sq(a.row(r))).collect::<Vec<f64>>()
+            }
+            SamplingDistribution::Leverage => leverage_scores(a, None)?,
+        };
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(SamplingError::DegenerateDistribution);
+        }
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_fn(30, 4, |r, c| ((r * 7 + c * 3) % 11) as f64 - 5.0)
+    }
+
+    #[test]
+    fn all_distributions_sum_to_one() {
+        let a = sample_matrix();
+        for d in [
+            SamplingDistribution::Uniform,
+            SamplingDistribution::L2Norm,
+            SamplingDistribution::Leverage,
+        ] {
+            let p = d.probabilities(&a).unwrap();
+            assert_eq!(p.len(), 30);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{d:?} sums to {s}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_is_flat() {
+        let p = SamplingDistribution::Uniform
+            .probabilities(&sample_matrix())
+            .unwrap();
+        assert!(p.iter().all(|&x| (x - 1.0 / 30.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn l2_matches_equation_one() {
+        let a = sample_matrix();
+        let p = SamplingDistribution::L2Norm.probabilities(&a).unwrap();
+        let fro2 = a.frobenius_norm().powi(2);
+        for r in 0..a.rows() {
+            let expect = norm2_sq(a.row(r)) / fro2;
+            assert!((p[r] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn l2_weights_large_rows_heavier() {
+        let mut a = Matrix::filled(10, 3, 0.1);
+        a.set_row(4, &[10.0, 10.0, 10.0]).unwrap();
+        let p = SamplingDistribution::L2Norm.probabilities(&a).unwrap();
+        assert!(p[4] > 0.9);
+    }
+
+    #[test]
+    fn leverage_highlights_unique_direction_over_l2() {
+        // Rows 0..19 large but all along (1,0); row 20 small but along (0,1).
+        // ℓ₂ barely weights row 20; leverage gives it ~1/2 of its mass
+        // (it is the *only* row expressing the second direction).
+        let mut a = Matrix::zeros(21, 2);
+        for r in 0..20 {
+            a.set_row(r, &[5.0, 0.0]).unwrap();
+        }
+        a.set_row(20, &[0.0, 0.5]).unwrap();
+        let l2 = SamplingDistribution::L2Norm.probabilities(&a).unwrap();
+        let lev = SamplingDistribution::Leverage.probabilities(&a).unwrap();
+        assert!(l2[20] < 0.01, "l2 {}", l2[20]);
+        assert!(lev[20] > 0.4, "leverage {}", lev[20]);
+    }
+
+    #[test]
+    fn zero_matrix_is_degenerate_for_norm_based() {
+        let a = Matrix::zeros(5, 2);
+        assert!(matches!(
+            SamplingDistribution::L2Norm.probabilities(&a),
+            Err(SamplingError::DegenerateDistribution)
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let a = Matrix::zeros(0, 0);
+        assert!(SamplingDistribution::Uniform.probabilities(&a).is_err());
+    }
+}

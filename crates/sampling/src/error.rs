@@ -1,0 +1,69 @@
+//! Sampling error type.
+
+use std::fmt;
+
+/// Errors from sampling algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// Requested more samples/features than available rows, or zero.
+    InvalidSampleCount {
+        /// Requested count.
+        requested: usize,
+        /// Rows available.
+        available: usize,
+    },
+    /// The sampling distribution degenerated (all-zero weights).
+    DegenerateDistribution,
+    /// Error propagated from the linear-algebra layer.
+    Linalg(neurodeanon_linalg::LinalgError),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidSampleCount {
+                requested,
+                available,
+            } => write!(
+                f,
+                "invalid sample count: requested {requested} of {available} rows"
+            ),
+            SamplingError::DegenerateDistribution => {
+                write!(f, "sampling distribution is all zeros")
+            }
+            SamplingError::Linalg(e) => write!(f, "linalg error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplingError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<neurodeanon_linalg::LinalgError> for SamplingError {
+    fn from(e: neurodeanon_linalg::LinalgError) -> Self {
+        SamplingError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SamplingError::InvalidSampleCount {
+            requested: 10,
+            available: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(SamplingError::DegenerateDistribution
+            .to_string()
+            .contains("zero"));
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # neurodeanon-sampling
+//!
+//! Matrix row-sampling algorithms (§3.1.2 of the paper): the machinery that
+//! finds the small set of connectome features ("signature edges") that
+//! discriminates individuals.
+//!
+//! * [`distribution`] — the sampling distributions of Algorithm 1: uniform,
+//!   ℓ₂ row-norm (Equation 1), and leverage scores (Equation 3).
+//! * [`mod@row_sample`] — the randomized meta-algorithm (Algorithm 1) with the
+//!   `1/√(s·pᵢ)` rescaling that makes `ÃᵀÃ` an unbiased estimate of `AᵀA`.
+//! * [`principal`] — the deterministic top-`t` leverage selection, the
+//!   *Principal Features Subspace* method of Ravindra et al. (2018) that the
+//!   attack actually uses.
+//! * [`sketch`] — error functionals for both guarantees: the additive bound
+//!   of Equation 2 and the relative projection bound of Equation 4.
+
+pub mod distribution;
+pub mod error;
+pub mod principal;
+pub mod row_sample;
+pub mod sketch;
+
+pub use distribution::SamplingDistribution;
+pub use error::SamplingError;
+pub use principal::{principal_features, principal_features_approx, PrincipalFeatures};
+pub use row_sample::{row_sample, RowSample};
+
+/// Result alias for sampling operations.
+pub type Result<T> = std::result::Result<T, SamplingError>;

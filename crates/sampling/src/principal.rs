@@ -1,0 +1,200 @@
+//! The Principal Features Subspace method (deterministic top-`t` leverage
+//! selection, §3.1.2).
+//!
+//! "We sort the leverage scores and retain the features corresponding to
+//! the top t leverage scores. … In contrast to prior randomized approaches,
+//! we select features in a deterministic manner." This is the feature
+//! selector the actual attack uses: compute it once on the de-anonymized
+//! group matrix, then restrict *both* group matrices to the selected rows.
+
+use crate::error::SamplingError;
+use crate::Result;
+use neurodeanon_linalg::rsvd::{randomized_leverage_scores, RsvdConfig};
+use neurodeanon_linalg::svd::{leverage_scores_from_svd, thin_svd};
+use neurodeanon_linalg::vector::argsort_desc;
+use neurodeanon_linalg::Matrix;
+
+/// Output of the deterministic leverage-score feature selection.
+#[derive(Debug, Clone)]
+pub struct PrincipalFeatures {
+    /// Selected row (feature) indices, in decreasing leverage order.
+    pub indices: Vec<usize>,
+    /// Leverage score of every row of the input (not just the selected).
+    pub scores: Vec<f64>,
+}
+
+impl PrincipalFeatures {
+    /// The reduced matrix: input restricted to the selected rows.
+    pub fn reduce(&self, a: &Matrix) -> Result<Matrix> {
+        Ok(a.select_rows(&self.indices)?)
+    }
+}
+
+/// Selects the `t` rows of `a` with the highest leverage scores
+/// (Equation 5: `ℓᵢ = ‖Uᵢ‖²`, `U` from the thin SVD of `a`).
+///
+/// Ties break on the lower row index, so the selection is fully
+/// deterministic. `rank_k = Some(k)` restricts the scores to the top `k`
+/// singular directions (the rank-`k` leverage scores of the Equation 4
+/// guarantee); `None` uses the full column space, the paper's default.
+pub fn principal_features(a: &Matrix, t: usize, rank_k: Option<usize>) -> Result<PrincipalFeatures> {
+    if t == 0 || t > a.rows() {
+        return Err(SamplingError::InvalidSampleCount {
+            requested: t,
+            available: a.rows(),
+        });
+    }
+    let svd = thin_svd(a)?;
+    let scores = leverage_scores_from_svd(&svd, rank_k);
+    let mut indices = argsort_desc(&scores);
+    indices.truncate(t);
+    Ok(PrincipalFeatures { indices, scores })
+}
+
+/// Approximate top-`t` leverage selection via the randomized SVD — the
+/// fast path when the group matrix is too large for an exact thin SVD
+/// (e.g. voxel-level feature spaces). Scores come from the leading
+/// `config.rank` randomized singular directions.
+pub fn principal_features_approx(
+    a: &Matrix,
+    t: usize,
+    config: &RsvdConfig,
+) -> Result<PrincipalFeatures> {
+    if t == 0 || t > a.rows() {
+        return Err(SamplingError::InvalidSampleCount {
+            requested: t,
+            available: a.rows(),
+        });
+    }
+    let scores = randomized_leverage_scores(a, config)?;
+    let mut indices = argsort_desc(&scores);
+    indices.truncate(t);
+    Ok(PrincipalFeatures { indices, scores })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_requested_count_in_descending_score_order() {
+        let a = Matrix::from_fn(50, 4, |r, c| ((r * 7 + c * 11) % 19) as f64 - 9.0);
+        let pf = principal_features(&a, 10, None).unwrap();
+        assert_eq!(pf.indices.len(), 10);
+        assert_eq!(pf.scores.len(), 50);
+        for w in pf.indices.windows(2) {
+            assert!(pf.scores[w[0]] >= pf.scores[w[1]]);
+        }
+        // Selected scores dominate unselected ones.
+        let min_sel = pf
+            .indices
+            .iter()
+            .map(|&i| pf.scores[i])
+            .fold(f64::INFINITY, f64::min);
+        for (i, &s) in pf.scores.iter().enumerate() {
+            if !pf.indices.contains(&i) {
+                assert!(s <= min_sel + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn finds_planted_signature_rows() {
+        // Bulk rows live in a 1-D subspace; three planted rows carry
+        // independent directions — exactly the paper's "discriminating
+        // features" situation. Top-3 selection must find them.
+        let mut a = Matrix::zeros(40, 4);
+        for r in 0..40 {
+            let v = ((r % 5) as f64 + 1.0) * 0.6;
+            a.set_row(r, &[v, 2.0 * v, -v, 0.5 * v]).unwrap();
+        }
+        a.set_row(7, &[4.0, -1.0, 0.0, 0.0]).unwrap();
+        a.set_row(19, &[0.0, 0.0, 3.0, 1.0]).unwrap();
+        a.set_row(33, &[-1.0, 1.0, 1.0, -3.0]).unwrap();
+        let pf = principal_features(&a, 3, None).unwrap();
+        let mut sel = pf.indices.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![7, 19, 33]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = Matrix::from_fn(30, 3, |r, c| ((r + c * 13) % 7) as f64);
+        let x = principal_features(&a, 8, None).unwrap();
+        let y = principal_features(&a, 8, None).unwrap();
+        assert_eq!(x.indices, y.indices);
+    }
+
+    #[test]
+    fn reduce_restricts_rows() {
+        let a = Matrix::from_fn(20, 3, |r, _| r as f64);
+        let pf = principal_features(&a, 5, None).unwrap();
+        let r = pf.reduce(&a).unwrap();
+        assert_eq!(r.shape(), (5, 3));
+        for (k, &i) in pf.indices.iter().enumerate() {
+            assert_eq!(r.row(k), a.row(i));
+        }
+    }
+
+    #[test]
+    fn rank_k_changes_selection_for_low_rank_tail() {
+        // Rows along direction 1 have large rank-1 leverage; with full-rank
+        // scores, the oddball rows matter more.
+        let mut a = Matrix::zeros(30, 3);
+        for r in 0..28 {
+            a.set_row(r, &[(r as f64 + 1.0) * 0.1, 0.0, 0.0]).unwrap();
+        }
+        a.set_row(28, &[0.0, 0.01, 0.0]).unwrap();
+        a.set_row(29, &[0.0, 0.0, 0.01]).unwrap();
+        let full = principal_features(&a, 2, None).unwrap();
+        let rank1 = principal_features(&a, 2, Some(1)).unwrap();
+        let mut f = full.indices.clone();
+        f.sort_unstable();
+        assert_eq!(f, vec![28, 29]); // unique-direction rows dominate
+        // Rank-1 scores ignore those directions entirely.
+        assert!(!rank1.indices.contains(&28) || !rank1.indices.contains(&29));
+    }
+
+    #[test]
+    fn approx_selection_overlaps_exact_on_decaying_spectra() {
+        // Rank-k leverage via randomized SVD finds the same planted rows.
+        let mut a = Matrix::zeros(60, 4);
+        for r in 0..60 {
+            let v = ((r % 7) as f64 + 1.0) * 0.4;
+            a.set_row(r, &[v, -v, 2.0 * v, 0.3 * v]).unwrap();
+        }
+        a.set_row(11, &[5.0, 0.0, 0.0, 1.0]).unwrap();
+        a.set_row(37, &[0.0, 4.0, -1.0, 0.0]).unwrap();
+        let exact = principal_features(&a, 2, None).unwrap();
+        let approx = principal_features_approx(
+            &a,
+            2,
+            &RsvdConfig {
+                rank: 3,
+                power_iters: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut e = exact.indices.clone();
+        let mut x = approx.indices.clone();
+        e.sort_unstable();
+        x.sort_unstable();
+        assert_eq!(e, x);
+    }
+
+    #[test]
+    fn approx_validates_t() {
+        let a = Matrix::from_fn(10, 2, |r, c| (r + c) as f64);
+        assert!(principal_features_approx(&a, 0, &RsvdConfig::default()).is_err());
+        assert!(principal_features_approx(&a, 11, &RsvdConfig::default()).is_err());
+    }
+
+    #[test]
+    fn validates_t() {
+        let a = Matrix::from_fn(10, 2, |r, c| (r + c) as f64);
+        assert!(principal_features(&a, 0, None).is_err());
+        assert!(principal_features(&a, 11, None).is_err());
+        assert!(principal_features(&a, 10, None).is_ok());
+    }
+}

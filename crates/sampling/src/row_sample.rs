@@ -1,0 +1,159 @@
+//! Algorithm 1: the randomized row-sampling meta-algorithm.
+//!
+//! `s` rows are drawn i.i.d. from the distribution `P`; sampled row `i` with
+//! probability `pᵢ` is rescaled by `1/√(s·pᵢ)` so that `E[ÃᵀÃ] = AᵀA`
+//! (Drineas, Kannan & Mahoney 2006).
+
+use crate::distribution::SamplingDistribution;
+use crate::error::SamplingError;
+use crate::Result;
+use neurodeanon_linalg::{Matrix, Rng64};
+
+/// Output of the randomized row sampler.
+#[derive(Debug, Clone)]
+pub struct RowSample {
+    /// The sketch matrix `Ã ∈ R^{s×n}` (rescaled rows).
+    pub sketch: Matrix,
+    /// Original row index of each sketch row (may repeat — sampling is
+    /// with replacement, per the algorithm).
+    pub indices: Vec<usize>,
+}
+
+/// Runs Algorithm 1: samples `s` rows of `a` according to `distribution`.
+pub fn row_sample(
+    a: &Matrix,
+    s: usize,
+    distribution: SamplingDistribution,
+    rng: &mut Rng64,
+) -> Result<RowSample> {
+    if s == 0 {
+        return Err(SamplingError::InvalidSampleCount {
+            requested: s,
+            available: a.rows(),
+        });
+    }
+    let probs = distribution.probabilities(a)?;
+    let mut sketch = Matrix::zeros(s, a.cols());
+    let mut indices = Vec::with_capacity(s);
+    for t in 0..s {
+        let i = rng
+            .weighted_index(&probs)
+            .ok_or(SamplingError::DegenerateDistribution)?;
+        indices.push(i);
+        let scale = 1.0 / (s as f64 * probs[i]).sqrt();
+        let src = a.row(i);
+        let dst = sketch.row_mut(t);
+        for (d, &x) in dst.iter_mut().zip(src) {
+            *d = scale * x;
+        }
+    }
+    Ok(RowSample { sketch, indices })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall() -> Matrix {
+        Matrix::from_fn(60, 5, |r, c| ((r * 13 + c * 7) % 17) as f64 - 8.0)
+    }
+
+    #[test]
+    fn sketch_has_requested_shape() {
+        let a = tall();
+        let s = row_sample(&a, 25, SamplingDistribution::L2Norm, &mut Rng64::new(1)).unwrap();
+        assert_eq!(s.sketch.shape(), (25, 5));
+        assert_eq!(s.indices.len(), 25);
+        assert!(s.indices.iter().all(|&i| i < 60));
+    }
+
+    #[test]
+    fn rejects_zero_samples() {
+        let a = tall();
+        assert!(row_sample(&a, 0, SamplingDistribution::Uniform, &mut Rng64::new(1)).is_err());
+    }
+
+    #[test]
+    fn sketch_rows_are_rescaled_source_rows() {
+        let a = tall();
+        let probs = SamplingDistribution::L2Norm.probabilities(&a).unwrap();
+        let s = 10;
+        let out = row_sample(&a, s, SamplingDistribution::L2Norm, &mut Rng64::new(3)).unwrap();
+        for (t, &i) in out.indices.iter().enumerate() {
+            let scale = 1.0 / (s as f64 * probs[i]).sqrt();
+            for c in 0..5 {
+                assert!((out.sketch[(t, c)] - scale * a[(i, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_estimate_is_unbiased() {
+        // Average ÃᵀÃ over many runs ≈ AᵀA (the unbiasedness property the
+        // 1/√(s·pᵢ) rescaling exists for).
+        let a = Matrix::from_fn(20, 3, |r, c| ((r * 5 + c * 3) % 7) as f64 - 3.0);
+        let target = a.gram();
+        let runs = 600;
+        let mut rng = Rng64::new(2024);
+        let mut acc = Matrix::zeros(3, 3);
+        for _ in 0..runs {
+            let out = row_sample(&a, 8, SamplingDistribution::L2Norm, &mut rng).unwrap();
+            acc = acc.add(&out.sketch.gram()).unwrap();
+        }
+        acc.scale_mut(1.0 / runs as f64);
+        let rel = acc.sub(&target).unwrap().frobenius_norm() / target.frobenius_norm();
+        assert!(rel < 0.1, "relative deviation {rel}");
+    }
+
+    #[test]
+    fn equation_two_additive_bound_holds_on_average() {
+        // E‖AᵀA − ÃᵀÃ‖_F ≤ ‖A‖_F² / √s for ℓ₂ sampling.
+        let a = Matrix::from_fn(40, 4, |r, c| (((r * 11 + c * 5) % 13) as f64 - 6.0) * 0.5);
+        let fro2 = a.frobenius_norm().powi(2);
+        let s = 16;
+        let bound = fro2 / (s as f64).sqrt();
+        let mut rng = Rng64::new(7);
+        let runs = 200;
+        let mut mean_err = 0.0;
+        for _ in 0..runs {
+            let out = row_sample(&a, s, SamplingDistribution::L2Norm, &mut rng).unwrap();
+            mean_err += out.sketch.gram().sub(&a.gram()).unwrap().frobenius_norm();
+        }
+        mean_err /= runs as f64;
+        assert!(mean_err <= bound, "mean err {mean_err} > bound {bound}");
+    }
+
+    #[test]
+    fn l2_beats_uniform_on_skewed_matrices() {
+        // A matrix where a few rows carry all the mass: ℓ₂ sampling gives a
+        // much better Gram estimate than uniform, the paper's motivation
+        // for norm-biased sampling.
+        let mut a = Matrix::filled(100, 3, 0.01);
+        for r in 0..5 {
+            a.set_row(r, &[3.0, -2.0, 1.0]).unwrap();
+        }
+        let target = a.gram();
+        let mut rng = Rng64::new(5);
+        let runs = 100;
+        let mut err_uniform = 0.0;
+        let mut err_l2 = 0.0;
+        for _ in 0..runs {
+            let u = row_sample(&a, 10, SamplingDistribution::Uniform, &mut rng).unwrap();
+            err_uniform += u.sketch.gram().sub(&target).unwrap().frobenius_norm();
+            let l = row_sample(&a, 10, SamplingDistribution::L2Norm, &mut rng).unwrap();
+            err_l2 += l.sketch.gram().sub(&target).unwrap().frobenius_norm();
+        }
+        assert!(
+            err_l2 < err_uniform * 0.7,
+            "l2 {err_l2} vs uniform {err_uniform}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tall();
+        let x = row_sample(&a, 12, SamplingDistribution::Leverage, &mut Rng64::new(9)).unwrap();
+        let y = row_sample(&a, 12, SamplingDistribution::Leverage, &mut Rng64::new(9)).unwrap();
+        assert_eq!(x.indices, y.indices);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-dataset linkage: the paper's §1 threat scenario.
+//!
+//! An imaging center holds *identified* scans from routine care (here:
+//! session-1 LANGUAGE task scans with names attached). A research
+//! consortium publishes a "de-identified" resting-state dataset of
+//! overlapping subjects, enriched with sensitive metadata (diagnosis,
+//! genotype flags — HIPAA identifiers removed). The center links its
+//! archive to the public release via connectome signatures and thereby
+//! re-identifies the metadata — across *different tasks*, which is the
+//! paper's central escalation (§3.3.1: de-anonymizing one dataset
+//! compromises every other dataset the subjects appear in).
+//!
+//! Run with: `cargo run --release --example hospital_linkage`
+
+use neurodeanon_core::attack::{subject_key, AttackConfig, DeanonAttack};
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_linalg::Rng64;
+
+fn main() {
+    let cohort = HcpCohort::generate(HcpCohortConfig::small(25, 7)).expect("valid config");
+    let n = cohort.n_subjects();
+
+    // The hospital archive: identified LANGUAGE scans.
+    let archive = cohort
+        .group_matrix(Task::Language, Session::One)
+        .expect("archive");
+    // The public release: "de-identified" REST scans of the same people,
+    // with sensitive per-record metadata.
+    let release = cohort
+        .group_matrix(Task::Rest, Session::Two)
+        .expect("release");
+    let mut rng = Rng64::new(99);
+    let sensitive: Vec<String> = (0..n)
+        .map(|_| {
+            let dx = ["none", "MDD", "GAD", "ADHD"][rng.below(4)];
+            let apoe4 = if rng.uniform() < 0.25 { "APOE4+" } else { "APOE4-" };
+            format!("dx={dx}, {apoe4}")
+        })
+        .collect();
+
+    println!("hospital archive: {n} identified LANGUAGE scans");
+    println!("public release:   {n} anonymous REST scans + sensitive metadata\n");
+
+    let attack = DeanonAttack::new(AttackConfig::default()).expect("valid config");
+    let outcome = attack.run(&archive, &release).expect("linkage runs");
+
+    println!(
+        "linkage accuracy across tasks: {:.1}%\n",
+        outcome.accuracy * 100.0
+    );
+    println!("{:<12} {:<28} exposed metadata", "record", "linked identity");
+    let mut correct = 0;
+    for (record, &predicted) in outcome.predicted.iter().enumerate() {
+        let hit = outcome.truth[record] == predicted;
+        if hit {
+            correct += 1;
+        }
+        if record < 8 {
+            println!(
+                "{:<12} {:<28} {}",
+                format!("rec-{record:03}"),
+                format!(
+                    "{} [{}]",
+                    subject_key(&archive.subject_ids()[predicted]),
+                    if hit { "correct" } else { "wrong" }
+                ),
+                sensitive[record],
+            );
+        }
+    }
+    println!("…");
+    println!(
+        "\n{correct}/{n} patients re-identified; their diagnosis and genotype \
+         flags are now linked to names."
+    );
+    assert!(outcome.accuracy > 0.5);
+}

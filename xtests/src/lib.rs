@@ -1,0 +1,3 @@
+//! Integration-test host crate: the `tests/` directory here holds the
+//! cross-crate suites (full-path attack runs, sampling-theory checks on
+//! real connectome data, seed-reproducibility). No library code.

@@ -1,0 +1,154 @@
+//! Cross-crate integration: the complete latent-path attack, exercised the
+//! way the paper's evaluation uses it (datasets → connectomes → sampling →
+//! matching), with determinism and accuracy-floor guarantees.
+
+use neurodeanon_connectome::EdgeIndex;
+use neurodeanon_core::attack::{AttackConfig, DeanonAttack, MatchRule};
+use neurodeanon_datasets::{
+    AdhdCohort, AdhdCohortConfig, AdhdGroup, HcpCohort, HcpCohortConfig, Session, Task,
+};
+
+fn hcp(n: usize, seed: u64) -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig::small(n, seed)).expect("valid config")
+}
+
+#[test]
+fn rest_rest_identification_floor() {
+    // Figure 1's phenomenon at test scale: ≥ 85% on 20 subjects.
+    let cohort = hcp(20, 11);
+    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+    let out = attack.run(&known, &anon).unwrap();
+    assert!(out.accuracy >= 0.85, "accuracy {}", out.accuracy);
+    assert!(out.mean_diagonal_similarity() > out.mean_offdiagonal_similarity());
+}
+
+#[test]
+fn cross_task_identification_works_from_rest() {
+    // §3.3.1: a de-anonymized REST dataset compromises task datasets.
+    let cohort = hcp(16, 12);
+    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+    let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+    for task in [Task::Language, Task::Relational] {
+        let anon = cohort.group_matrix(task, Session::Two).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        assert!(
+            out.accuracy >= 0.5,
+            "rest → {task}: accuracy {}",
+            out.accuracy
+        );
+    }
+}
+
+#[test]
+fn attack_is_deterministic_end_to_end() {
+    let run = || {
+        let cohort = hcp(10, 21);
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+        DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.predicted, b.predicted);
+    assert_eq!(a.selected_features, b.selected_features);
+    assert_eq!(a.accuracy, b.accuracy);
+}
+
+#[test]
+fn hungarian_and_argmax_agree_on_easy_cohorts() {
+    let cohort = hcp(12, 31);
+    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let argmax = DeanonAttack::new(AttackConfig::default())
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+    let hungarian = DeanonAttack::new(AttackConfig {
+        match_rule: MatchRule::Hungarian,
+        ..Default::default()
+    })
+    .unwrap()
+    .run(&known, &anon)
+    .unwrap();
+    // On a well-separated cohort the greedy rule is already a permutation
+    // and the optimal assignment cannot do worse.
+    assert!(hungarian.accuracy >= argmax.accuracy - 1e-9);
+}
+
+#[test]
+fn selected_features_localize_to_signature_regions() {
+    // The paper's defense discussion (§4) depends on the attack localizing
+    // a small signature; verify the selection is heavily enriched in
+    // ground-truth signature-region pairs.
+    let cohort = hcp(16, 41);
+    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let out = DeanonAttack::new(AttackConfig::default())
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+    let sig: std::collections::HashSet<usize> =
+        cohort.signature_regions().iter().copied().collect();
+    let edges = EdgeIndex::new(cohort.config().n_regions).unwrap();
+    let hits = out
+        .selected_features
+        .iter()
+        .filter(|&&f| {
+            let (i, j) = edges.edge_of(f).unwrap();
+            sig.contains(&i) && sig.contains(&j)
+        })
+        .count();
+    let frac = hits as f64 / out.selected_features.len() as f64;
+    // Signature pairs are ~5% of all edges; the selection should be > 10×
+    // enriched.
+    assert!(frac > 0.5, "only {frac} of selected features are signature pairs");
+}
+
+#[test]
+fn adhd_cohort_identification_and_subtype_structure() {
+    let cohort = AdhdCohort::generate(AdhdCohortConfig::small(10, 5, 51)).unwrap();
+    let attack = DeanonAttack::new(AttackConfig {
+        n_features: 80,
+        ..Default::default()
+    })
+    .unwrap();
+    // Whole-cohort matching (Figure 9).
+    let all: Vec<usize> = (0..cohort.n_subjects()).collect();
+    let known = cohort.group_matrix_for(&all, Session::One).unwrap();
+    let anon = cohort.group_matrix_for(&all, Session::Two).unwrap();
+    let out = attack.run(&known, &anon).unwrap();
+    assert!(out.accuracy >= 0.8, "mixed accuracy {}", out.accuracy);
+    // Subtype-only matching (Figures 7/8).
+    let sub1 = cohort.subjects_in(AdhdGroup::Subtype(1));
+    let k1 = cohort.group_matrix_for(&sub1, Session::One).unwrap();
+    let a1 = cohort.group_matrix_for(&sub1, Session::Two).unwrap();
+    let out1 = attack.run(&k1, &a1).unwrap();
+    assert!(out1.accuracy >= 0.6, "subtype1 accuracy {}", out1.accuracy);
+}
+
+#[test]
+fn different_cohort_seeds_produce_unrelated_identities() {
+    // An attack across *different cohorts* (no shared subjects) must score
+    // near chance — the signature is individual, not an artifact of the
+    // pipeline.
+    let a = hcp(15, 61);
+    let b = hcp(15, 62);
+    let known = a.group_matrix(Task::Rest, Session::One).unwrap();
+    let anon = b.group_matrix(Task::Rest, Session::Two).unwrap();
+    let out = DeanonAttack::new(AttackConfig::default())
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+    // Ids collide textually (sub0000 …), so "truth" pairs them up; but the
+    // subjects are different people, so accuracy must be near chance.
+    assert!(
+        out.accuracy < 0.34,
+        "cross-cohort accuracy {} suggests leakage",
+        out.accuracy
+    );
+}

@@ -1,0 +1,74 @@
+//! Seed-reproducibility across the whole stack: every published number in
+//! EXPERIMENTS.md must be regenerable bit-for-bit from the recorded seeds.
+
+use neurodeanon_core::attack::AttackConfig;
+use neurodeanon_core::experiments::{similarity_experiment, task_prediction_experiment};
+use neurodeanon_core::performance::{predict_performance, PerfConfig};
+use neurodeanon_core::task_id::TaskIdConfig;
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_embedding::tsne::TsneConfig;
+
+fn cohort(seed: u64) -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig::small(8, seed)).unwrap()
+}
+
+#[test]
+fn similarity_experiment_is_bit_reproducible() {
+    let a = similarity_experiment(&cohort(1), Task::Rest, AttackConfig::default()).unwrap();
+    let b = similarity_experiment(&cohort(1), Task::Rest, AttackConfig::default()).unwrap();
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(
+        a.similarity.as_slice(),
+        b.similarity.as_slice(),
+        "similarity matrices diverged"
+    );
+}
+
+#[test]
+fn performance_experiment_is_bit_reproducible() {
+    let run = || {
+        let c = cohort(2);
+        let g = c.group_matrix(Task::Language, Session::One).unwrap();
+        let y = c.performance_vector(Task::Language).unwrap();
+        predict_performance(
+            &g,
+            &y,
+            &PerfConfig {
+                n_repeats: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.train_nrmse, b.train_nrmse);
+    assert_eq!(a.test_nrmse, b.test_nrmse);
+}
+
+#[test]
+fn task_prediction_is_bit_reproducible() {
+    let cfg = TaskIdConfig {
+        tsne: TsneConfig {
+            perplexity: 8.0,
+            n_iter: 120,
+            ..TsneConfig::default()
+        },
+        ..TaskIdConfig::default()
+    };
+    let a = task_prediction_experiment(&cohort(3), &cfg, 1).unwrap();
+    let b = task_prediction_experiment(&cohort(3), &cfg, 1).unwrap();
+    assert_eq!(a.overall_accuracy, b.overall_accuracy);
+    assert_eq!(a.rest_confusions, b.rest_confusions);
+}
+
+#[test]
+fn different_seeds_change_the_data_not_the_phenomena() {
+    // Different cohort seeds must give different numbers (no hidden
+    // constants) while preserving the qualitative result.
+    let a = similarity_experiment(&cohort(10), Task::Rest, AttackConfig::default()).unwrap();
+    let b = similarity_experiment(&cohort(11), Task::Rest, AttackConfig::default()).unwrap();
+    assert_ne!(a.similarity.as_slice(), b.similarity.as_slice());
+    assert!(a.mean_diagonal > a.mean_offdiagonal);
+    assert!(b.mean_diagonal > b.mean_offdiagonal);
+}

@@ -1,0 +1,162 @@
+//! Cross-crate integration of the voxel-level path: synthetic scanner →
+//! preprocessing pipeline → atlas reduction → connectome → attack, plus
+//! QC-report plumbing.
+
+use neurodeanon_atlas::{grown_atlas, region_average, VoxelGrid};
+use neurodeanon_connectome::{Connectome, GroupMatrix};
+use neurodeanon_core::attack::{AttackConfig, DeanonAttack};
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_fmri::scanner::{Scanner, ScannerConfig};
+use neurodeanon_linalg::{Matrix, Rng64};
+use neurodeanon_preprocess::{Pipeline, PipelineConfig};
+
+fn voxel_cohort(seed: u64) -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig {
+        n_subjects: 8,
+        n_regions: 14,
+        n_timepoints: 420,
+        n_pop_factors: 8,
+        n_task_factors: 4,
+        n_sig_factors: 3,
+        n_sig_regions: 5,
+        noise_std: 0.4,
+        session_strength: 0.1,
+        signature_gain: 1.8,
+        signature_instability: 0.3,
+        seed,
+    })
+    .unwrap()
+}
+
+fn group_via_pipeline(
+    cohort: &HcpCohort,
+    pipeline: &Pipeline,
+    scanner: &Scanner,
+    session: Session,
+    seed: u64,
+) -> GroupMatrix {
+    let grid = VoxelGrid::new(12, 12, 12).unwrap();
+    let atlas = grown_atlas("xtest", grid, 14, seed).unwrap();
+    let nf = 14 * 13 / 2;
+    let mut data = Matrix::zeros(nf, cohort.n_subjects());
+    let mut ids = Vec::new();
+    for s in 0..cohort.n_subjects() {
+        let latent = cohort.region_ts(s, Task::Rest, session).unwrap();
+        let mut rng = Rng64::new(seed ^ ((s as u64) << 8 | session.index()));
+        let vol = scanner.acquire(&latent, &atlas, &mut rng).unwrap();
+        let (clean, _) = pipeline.run(vol, &atlas).unwrap();
+        data.set_col(s, &Connectome::from_region_ts(&clean).unwrap().vectorize())
+            .unwrap();
+        ids.push(format!("{}/REST/{}", cohort.subject_id(s), session.encoding()));
+    }
+    GroupMatrix::from_matrix(data, ids, 14).unwrap()
+}
+
+#[test]
+fn full_voxel_path_identifies_subjects() {
+    let seed = 0x0e2e;
+    let cohort = voxel_cohort(seed);
+    let scanner = Scanner::new(ScannerConfig::default()).unwrap();
+    let pipeline = Pipeline::default();
+    let known = group_via_pipeline(&cohort, &pipeline, &scanner, Session::One, seed);
+    let anon = group_via_pipeline(&cohort, &pipeline, &scanner, Session::Two, seed);
+    let attack = DeanonAttack::new(AttackConfig {
+        n_features: 50,
+        ..Default::default()
+    })
+    .unwrap();
+    let out = attack.run(&known, &anon).unwrap();
+    assert!(out.accuracy >= 0.5, "voxel-path accuracy {}", out.accuracy);
+    assert!(out.mean_diagonal_similarity() > out.mean_offdiagonal_similarity());
+}
+
+#[test]
+fn clean_scanner_plus_region_average_equals_latent_connectome() {
+    // With a noiseless scanner the voxel path must reproduce the latent
+    // connectome exactly (averaging of identical copies is lossless).
+    let seed = 0x1dea;
+    let cohort = voxel_cohort(seed);
+    let grid = VoxelGrid::new(12, 12, 12).unwrap();
+    let atlas = grown_atlas("clean", grid, 14, seed).unwrap();
+    let scanner = Scanner::new(ScannerConfig::clean()).unwrap();
+    let latent = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
+    let vol = scanner
+        .acquire(&latent, &atlas, &mut Rng64::new(1))
+        .unwrap();
+    let reduced = region_average(&atlas, vol.as_matrix()).unwrap();
+    let direct = Connectome::from_region_ts(&latent).unwrap();
+    let via_voxels = Connectome::from_region_ts(&reduced).unwrap();
+    let diff = direct
+        .as_matrix()
+        .sub(via_voxels.as_matrix())
+        .unwrap()
+        .max_abs();
+    assert!(diff < 1e-9, "lossless path drifted by {diff}");
+}
+
+#[test]
+fn pipeline_reports_flow_through() {
+    let seed = 0x9c;
+    let cohort = voxel_cohort(seed);
+    let grid = VoxelGrid::new(12, 12, 12).unwrap();
+    let atlas = grown_atlas("qc", grid, 14, seed).unwrap();
+    let mut cfg = ScannerConfig::default();
+    cfg.n_spikes = 6;
+    cfg.spike_magnitude = 12.0;
+    let scanner = Scanner::new(cfg).unwrap();
+    let latent = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
+    let vol = scanner
+        .acquire(&latent, &atlas, &mut Rng64::new(2))
+        .unwrap();
+    let (cleaned, report) = Pipeline::default().run(vol, &atlas).unwrap();
+    assert_eq!(cleaned.rows(), 14);
+    assert!(report.brain_voxels > 0, "skull strip reported nothing");
+    assert!(
+        !report.scrubbed_frames.is_empty(),
+        "scrubbing missed injected spikes"
+    );
+    assert!(report.gsr_variance_removed > 0.0);
+    assert_eq!(report.motion_shifts.len(), cleaned.cols());
+}
+
+#[test]
+fn pipeline_beats_bare_zscore_under_heavy_artifacts() {
+    let seed = 0xbad;
+    let cohort = voxel_cohort(seed);
+    let scanner = Scanner::new(ScannerConfig {
+        drift_amplitude: 4.0,
+        global_signal: 3.0,
+        respiration: 3.0,
+        n_motion_events: 0,
+        ..ScannerConfig::default()
+    })
+    .unwrap();
+    let attack = DeanonAttack::new(AttackConfig {
+        n_features: 50,
+        ..Default::default()
+    })
+    .unwrap();
+    // Full pipeline without motion correction (no motion injected).
+    let full = Pipeline::new(PipelineConfig {
+        motion_correct: false,
+        ..Default::default()
+    });
+    let bare = Pipeline::new(PipelineConfig {
+        zscore: true,
+        ..PipelineConfig::none()
+    });
+    let acc = |p: &Pipeline| {
+        let known = group_via_pipeline(&cohort, p, &scanner, Session::One, seed);
+        let anon = group_via_pipeline(&cohort, p, &scanner, Session::Two, seed);
+        attack.run(&known, &anon).unwrap().accuracy
+    };
+    let cleaned = acc(&full);
+    let raw = acc(&bare);
+    // One-subject tolerance: these are 8-subject cohorts, so each match is
+    // worth 0.125 of accuracy.
+    assert!(
+        cleaned + 0.13 >= raw,
+        "pipeline {cleaned} well below bare z-score {raw}"
+    );
+    assert!(cleaned >= 0.5, "pipeline accuracy collapsed: {cleaned}");
+}
