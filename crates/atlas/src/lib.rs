@@ -27,7 +27,9 @@ pub mod reduce;
 pub use compare::adjusted_rand_index;
 pub use error::AtlasError;
 pub use grid::VoxelGrid;
-pub use parcellation::{aal2_like, glasser_like, grown_atlas, Hemisphere, Lobe, Parcellation, Region};
+pub use parcellation::{
+    aal2_like, glasser_like, grown_atlas, Hemisphere, Lobe, Parcellation, Region,
+};
 pub use reduce::region_average;
 
 /// Result alias for atlas operations.

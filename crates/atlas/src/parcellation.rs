@@ -350,7 +350,12 @@ mod tests {
     #[test]
     fn all_lobes_represented() {
         let p = glasser_like(grid24()).unwrap();
-        for lobe in [Lobe::Frontal, Lobe::Parietal, Lobe::Temporal, Lobe::Occipital] {
+        for lobe in [
+            Lobe::Frontal,
+            Lobe::Parietal,
+            Lobe::Temporal,
+            Lobe::Occipital,
+        ] {
             assert!(
                 p.regions().iter().any(|r| r.lobe == lobe),
                 "missing {lobe:?}"

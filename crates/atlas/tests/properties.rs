@@ -2,30 +2,35 @@
 
 use neurodeanon_atlas::{adjusted_rand_index, grown_atlas, region_average, VoxelGrid};
 use neurodeanon_linalg::Matrix;
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{u64_in, usize_in};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn cfg() -> Config {
+    Config::cases(24)
+}
 
-    #[test]
-    fn grown_atlas_invariants(n_regions in 2usize..40, seed in 0u64..500) {
+#[test]
+fn grown_atlas_invariants() {
+    forall!(cfg(), (n_regions in usize_in(2..40), seed in u64_in(0..500)) => {
         let grid = VoxelGrid::new(12, 12, 12).unwrap();
         let p = grown_atlas("prop", grid, n_regions, seed).unwrap();
-        prop_assert_eq!(p.n_regions(), n_regions);
+        tk_assert_eq!(p.n_regions(), n_regions);
         // Region sizes sum to the brain voxel count; every region non-empty.
         let total: usize = p.regions().iter().map(|r| r.size).sum();
-        prop_assert_eq!(total, p.brain_voxel_count());
-        prop_assert!(p.regions().iter().all(|r| r.size > 0));
+        tk_assert_eq!(total, p.brain_voxel_count());
+        tk_assert!(p.regions().iter().all(|r| r.size > 0));
         // Membership is confined to brain voxels.
         let brain: std::collections::HashSet<usize> =
             p.grid().brain_voxels().into_iter().collect();
         for v in 0..p.grid().len() {
-            prop_assert_eq!(p.region_of(v).is_some(), brain.contains(&v));
+            tk_assert_eq!(p.region_of(v).is_some(), brain.contains(&v));
         }
-    }
+    });
+}
 
-    #[test]
-    fn region_average_is_linear(seed in 0u64..200) {
+#[test]
+fn region_average_is_linear() {
+    forall!(cfg(), (seed in u64_in(0..200)) => {
         let grid = VoxelGrid::new(10, 10, 10).unwrap();
         let p = grown_atlas("lin", grid, 6, seed).unwrap();
         let n = p.grid().len();
@@ -36,19 +41,21 @@ proptest! {
         let rb = region_average(&p, &b).unwrap();
         let rsum = region_average(&p, &sum).unwrap();
         let expect = ra.add(&rb).unwrap();
-        prop_assert!(rsum.sub(&expect).unwrap().max_abs() < 1e-9);
-    }
+        tk_assert!(rsum.sub(&expect).unwrap().max_abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn ari_self_is_one_and_symmetric(a_regions in 2usize..20, b_regions in 2usize..20,
-                                     seed in 0u64..200) {
+#[test]
+fn ari_self_is_one_and_symmetric() {
+    forall!(cfg(), (a_regions in usize_in(2..20), b_regions in usize_in(2..20),
+                    seed in u64_in(0..200)) => {
         let grid = VoxelGrid::new(10, 10, 10).unwrap();
         let a = grown_atlas("a", grid.clone(), a_regions, seed).unwrap();
         let b = grown_atlas("b", grid, b_regions, seed + 1).unwrap();
-        prop_assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-9);
+        tk_assert!((adjusted_rand_index(&a, &a).unwrap() - 1.0).abs() < 1e-9);
         let ab = adjusted_rand_index(&a, &b).unwrap();
         let ba = adjusted_rand_index(&b, &a).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!(ab <= 1.0 + 1e-12);
-    }
+        tk_assert!((ab - ba).abs() < 1e-12);
+        tk_assert!(ab <= 1.0 + 1e-12);
+    });
 }

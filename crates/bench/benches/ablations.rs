@@ -2,8 +2,10 @@
 //! sampling strategy, retained-feature count, matching rule, atlas
 //! granularity, and the t-SNE vs PCA embedding comparison that motivates
 //! the paper's choice of a non-linear reduction for task identification.
+//! Timed by the in-repo `neurodeanon_bench::timing` harness (build with
+//! `--features criterion-bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use neurodeanon_bench::timing::Bench;
 use neurodeanon_core::experiments::ablations::embedding_ablation_groups;
 use neurodeanon_core::experiments::{
     ablation_atlas_granularity, ablation_feature_count, ablation_matching_rule,
@@ -15,73 +17,56 @@ use neurodeanon_embedding::tsne::{tsne, TsneConfig};
 use neurodeanon_linalg::Matrix;
 use neurodeanon_ml::metrics::accuracy;
 use neurodeanon_ml::KnnClassifier;
-use std::hint::black_box;
 
 fn cohort() -> HcpCohort {
     HcpCohort::generate(HcpCohortConfig::small(12, 0xab)).expect("valid config")
 }
 
-fn bench_ablation_sampling(c: &mut Criterion) {
+fn main() {
     let cohort = cohort();
-    let mut g = c.benchmark_group("ablation_sampling_strategy");
-    g.sample_size(10);
-    g.bench_function("four_strategies", |b| {
-        b.iter(|| {
-            let rows = ablation_sampling_strategy(&cohort, 60, 3).unwrap();
-            // The paper's claim: leverage-based selection dominates.
-            let det = rows
-                .iter()
-                .find(|r| r.strategy == "deterministic-leverage")
-                .unwrap()
-                .accuracy;
-            let uni = rows
-                .iter()
-                .find(|r| r.strategy == "uniform")
-                .unwrap()
-                .accuracy;
-            assert!(det >= uni);
-            black_box(rows)
-        })
-    });
-    g.finish();
-}
 
-fn bench_ablation_t(c: &mut Criterion) {
-    let cohort = cohort();
-    let mut g = c.benchmark_group("ablation_feature_count");
-    g.sample_size(10);
-    g.bench_function("sweep_5_to_400", |b| {
-        b.iter(|| black_box(ablation_feature_count(&cohort, &[5, 20, 100, 400]).unwrap()))
+    let b = Bench::new("ablation_sampling_strategy").iters(10);
+    b.run("four_strategies", || {
+        let rows = ablation_sampling_strategy(&cohort, 60, 3).unwrap();
+        // The paper's claim: leverage-based selection dominates.
+        let det = rows
+            .iter()
+            .find(|r| r.strategy == "deterministic-leverage")
+            .unwrap()
+            .accuracy;
+        let uni = rows
+            .iter()
+            .find(|r| r.strategy == "uniform")
+            .unwrap()
+            .accuracy;
+        assert!(det >= uni);
+        rows
     });
-    g.finish();
-}
 
-fn bench_ablation_matching(c: &mut Criterion) {
-    let cohort = cohort();
-    let mut g = c.benchmark_group("ablation_matching_rule");
-    g.sample_size(10);
-    g.bench_function("argmax_vs_hungarian", |b| {
-        b.iter(|| black_box(ablation_matching_rule(&cohort).unwrap()))
+    let b = Bench::new("ablation_feature_count").iters(10);
+    b.run("sweep_5_to_400", || {
+        ablation_feature_count(&cohort, &[5, 20, 100, 400]).unwrap()
     });
-    g.finish();
-}
 
-fn bench_ablation_atlas(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_atlas_granularity");
-    g.sample_size(10);
-    g.bench_function("regions_20_40", |b| {
-        b.iter(|| black_box(ablation_atlas_granularity(&[20, 40], 8, 5).unwrap()))
+    let b = Bench::new("ablation_matching_rule").iters(10);
+    b.run("argmax_vs_hungarian", || {
+        ablation_matching_rule(&cohort).unwrap()
     });
-    g.finish();
+
+    let b = Bench::new("ablation_atlas_granularity").iters(10);
+    b.run("regions_20_40", || {
+        ablation_atlas_granularity(&[20, 40], 8, 5).unwrap()
+    });
+
+    bench_ablation_embedding(&cohort);
 }
 
 /// t-SNE vs PCA for task clustering: embed the stacked conditions to 2-D
 /// with both methods, transfer labels by 1-NN from half the subjects, and
 /// compare accuracy — the paper's implicit justification for preferring the
 /// non-linear embedding.
-fn bench_ablation_embedding(c: &mut Criterion) {
-    let cohort = cohort();
-    let groups = embedding_ablation_groups(&cohort).unwrap();
+fn bench_ablation_embedding(cohort: &HcpCohort) {
+    let groups = embedding_ablation_groups(cohort).unwrap();
     let n_subjects = groups[0].n_subjects();
     // Stack points condition-major.
     let n_features = groups[0].n_features();
@@ -112,34 +97,18 @@ fn bench_ablation_embedding(c: &mut Criterion) {
         accuracy(&knn.predict(&test_x).unwrap(), &truth).unwrap()
     };
 
-    let mut g = c.benchmark_group("ablation_embedding");
-    g.sample_size(10);
+    let b = Bench::new("ablation_embedding").iters(10);
     let cfg = TsneConfig {
         perplexity: 10.0,
         n_iter: 250,
         ..TsneConfig::default()
     };
-    g.bench_function("tsne_2d_plus_1nn", |b| {
-        b.iter(|| {
-            let emb = tsne(&points, &cfg).unwrap();
-            black_box(eval(&emb.embedding))
-        })
+    b.run("tsne_2d_plus_1nn", || {
+        let emb = tsne(&points, &cfg).unwrap();
+        eval(&emb.embedding)
     });
-    g.bench_function("pca_2d_plus_1nn", |b| {
-        b.iter(|| {
-            let emb = pca(&points, 2).unwrap();
-            black_box(eval(&emb))
-        })
+    b.run("pca_2d_plus_1nn", || {
+        let emb = pca(&points, 2).unwrap();
+        eval(&emb)
     });
-    g.finish();
 }
-
-criterion_group!(
-    ablations,
-    bench_ablation_sampling,
-    bench_ablation_t,
-    bench_ablation_matching,
-    bench_ablation_atlas,
-    bench_ablation_embedding
-);
-criterion_main!(ablations);

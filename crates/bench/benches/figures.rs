@@ -1,15 +1,17 @@
-//! One Criterion bench per paper table/figure (DESIGN.md §3): each target
-//! runs the corresponding experiment driver end to end at a reduced scale,
-//! so the harness both times the attack pipeline and regenerates the
+//! One bench target per paper table/figure (DESIGN.md §3): each case runs
+//! the corresponding experiment driver end to end at a reduced scale, so
+//! the harness both times the attack pipeline and regenerates the
 //! artifact's numbers on every bench run. The `repro` binary produces the
-//! same numbers at paper scale.
+//! same numbers at paper scale. Timed by the in-repo
+//! `neurodeanon_bench::timing` harness (build with
+//! `--features criterion-bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use neurodeanon_bench::timing::Bench;
 use neurodeanon_core::attack::AttackConfig;
 use neurodeanon_core::experiments::preprocess_ablation::PreprocessAblationConfig;
 use neurodeanon_core::experiments::{
-    adhd_experiment, cross_task_matrix, multi_site_sweep, performance_table,
-    preprocess_ablation, similarity_experiment, task_prediction_experiment,
+    adhd_experiment, cross_task_matrix, multi_site_sweep, performance_table, preprocess_ablation,
+    similarity_experiment, task_prediction_experiment,
 };
 use neurodeanon_core::performance::PerfConfig;
 use neurodeanon_core::task_id::TaskIdConfig;
@@ -17,7 +19,6 @@ use neurodeanon_datasets::{
     AdhdCohort, AdhdCohortConfig, AdhdGroup, HcpCohort, HcpCohortConfig, Task,
 };
 use neurodeanon_embedding::tsne::TsneConfig;
-use std::hint::black_box;
 
 fn hcp() -> HcpCohort {
     HcpCohort::generate(HcpCohortConfig::small(12, 0xbe)).expect("valid config")
@@ -27,49 +28,27 @@ fn adhd() -> AdhdCohort {
     AdhdCohort::generate(AdhdCohortConfig::small(8, 4, 0xbe)).expect("valid config")
 }
 
-fn bench_fig1_rest_similarity(c: &mut Criterion) {
+fn main() {
     let cohort = hcp();
-    let mut g = c.benchmark_group("fig1_rest_similarity");
-    g.sample_size(10);
-    g.bench_function("rest_session1_vs_session2", |b| {
-        b.iter(|| {
-            let res =
-                similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
-            assert!(res.mean_diagonal > res.mean_offdiagonal);
-            black_box(res)
-        })
-    });
-    g.finish();
-}
 
-fn bench_fig2_task_similarity(c: &mut Criterion) {
-    let cohort = hcp();
-    let mut g = c.benchmark_group("fig2_language_similarity");
-    g.sample_size(10);
-    g.bench_function("language_session1_vs_session2", |b| {
-        b.iter(|| {
-            black_box(
-                similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap(),
-            )
-        })
+    let b = Bench::new("fig1_rest_similarity").iters(10);
+    b.run("rest_session1_vs_session2", || {
+        let res = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
+        assert!(res.mean_diagonal > res.mean_offdiagonal);
+        res
     });
-    g.finish();
-}
 
-fn bench_fig5_cross_task(c: &mut Criterion) {
-    let cohort = hcp();
-    let mut g = c.benchmark_group("fig5_cross_task_matrix");
-    g.sample_size(10);
-    g.bench_function("8x8_sweep", |b| {
-        b.iter(|| black_box(cross_task_matrix(&cohort, AttackConfig::default()).unwrap()))
+    let b = Bench::new("fig2_language_similarity").iters(10);
+    b.run("language_session1_vs_session2", || {
+        similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap()
     });
-    g.finish();
-}
 
-fn bench_fig6_tsne_task(c: &mut Criterion) {
-    let cohort = hcp();
-    let mut g = c.benchmark_group("fig6_task_prediction");
-    g.sample_size(10);
+    let b = Bench::new("fig5_cross_task_matrix").iters(10);
+    b.run("8x8_sweep", || {
+        cross_task_matrix(&cohort, AttackConfig::default()).unwrap()
+    });
+
+    let b = Bench::new("fig6_task_prediction").iters(10);
     let cfg = TaskIdConfig {
         tsne: TsneConfig {
             perplexity: 12.0,
@@ -78,66 +57,44 @@ fn bench_fig6_tsne_task(c: &mut Criterion) {
         },
         ..TaskIdConfig::default()
     };
-    g.bench_function("tsne_plus_1nn", |b| {
-        b.iter(|| black_box(task_prediction_experiment(&cohort, &cfg, 1).unwrap()))
+    b.run("tsne_plus_1nn", || {
+        task_prediction_experiment(&cohort, &cfg, 1).unwrap()
     });
-    g.finish();
-}
 
-fn bench_table1_svr(c: &mut Criterion) {
-    let cohort = hcp();
-    let mut g = c.benchmark_group("table1_performance");
-    g.sample_size(10);
+    let b = Bench::new("table1_performance").iters(10);
     let cfg = PerfConfig {
         n_repeats: 2,
         ..Default::default()
     };
-    g.bench_function("four_tasks_two_splits", |b| {
-        b.iter(|| black_box(performance_table(&cohort, &cfg).unwrap()))
+    b.run("four_tasks_two_splits", || {
+        performance_table(&cohort, &cfg).unwrap()
     });
-    g.finish();
-}
 
-fn bench_fig789_adhd(c: &mut Criterion) {
-    let cohort = adhd();
-    let mut g = c.benchmark_group("fig789_adhd");
-    g.sample_size(10);
-    let subtype1 = cohort.subjects_in(AdhdGroup::Subtype(1));
-    g.bench_function("subtype1_similarity", |b| {
-        b.iter(|| {
-            black_box(
-                adhd_experiment(&cohort, &subtype1, "subtype1", AttackConfig::default()).unwrap(),
-            )
-        })
+    let adhd_cohort = adhd();
+    let b = Bench::new("fig789_adhd").iters(10);
+    let subtype1 = adhd_cohort.subjects_in(AdhdGroup::Subtype(1));
+    b.run("subtype1_similarity", || {
+        adhd_experiment(&adhd_cohort, &subtype1, "subtype1", AttackConfig::default()).unwrap()
     });
-    let all: Vec<usize> = (0..cohort.n_subjects()).collect();
-    g.bench_function("mixed_cases_controls", |b| {
-        b.iter(|| {
-            black_box(adhd_experiment(&cohort, &all, "mixed", AttackConfig::default()).unwrap())
-        })
+    let all: Vec<usize> = (0..adhd_cohort.n_subjects()).collect();
+    b.run("mixed_cases_controls", || {
+        adhd_experiment(&adhd_cohort, &all, "mixed", AttackConfig::default()).unwrap()
     });
-    g.finish();
-}
 
-fn bench_table2_multisite(c: &mut Criterion) {
-    let hcp = hcp();
-    let adhd = adhd();
-    let mut g = c.benchmark_group("table2_multisite");
-    g.sample_size(10);
-    g.bench_function("noise_sweep_10_30pct", |b| {
-        b.iter(|| {
-            black_box(
-                multi_site_sweep(&hcp, &adhd, &[0.1, 0.3], 1, AttackConfig::default(), 1)
-                    .unwrap(),
-            )
-        })
+    let b = Bench::new("table2_multisite").iters(10);
+    b.run("noise_sweep_10_30pct", || {
+        multi_site_sweep(
+            &cohort,
+            &adhd_cohort,
+            &[0.1, 0.3],
+            1,
+            AttackConfig::default(),
+            1,
+        )
+        .unwrap()
     });
-    g.finish();
-}
 
-fn bench_fig4_preprocess(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_preprocess_ablation");
-    g.sample_size(10);
+    let b = Bench::new("fig4_preprocess_ablation").iters(10);
     let cfg = PreprocessAblationConfig {
         n_subjects: 6,
         grid_edge: 10,
@@ -146,21 +103,7 @@ fn bench_fig4_preprocess(c: &mut Criterion) {
         n_features: 40,
         ..Default::default()
     };
-    g.bench_function("artifact_stage_pairs", |b| {
-        b.iter(|| black_box(preprocess_ablation(&cfg).unwrap()))
+    b.run("artifact_stage_pairs", || {
+        preprocess_ablation(&cfg).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(
-    figures,
-    bench_fig1_rest_similarity,
-    bench_fig2_task_similarity,
-    bench_fig5_cross_task,
-    bench_fig6_tsne_task,
-    bench_table1_svr,
-    bench_fig789_adhd,
-    bench_table2_multisite,
-    bench_fig4_preprocess
-);
-criterion_main!(figures);

@@ -2,66 +2,48 @@
 //! matrix multiplication, Gram products, SVD (both routes), leverage
 //! scores, Pearson connectome construction, FIR/FFT filtering, and t-SNE
 //! iterations. These are the kernels whose cost the paper's "computationally
-//! inexpensive, and can scale to large datasets" claim rests on.
+//! inexpensive, and can scale to large datasets" claim rests on. Timed by
+//! the in-repo `neurodeanon_bench::timing` harness (build with
+//! `--features criterion-bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neurodeanon_bench::timing::Bench;
 use neurodeanon_embedding::tsne::{tsne, TsneConfig};
 use neurodeanon_linalg::stats::correlation_matrix;
 use neurodeanon_linalg::svd::{leverage_scores, thin_svd};
 use neurodeanon_linalg::{Matrix, Rng64};
 use neurodeanon_preprocess::filter::{fft_bandpass, fir_bandpass, Band};
-use std::hint::black_box;
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::new(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.gaussian())
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("matmul");
+fn main() {
+    let b = Bench::new("matmul").iters(10);
     for n in [64usize, 128, 256] {
         let a = random_matrix(n, n, 1);
-        let b = random_matrix(n, n, 2);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b).unwrap()))
-        });
+        let bm = random_matrix(n, n, 2);
+        b.run(&format!("{n}"), || a.matmul(&bm).unwrap());
     }
-    g.finish();
-}
 
-fn bench_gram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gram_group_matrix");
+    let b = Bench::new("gram_group_matrix").iters(10);
     // Tall group-matrix shapes: features × subjects.
     for (rows, cols) in [(6_670usize, 50usize), (20_000, 50)] {
         let a = random_matrix(rows, cols, 3);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{rows}x{cols}")),
-            &rows,
-            |bench, _| bench.iter(|| black_box(a.gram())),
-        );
+        b.run(&format!("{rows}x{cols}"), || a.gram());
     }
-    g.finish();
-}
 
-fn bench_svd(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thin_svd");
-    g.sample_size(10);
+    let b = Bench::new("thin_svd").iters(10);
     // Gram route (tall) and Jacobi route (square-ish).
     let tall = random_matrix(6_670, 40, 4);
-    g.bench_function("gram_route_6670x40", |b| {
-        b.iter(|| black_box(thin_svd(&tall).unwrap()))
-    });
+    b.run("gram_route_6670x40", || thin_svd(&tall).unwrap());
     let squareish = random_matrix(120, 80, 5);
-    g.bench_function("jacobi_route_120x80", |b| {
-        b.iter(|| black_box(thin_svd(&squareish).unwrap()))
-    });
-    g.finish();
-}
+    b.run("jacobi_route_120x80", || thin_svd(&squareish).unwrap());
 
-fn bench_leverage(c: &mut Criterion) {
+    let b = Bench::new("leverage").iters(10);
     let a = random_matrix(6_670, 40, 6);
-    c.bench_function("leverage_scores_6670x40", |b| {
-        b.iter(|| black_box(leverage_scores(&a, None).unwrap()))
+    b.run("leverage_scores_6670x40", || {
+        leverage_scores(&a, None).unwrap()
     });
     // Randomized fast path at the same shape.
     let cfg = neurodeanon_linalg::rsvd::RsvdConfig {
@@ -69,78 +51,38 @@ fn bench_leverage(c: &mut Criterion) {
         power_iters: 1,
         ..Default::default()
     };
-    c.bench_function("randomized_leverage_6670x40", |b| {
-        b.iter(|| {
-            black_box(
-                neurodeanon_linalg::rsvd::randomized_leverage_scores(&a, &cfg).unwrap(),
-            )
-        })
+    b.run("randomized_leverage_6670x40", || {
+        neurodeanon_linalg::rsvd::randomized_leverage_scores(&a, &cfg).unwrap()
     });
-}
 
-fn bench_connectome(c: &mut Criterion) {
-    let mut g = c.benchmark_group("correlation_matrix");
+    let b = Bench::new("correlation_matrix").iters(10);
     for (regions, t) in [(116usize, 500usize), (360, 800)] {
         let ts = random_matrix(regions, t, 7);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{regions}x{t}")),
-            &regions,
-            |bench, _| bench.iter(|| black_box(correlation_matrix(&ts).unwrap())),
-        );
+        b.run(&format!("{regions}x{t}"), || {
+            correlation_matrix(&ts).unwrap()
+        });
     }
-    g.finish();
-}
 
-fn bench_filters(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bandpass");
+    let b = Bench::new("bandpass").iters(10);
     let band = Band::hcp_resting();
     let ts = random_matrix(116, 500, 8);
-    g.bench_function("fft_116x500", |b| {
-        b.iter_batched(
-            || ts.clone(),
-            |mut m| {
-                fft_bandpass(&mut m, band).unwrap();
-                black_box(m)
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    b.run("fft_116x500", || {
+        let mut m = ts.clone();
+        fft_bandpass(&mut m, band).unwrap();
+        m
     });
-    g.bench_function("fir_116x500", |b| {
-        b.iter_batched(
-            || ts.clone(),
-            |mut m| {
-                fir_bandpass(&mut m, band, 101).unwrap();
-                black_box(m)
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    b.run("fir_116x500", || {
+        let mut m = ts.clone();
+        fir_bandpass(&mut m, band, 101).unwrap();
+        m
     });
-    g.finish();
-}
 
-fn bench_tsne(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tsne");
-    g.sample_size(10);
+    let b = Bench::new("tsne").iters(10);
     let points = random_matrix(160, 64, 9);
     let cfg = TsneConfig {
         perplexity: 20.0,
         n_iter: 250,
         ..TsneConfig::default()
     };
-    g.bench_function("160pts_250iters", |b| {
-        b.iter(|| black_box(tsne(&points, &cfg).unwrap()))
-    });
-    g.finish();
+    b.run("160pts_250iters", || tsne(&points, &cfg).unwrap());
 }
-
-criterion_group!(
-    micro,
-    bench_matmul,
-    bench_gram,
-    bench_svd,
-    bench_leverage,
-    bench_connectome,
-    bench_filters,
-    bench_tsne
-);
-criterion_main!(micro);

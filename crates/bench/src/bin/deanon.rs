@@ -34,8 +34,16 @@ fn main() {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--known" => known_path = Some(PathBuf::from(it.next().unwrap_or_else(|| fail("--known needs a path")))),
-            "--anon" => anon_path = Some(PathBuf::from(it.next().unwrap_or_else(|| fail("--anon needs a path")))),
+            "--known" => {
+                known_path = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| fail("--known needs a path")),
+                ))
+            }
+            "--anon" => {
+                anon_path = Some(PathBuf::from(
+                    it.next().unwrap_or_else(|| fail("--anon needs a path")),
+                ))
+            }
             "--features" => {
                 n_features = it
                     .next()
@@ -55,9 +63,14 @@ fn main() {
         std::fs::create_dir_all(&dir).expect("temp dir");
         let kp = dir.join("known.csv");
         let ap = dir.join("anon.csv");
-        eprintln!("demo: synthesizing a 15-subject cohort into {}", dir.display());
+        eprintln!(
+            "demo: synthesizing a 15-subject cohort into {}",
+            dir.display()
+        );
         let cohort = HcpCohort::generate(HcpCohortConfig::small(15, 0xde40)).expect("cohort");
-        let known = cohort.group_matrix(Task::Rest, Session::One).expect("known");
+        let known = cohort
+            .group_matrix(Task::Rest, Session::One)
+            .expect("known");
         let anon = cohort.group_matrix(Task::Rest, Session::Two).expect("anon");
         write_group_csv(&known, &kp).expect("write known");
         write_group_csv(&anon, &ap).expect("write anon");

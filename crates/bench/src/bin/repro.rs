@@ -16,14 +16,14 @@ use neurodeanon_core::attack::AttackConfig;
 use neurodeanon_core::experiments::preprocess_ablation::PreprocessAblationConfig;
 use neurodeanon_core::experiments::{
     ablation_atlas_granularity, ablation_feature_count, ablation_matching_rule,
-    ablation_sampling_strategy, adhd_experiment, block_performance_experiment,
-    cross_task_matrix, defense_sweep, multi_site_sweep, performance_table,
-    preprocess_ablation, signature_localization, similarity_experiment,
-    task_prediction_experiment,
+    ablation_sampling_strategy, adhd_experiment, block_performance_experiment, cross_task_matrix,
+    defense_sweep, multi_site_sweep, performance_table, preprocess_ablation,
+    signature_localization, similarity_experiment, task_prediction_experiment,
 };
 use neurodeanon_core::performance::PerfConfig;
 use neurodeanon_core::task_id::TaskIdConfig;
 use neurodeanon_datasets::Task;
+use neurodeanon_testkit::{json, Value};
 use std::path::PathBuf;
 
 fn main() {
@@ -76,21 +76,26 @@ fn main() {
     if want("fig1") || want("fig2") {
         let cohort = scale.hcp(0x4c50);
         if want("fig1") {
-            let res =
-                similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
+            let res = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
             let mut r = Report::new("fig1", "pairwise similarity of resting-state connectomes");
             r.line(format!(
                 "identification accuracy      {}",
                 pct(res.accuracy)
             ));
-            r.line(format!("mean diagonal similarity     {:.3}", res.mean_diagonal));
+            r.line(format!(
+                "mean diagonal similarity     {:.3}",
+                res.mean_diagonal
+            ));
             r.line(format!(
                 "mean off-diagonal similarity {:.3}",
                 res.mean_offdiagonal
             ));
-            r.line(format!("diag/off-diag contrast       {:.3}", res.contrast()));
+            r.line(format!(
+                "diag/off-diag contrast       {:.3}",
+                res.contrast()
+            ));
             r.line("paper: accuracy > 94%, strong diagonal".to_string());
-            r.data(serde_json::json!({
+            r.data(json!({
                 "accuracy": res.accuracy,
                 "mean_diagonal": res.mean_diagonal,
                 "mean_offdiagonal": res.mean_offdiagonal,
@@ -98,18 +103,23 @@ fn main() {
             emit(r);
         }
         if want("fig2") {
-            let rest =
-                similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
+            let rest = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
             let lang =
                 similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap();
             let mut r = Report::new("fig2", "pairwise similarity of LANGUAGE task connectomes");
-            r.line(format!("identification accuracy      {}", pct(lang.accuracy)));
-            r.line(format!("diag/off-diag contrast       {:.3}", lang.contrast()));
+            r.line(format!(
+                "identification accuracy      {}",
+                pct(lang.accuracy)
+            ));
+            r.line(format!(
+                "diag/off-diag contrast       {:.3}",
+                lang.contrast()
+            ));
             r.line(format!(
                 "rest contrast (fig1 ref)     {:.3}  (task contrast must be weaker)",
                 rest.contrast()
             ));
-            r.data(serde_json::json!({
+            r.data(json!({
                 "accuracy": lang.accuracy,
                 "contrast": lang.contrast(),
                 "rest_contrast": rest.contrast(),
@@ -141,7 +151,7 @@ fn main() {
             r.line(format!("{:>12}{row}", t.name()));
         }
         r.line("paper: REST row strongest; LANGUAGE/RELATIONAL > 0.9; MOTOR/WM ineffective");
-        r.data(serde_json::json!({
+        r.data(json!({
             "tasks": res.tasks.iter().map(|t| t.name()).collect::<Vec<_>>(),
             "accuracy": res.accuracy,
         }));
@@ -154,8 +164,7 @@ fn main() {
             Scale::Small => 3,
             Scale::Paper => 10,
         };
-        let res =
-            task_prediction_experiment(&cohort, &TaskIdConfig::default(), reps).unwrap();
+        let res = task_prediction_experiment(&cohort, &TaskIdConfig::default(), reps).unwrap();
         let mut r = Report::new("fig6", "t-SNE task clusters + 1-NN task prediction");
         r.line(format!(
             "overall accuracy         {}",
@@ -174,7 +183,7 @@ fn main() {
             .join(", ");
         r.line(format!("rest misclassified as    [{conf}]"));
         r.line("paper: 100% on tasks, 99.01 ± 0.52% on rest; rest confused with gambling");
-        r.data(serde_json::json!({
+        r.data(json!({
             "overall": res.overall_accuracy,
             "per_task": res.per_task_accuracy,
             "rest_confusions": res.rest_confusions,
@@ -202,14 +211,14 @@ fn main() {
                 pm(row.train),
                 pm(row.test)
             ));
-            data.push(serde_json::json!({
+            data.push(json!({
                 "task": row.task.name(),
                 "train": row.train,
                 "test": row.test,
             }));
         }
         r.line("paper: Language 0.33/1.52, Emotion 0.28/0.60, Relational 0.44/2.74, WM 0.57/1.93");
-        r.data(serde_json::Value::Array(data));
+        r.data(Value::Array(data));
         emit(r);
     }
 
@@ -235,28 +244,29 @@ fn main() {
             if !want(id) {
                 continue;
             }
-            let res = adhd_experiment(&cohort, &subjects, label, AttackConfig::default())
-                .unwrap();
+            let res = adhd_experiment(&cohort, &subjects, label, AttackConfig::default()).unwrap();
             let mut r = Report::new(id, label);
             r.line(format!("subjects                 {}", subjects.len()));
             r.line(format!("identification accuracy  {}", pct(res.accuracy)));
             r.line(format!("mean diagonal            {:.3}", res.mean_diagonal));
-            r.line(format!("mean off-diagonal        {:.3}", res.mean_offdiagonal));
+            r.line(format!(
+                "mean off-diagonal        {:.3}",
+                res.mean_offdiagonal
+            ));
             if id == "fig9" {
-                let (mean, std) =
-                    neurodeanon_core::experiments::adhd::adhd_train_test_transfer(
-                        &cohort,
-                        100,
-                        0.3,
-                        scale.repeats(),
-                        7,
-                    )
-                    .unwrap();
+                let (mean, std) = neurodeanon_core::experiments::adhd::adhd_train_test_transfer(
+                    &cohort,
+                    100,
+                    0.3,
+                    scale.repeats(),
+                    7,
+                )
+                .unwrap();
                 r.line(format!(
                     "train/test transfer acc  {mean:.1} ± {std:.1}%  (paper: 97.2 ± 0.9%)"
                 ));
             }
-            r.data(serde_json::json!({
+            r.data(json!({
                 "subjects": subjects.len(),
                 "accuracy": res.accuracy,
                 "mean_diagonal": res.mean_diagonal,
@@ -296,7 +306,7 @@ fn main() {
             ));
         }
         r.line("paper: 10% → 91.14/96.33, 20% → 86.71/89.17, 30% → 79.05/84.10");
-        r.data(serde_json::json!({
+        r.data(json!({
             "noise_fractions": res.noise_fractions,
             "hcp": res.hcp,
             "adhd": res.adhd,
@@ -333,13 +343,13 @@ fn main() {
                 pct(row.accuracy_raw),
                 pct(row.accuracy_cleaned)
             ));
-            data.push(serde_json::json!({
-                "variant": row.variant,
+            data.push(json!({
+                "variant": row.variant.as_str(),
                 "raw": row.accuracy_raw,
                 "cleaned": row.accuracy_cleaned,
             }));
         }
-        r.data(serde_json::Value::Array(data));
+        r.data(Value::Array(data));
         emit(r);
     }
 
@@ -362,9 +372,9 @@ fn main() {
             ));
         }
         r.line("paper (§3.3.3): \"the use of this additional data further improves prediction\"");
-        r.data(serde_json::json!({
-            "timing_aware": res.timing_aware,
-            "timing_blind": res.timing_blind,
+        r.data(json!({
+            "timing_aware": res.timing_aware.as_slice(),
+            "timing_blind": res.timing_blind.as_slice(),
         }));
         emit(r);
     }
@@ -393,13 +403,13 @@ fn main() {
                 pct(p.targeted_accuracy),
                 pct(p.untargeted_accuracy)
             ));
-            data.push(serde_json::json!({
+            data.push(json!({
                 "sigma": p.sigma,
                 "targeted": p.targeted_accuracy,
                 "untargeted": p.untargeted_accuracy,
             }));
         }
-        r.data(serde_json::json!({
+        r.data(json!({
             "baseline": res.baseline_accuracy,
             "untouched_fraction": res.untouched_fraction,
             "points": data,
@@ -430,7 +440,7 @@ fn main() {
             "signature-pair pool size:                 {}",
             res.n_signature_features
         ));
-        r.data(serde_json::json!({
+        r.data(json!({
             "signature_only": res.signature_only,
             "outside_only": res.outside_only,
             "unrestricted": res.unrestricted,
@@ -447,8 +457,8 @@ fn main() {
         let mut strat_data = Vec::new();
         for row in &strategies {
             r.line(format!("  {:>24} {}", row.strategy, pct(row.accuracy)));
-            strat_data.push(serde_json::json!({
-                "strategy": row.strategy, "accuracy": row.accuracy
+            strat_data.push(json!({
+                "strategy": row.strategy.as_str(), "accuracy": row.accuracy
             }));
         }
         let counts = match scale {
@@ -474,7 +484,7 @@ fn main() {
         for (n, acc) in &gran {
             r.line(format!("  {:>5} regions {}", n, pct(*acc)));
         }
-        r.data(serde_json::json!({
+        r.data(json!({
             "strategies": strat_data,
             "feature_sweep": sweep,
             "matching": rules,

@@ -7,7 +7,7 @@
 //! summarize [results.jsonl]
 //! ```
 
-use serde_json::Value;
+use neurodeanon_testkit::{json, Value};
 use std::collections::BTreeMap;
 
 /// Extracts a one-line headline from an experiment's JSON payload.
@@ -120,7 +120,7 @@ fn main() {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<Value>(line) {
+        match json::parse(line) {
             Ok(v) => {
                 if let Some(id) = v["id"].as_str() {
                     latest.insert(id.to_string(), v);
@@ -137,7 +137,10 @@ fn main() {
     for (id, v) in &latest {
         let title = v["title"].as_str().unwrap_or("");
         let title = if title.len() > 42 {
-            format!("{}…", &title[..title.char_indices().nth(41).map(|(i, _)| i).unwrap_or(41)])
+            format!(
+                "{}…",
+                &title[..title.char_indices().nth(41).map(|(i, _)| i).unwrap_or(41)]
+            )
         } else {
             title.to_string()
         };

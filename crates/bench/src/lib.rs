@@ -3,12 +3,14 @@
 //! # neurodeanon-bench
 //!
 //! Reproduction harness for the paper's evaluation: the [`scale`] presets,
-//! plus small formatting/reporting helpers shared by the `repro` binary
-//! (which regenerates every table and figure as text + JSON) and the
-//! Criterion benches.
+//! small formatting/reporting helpers shared by the `repro` binary (which
+//! regenerates every table and figure as text + JSON), and the in-repo
+//! [`timing`] harness used by the bench targets (gated behind the
+//! `criterion-bench` feature so they stay out of the default build graph).
 
 pub mod report;
 pub mod scale;
+pub mod timing;
 
 pub use report::Report;
 pub use scale::Scale;

@@ -1,0 +1,128 @@
+//! Minimal wall-clock benchmark harness for the `criterion-bench` targets.
+//!
+//! A deliberately small stand-in for an external benchmarking framework:
+//! each benchmark runs a warm-up pass, then a fixed number of timed
+//! iterations, and reports min / median / mean wall time. Results are
+//! printed as a table; no statistics beyond the basics are attempted, so
+//! use the medians for coarse comparisons, not for microbenchmark claims.
+
+use std::time::{Duration, Instant};
+
+/// A group of named timings sharing warm-up and iteration settings.
+pub struct Bench {
+    name: String,
+    warmup: usize,
+    iters: usize,
+}
+
+/// Timing summary for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Case label.
+    pub label: String,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+impl Bench {
+    /// Creates a benchmark group with the default 1 warm-up + 10 timed runs.
+    pub fn new(name: &str) -> Self {
+        Bench {
+            name: name.to_string(),
+            warmup: 1,
+            iters: 10,
+        }
+    }
+
+    /// Overrides the number of timed iterations (min 1).
+    pub fn iters(mut self, n: usize) -> Self {
+        self.iters = n.max(1);
+        self
+    }
+
+    /// Overrides the number of warm-up iterations.
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Times `f`, printing one table row, and returns the sample. The
+    /// closure's return value is passed through [`std::hint::black_box`] so
+    /// the work cannot be optimized away.
+    pub fn run<T>(&self, label: &str, mut f: impl FnMut() -> T) -> Sample {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let s = Sample {
+            label: label.to_string(),
+            min,
+            median,
+            mean,
+        };
+        println!(
+            "{}/{label:<40} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            self.iters,
+        );
+        s
+    }
+}
+
+/// Formats a duration with an adaptive unit (ns / µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_orders_stats() {
+        let b = Bench::new("test").iters(5).warmup(0);
+        let s = b.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(s.label, "spin");
+        assert!(s.min <= s.median);
+        assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn duration_formatting_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

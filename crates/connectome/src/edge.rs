@@ -80,8 +80,7 @@ impl EdgeIndex {
 
     /// Iterates all edges in feature order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n_regions)
-            .flat_map(move |i| ((i + 1)..self.n_regions).map(move |j| (i, j)))
+        (0..self.n_regions).flat_map(move |i| ((i + 1)..self.n_regions).map(move |j| (i, j)))
     }
 }
 
@@ -121,10 +120,7 @@ mod tests {
     fn order_is_row_major_upper() {
         let idx = EdgeIndex::new(4).unwrap();
         let order: Vec<(usize, usize)> = idx.iter().collect();
-        assert_eq!(
-            order,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
-        );
+        assert_eq!(order, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         for (f, &(i, j)) in order.iter().enumerate() {
             assert_eq!(idx.feature_of(i, j).unwrap(), f);
         }
@@ -133,10 +129,7 @@ mod tests {
     #[test]
     fn symmetric_lookup() {
         let idx = EdgeIndex::new(10).unwrap();
-        assert_eq!(
-            idx.feature_of(3, 7).unwrap(),
-            idx.feature_of(7, 3).unwrap()
-        );
+        assert_eq!(idx.feature_of(3, 7).unwrap(), idx.feature_of(7, 3).unwrap());
     }
 
     #[test]

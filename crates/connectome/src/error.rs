@@ -38,10 +38,9 @@ impl fmt::Display for ConnectomeError {
             ConnectomeError::TooFewRegions { got } => {
                 write!(f, "connectome needs >= 2 regions, got {got}")
             }
-            ConnectomeError::RegionCountMismatch { expected, got, at } => write!(
-                f,
-                "connectome {at} has {got} regions, expected {expected}"
-            ),
+            ConnectomeError::RegionCountMismatch { expected, got, at } => {
+                write!(f, "connectome {at} has {got} regions, expected {expected}")
+            }
             ConnectomeError::EmptyGroup => write!(f, "group matrix needs at least one subject"),
             ConnectomeError::FeatureOutOfRange { index, n_features } => {
                 write!(f, "feature {index} out of range ({n_features} features)")

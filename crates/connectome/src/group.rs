@@ -215,7 +215,10 @@ mod tests {
         let cs: Vec<Connectome> = (0..4).map(connectome).collect();
         let g = GroupMatrix::from_connectomes(&cs, &ids(4)).unwrap();
         let r = g.select_subjects(&[3, 1]).unwrap();
-        assert_eq!(r.subject_ids(), &["sub003".to_string(), "sub001".to_string()]);
+        assert_eq!(
+            r.subject_ids(),
+            &["sub003".to_string(), "sub001".to_string()]
+        );
         assert_eq!(r.subject_features(0), g.subject_features(3));
     }
 

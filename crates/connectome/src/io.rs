@@ -39,9 +39,7 @@ pub fn read_group_csv(path: &Path) -> std::io::Result<GroupMatrix> {
 
     let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
 
-    let first = lines
-        .next()
-        .ok_or_else(|| invalid("empty file".into()))??;
+    let first = lines.next().ok_or_else(|| invalid("empty file".into()))??;
     let n_regions: usize = first
         .strip_prefix("# regions=")
         .ok_or_else(|| invalid("missing `# regions=` header".into()))?

@@ -121,12 +121,7 @@ mod tests {
         let v = c.vectorize();
         assert_eq!(v.len(), 10);
         let back = Connectome::from_vectorized(&v, 5).unwrap();
-        assert!(c
-            .as_matrix()
-            .sub(back.as_matrix())
-            .unwrap()
-            .max_abs()
-            < 1e-12);
+        assert!(c.as_matrix().sub(back.as_matrix()).unwrap().max_abs() < 1e-12);
     }
 
     #[test]

@@ -2,49 +2,57 @@
 
 use neurodeanon_connectome::{Connectome, EdgeIndex, GroupMatrix};
 use neurodeanon_linalg::Matrix;
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{matrix_in, u64_in, usize_in, vec_of, Gen};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-fn region_ts(regions: usize, t: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0_f64..5.0, regions * t)
-        .prop_map(move |v| Matrix::from_vec(regions, t, v).expect("sized"))
+fn cfg() -> Config {
+    Config::cases(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn region_ts(regions: usize, t: usize) -> impl Gen<Value = Matrix> {
+    matrix_in(regions, t, -5.0, 5.0)
+}
 
-    #[test]
-    fn edge_index_bijection(n in 2usize..40) {
+#[test]
+fn edge_index_bijection() {
+    forall!(cfg(), (n in usize_in(2..40)) => {
         let idx = EdgeIndex::new(n).unwrap();
         for f in 0..idx.n_features() {
             let (i, j) = idx.edge_of(f).unwrap();
-            prop_assert!(i < j && j < n);
-            prop_assert_eq!(idx.feature_of(i, j).unwrap(), f);
+            tk_assert!(i < j && j < n);
+            tk_assert_eq!(idx.feature_of(i, j).unwrap(), f);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vectorize_devectorize_roundtrip(ts in region_ts(5, 24)) {
+#[test]
+fn vectorize_devectorize_roundtrip() {
+    forall!(cfg(), (ts in region_ts(5, 24)) => {
         let c = Connectome::from_region_ts(&ts).unwrap();
         let v = c.vectorize();
         let back = Connectome::from_vectorized(&v, 5).unwrap();
         let diff = c.as_matrix().sub(back.as_matrix()).unwrap().max_abs();
-        prop_assert!(diff < 1e-12);
-    }
+        tk_assert!(diff < 1e-12);
+    });
+}
 
-    #[test]
-    fn connectome_entries_valid(ts in region_ts(4, 16)) {
+#[test]
+fn connectome_entries_valid() {
+    forall!(cfg(), (ts in region_ts(4, 16)) => {
         let c = Connectome::from_region_ts(&ts).unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 let w = c.edge_weight(i, j);
-                prop_assert!((-1.0..=1.0).contains(&w));
-                prop_assert!((w - c.edge_weight(j, i)).abs() < 1e-12);
+                tk_assert!((-1.0..=1.0).contains(&w));
+                tk_assert!((w - c.edge_weight(j, i)).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn group_matrix_columns_match_sources(seed in 0u64..1000) {
+#[test]
+fn group_matrix_columns_match_sources() {
+    forall!(cfg(), (seed in u64_in(0..1000)) => {
         // Deterministic pseudo-random connectomes from the seed.
         let mk = |s: u64| {
             let ts = Matrix::from_fn(4, 20, |r, c| {
@@ -56,13 +64,15 @@ proptest! {
         let ids: Vec<String> = (0..3).map(|i| format!("s{i}")).collect();
         let g = GroupMatrix::from_connectomes(&cs, &ids).unwrap();
         for (col, c) in cs.iter().enumerate() {
-            prop_assert_eq!(g.subject_features(col), c.vectorize());
+            tk_assert_eq!(g.subject_features(col), c.vectorize());
         }
-    }
+    });
+}
 
-    #[test]
-    fn select_features_then_subjects_commutes(feat in prop::collection::vec(0usize..6, 1..4),
-                                              subj in prop::collection::vec(0usize..3, 1..3)) {
+#[test]
+fn select_features_then_subjects_commutes() {
+    forall!(cfg(), (feat in vec_of(usize_in(0..6), 1..4),
+                    subj in vec_of(usize_in(0..3), 1..3)) => {
         let mk = |s: u64| {
             let ts = Matrix::from_fn(4, 20, |r, c| {
                 ((s + 2) as f64 * (r as f64 + 0.5) * (c as f64 * 0.21)).cos()
@@ -74,12 +84,14 @@ proptest! {
         let g = GroupMatrix::from_connectomes(&cs, &ids).unwrap();
         let a = g.select_features(&feat).unwrap().select_subjects(&subj).unwrap();
         let b = g.select_subjects(&subj).unwrap().select_features(&feat).unwrap();
-        prop_assert_eq!(a.as_matrix().as_slice(), b.as_matrix().as_slice());
-        prop_assert_eq!(a.subject_ids(), b.subject_ids());
-    }
+        tk_assert_eq!(a.as_matrix().as_slice(), b.as_matrix().as_slice());
+        tk_assert_eq!(a.subject_ids(), b.subject_ids());
+    });
+}
 
-    #[test]
-    fn to_points_is_transpose(seed in 0u64..100) {
+#[test]
+fn to_points_is_transpose() {
+    forall!(cfg(), (seed in u64_in(0..100)) => {
         let mk = |s: u64| {
             let ts = Matrix::from_fn(3, 15, |r, c| ((s + 1) as f64 * (r * 5 + c) as f64 * 0.11).sin());
             Connectome::from_region_ts(&ts).unwrap()
@@ -90,8 +102,8 @@ proptest! {
         let p = g.to_points();
         for s in 0..2 {
             for f in 0..3 {
-                prop_assert_eq!(p[(s, f)], g.as_matrix()[(f, s)]);
+                tk_assert_eq!(p[(s, f)], g.as_matrix()[(f, s)]);
             }
         }
-    }
+    });
 }

@@ -19,9 +19,9 @@ use crate::error::CoreError;
 use crate::matching::{argmax_matching, hungarian_matching};
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_linalg::rsvd::RsvdConfig;
 use neurodeanon_linalg::stats::cross_correlation;
 use neurodeanon_linalg::Matrix;
-use neurodeanon_linalg::rsvd::RsvdConfig;
 use neurodeanon_sampling::{principal_features, principal_features_approx};
 
 /// How predicted matches are derived from the similarity matrix.
@@ -317,8 +317,7 @@ mod tests {
         let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
         let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
         let out = attack.run(&known, &anon).unwrap();
-        let sig: std::collections::HashSet<usize> =
-            c.signature_regions().iter().copied().collect();
+        let sig: std::collections::HashSet<usize> = c.signature_regions().iter().copied().collect();
         let idx = neurodeanon_connectome::EdgeIndex::new(60).unwrap();
         let sig_hits = out
             .selected_features

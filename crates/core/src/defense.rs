@@ -76,12 +76,8 @@ pub fn perturb_edges(
             data[(f, s)] = (data[(f, s)] + plan.sigma * rng.gaussian()).clamp(-1.0, 1.0);
         }
     }
-    GroupMatrix::from_matrix(
-        data,
-        release.subject_ids().to_vec(),
-        release.n_regions(),
-    )
-    .map_err(Into::into)
+    GroupMatrix::from_matrix(data, release.subject_ids().to_vec(), release.n_regions())
+        .map_err(Into::into)
 }
 
 /// Evaluates a defense: runs the attack on the original and the defended
@@ -150,10 +146,22 @@ mod tests {
             edges: random_edges,
             sigma,
         };
-        let t = evaluate_defense(&known, &release, &targeted, AttackConfig::default(), &mut rng)
-            .unwrap();
-        let u = evaluate_defense(&known, &release, &untargeted, AttackConfig::default(), &mut rng)
-            .unwrap();
+        let t = evaluate_defense(
+            &known,
+            &release,
+            &targeted,
+            AttackConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let u = evaluate_defense(
+            &known,
+            &release,
+            &untargeted,
+            AttackConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(
             t.accuracy_after <= u.accuracy_after,
             "targeted {} vs untargeted {}",

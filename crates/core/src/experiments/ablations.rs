@@ -139,7 +139,11 @@ pub fn ablation_atlas_granularity(
 pub fn embedding_ablation_groups(cohort: &HcpCohort) -> Result<Vec<GroupMatrix>> {
     [Task::Rest, Task::Motor, Task::Language, Task::Emotion]
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::One)
+                .map_err(crate::CoreError::from)
+        })
         .collect()
 }
 

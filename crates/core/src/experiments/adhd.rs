@@ -69,8 +69,12 @@ pub fn adhd_train_test_transfer(
         let t = n_features.min(train_group.n_features());
         let pf = principal_features(train_group.as_matrix(), t, None)?;
         // Match *test* subjects across sessions in that feature space.
-        let known_test = known.select_subjects(&split.test)?.select_features(&pf.indices)?;
-        let anon_test = anon.select_subjects(&split.test)?.select_features(&pf.indices)?;
+        let known_test = known
+            .select_subjects(&split.test)?
+            .select_features(&pf.indices)?;
+        let anon_test = anon
+            .select_subjects(&split.test)?
+            .select_features(&pf.indices)?;
         let sim = neurodeanon_linalg::stats::cross_correlation(
             known_test.as_matrix(),
             anon_test.as_matrix(),

@@ -44,11 +44,19 @@ pub fn cross_task_matrix(
     // Materialize all 16 group matrices once.
     let known: Vec<GroupMatrix> = tasks
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::One)
+                .map_err(crate::CoreError::from)
+        })
         .collect::<Result<_>>()?;
     let anon: Vec<GroupMatrix> = tasks
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::Two).map_err(crate::CoreError::from))
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::Two)
+                .map_err(crate::CoreError::from)
+        })
         .collect::<Result<_>>()?;
     let attack = DeanonAttack::new(attack_config)?;
     let mut accuracy = vec![vec![0.0; tasks.len()]; tasks.len()];
@@ -91,7 +99,10 @@ mod tests {
                 "{t} row mean exceeds REST"
             );
         }
-        assert!(motor_mean < rest_mean, "motor {motor_mean} rest {rest_mean}");
+        assert!(
+            motor_mean < rest_mean,
+            "motor {motor_mean} rest {rest_mean}"
+        );
         assert!(wm_mean < rest_mean, "wm {wm_mean} rest {rest_mean}");
 
         // REST-REST is the single best cell (≥ 90% on a 10-subject cohort).

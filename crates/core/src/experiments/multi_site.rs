@@ -48,11 +48,7 @@ fn hcp_noised_group(
 }
 
 /// Same for the ADHD cohort (resting state only).
-fn adhd_noised_group(
-    cohort: &AdhdCohort,
-    fraction: f64,
-    rng: &mut Rng64,
-) -> Result<GroupMatrix> {
+fn adhd_noised_group(cohort: &AdhdCohort, fraction: f64, rng: &mut Rng64) -> Result<GroupMatrix> {
     let n = cohort.n_subjects();
     let n_regions = cohort.config().n_regions;
     let n_features = n_regions * (n_regions - 1) / 2;

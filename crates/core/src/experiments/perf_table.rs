@@ -17,7 +17,10 @@ pub struct PerformanceTableRow {
 }
 
 /// Regenerates Table 1: one row per task with a performance metric.
-pub fn performance_table(cohort: &HcpCohort, config: &PerfConfig) -> Result<Vec<PerformanceTableRow>> {
+pub fn performance_table(
+    cohort: &HcpCohort,
+    config: &PerfConfig,
+) -> Result<Vec<PerformanceTableRow>> {
     let mut rows = Vec::new();
     for task in Task::ALL {
         if !task.has_performance_metric() {

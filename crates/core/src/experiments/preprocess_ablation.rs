@@ -148,7 +148,11 @@ fn group_through_pipeline(
         let (clean, _report) = pipeline.run(vol, parcellation)?;
         let c = Connectome::from_region_ts(&clean)?;
         data.set_col(s, &c.vectorize())?;
-        ids.push(format!("{}/REST/{}", cohort.subject_id(s), session.encoding()));
+        ids.push(format!(
+            "{}/REST/{}",
+            cohort.subject_id(s),
+            session.encoding()
+        ));
     }
     GroupMatrix::from_matrix(data, ids, n_regions).map_err(Into::into)
 }
@@ -320,7 +324,11 @@ mod tests {
         );
         assert!(gain("spikes") >= 0.0, "spikes gain {}", gain("spikes"));
         assert!(gain("motion") >= 0.0, "motion gain {}", gain("motion"));
-        assert!(gain("combined") >= 0.0, "combined gain {}", gain("combined"));
+        assert!(
+            gain("combined") >= 0.0,
+            "combined gain {}",
+            gain("combined")
+        );
         // Seven rows now: five targeted pairs + combined.
     }
 }

@@ -60,8 +60,7 @@ mod tests {
     fn rest_diagonal_dominates_and_beats_task_contrast() {
         let cohort = HcpCohort::generate(HcpCohortConfig::small(10, 21)).unwrap();
         let rest = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
-        let lang =
-            similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap();
+        let lang = similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap();
         // Figure 1: strong diagonal at rest.
         assert!(rest.mean_diagonal > rest.mean_offdiagonal, "rest contrast");
         assert!(rest.contrast() > 0.15, "rest contrast {}", rest.contrast());

@@ -38,7 +38,11 @@ pub fn task_prediction_experiment(
     let tasks: Vec<Task> = Task::ALL.to_vec();
     let groups: Vec<GroupMatrix> = tasks
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::One).map_err(crate::CoreError::from))
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::One)
+                .map_err(crate::CoreError::from)
+        })
         .collect::<Result<_>>()?;
 
     // The pairwise-distance computation dominates at paper scale (800

@@ -132,12 +132,7 @@ mod tests {
 
     #[test]
     fn argmax_picks_column_maxima() {
-        let s = Matrix::from_rows(&[
-            &[0.9, 0.1, 0.2],
-            &[0.3, 0.8, 0.1],
-            &[0.2, 0.4, 0.7],
-        ])
-        .unwrap();
+        let s = Matrix::from_rows(&[&[0.9, 0.1, 0.2], &[0.3, 0.8, 0.1], &[0.2, 0.4, 0.7]]).unwrap();
         assert_eq!(argmax_matching(&s).unwrap(), vec![0, 1, 2]);
     }
 
@@ -202,7 +197,10 @@ mod tests {
             }
         }
         heap(4, &mut idx, &s, &mut best);
-        assert!((total - best).abs() < 1e-9, "hungarian {total} vs best {best}");
+        assert!(
+            (total - best).abs() < 1e-9,
+            "hungarian {total} vs best {best}"
+        );
     }
 
     #[test]
@@ -213,6 +211,9 @@ mod tests {
         s[(0, 0)] = f64::NAN;
         assert!(hungarian_matching(&s).is_err());
         assert!(matching_accuracy(&[0], &[0, 1]).is_err());
-        assert_eq!(matching_accuracy(&[0, 1, 1], &[0, 1, 2]).unwrap(), 2.0 / 3.0);
+        assert_eq!(
+            matching_accuracy(&[0, 1, 1], &[0, 1, 2]).unwrap(),
+            2.0 / 3.0
+        );
     }
 }

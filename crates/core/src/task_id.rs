@@ -151,10 +151,12 @@ pub fn identify_tasks_from_cloud(
 
     // Labeled subjects drawn once; all their scans serve as references.
     let mut rng = Rng64::new(config.seed);
-    let n_labeled = ((n_subjects as f64 * config.labeled_fraction).round() as usize)
-        .clamp(1, n_subjects - 1);
-    let labeled_subjects: std::collections::HashSet<usize> =
-        rng.sample_indices(n_subjects, n_labeled).into_iter().collect();
+    let n_labeled =
+        ((n_subjects as f64 * config.labeled_fraction).round() as usize).clamp(1, n_subjects - 1);
+    let labeled_subjects: std::collections::HashSet<usize> = rng
+        .sample_indices(n_subjects, n_labeled)
+        .into_iter()
+        .collect();
 
     let mut train_rows = Vec::new();
     let mut train_labels = Vec::new();

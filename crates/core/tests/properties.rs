@@ -1,0 +1,117 @@
+//! Property tests for the attack-pipeline core: matching invariants and
+//! defense monotonicity, on the testkit harness.
+
+use neurodeanon_core::attack::{AttackConfig, DeanonAttack};
+use neurodeanon_core::defense::{evaluate_defense, signature_edges, DefensePlan};
+use neurodeanon_core::matching::{argmax_matching, hungarian_matching, matching_accuracy};
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_linalg::{Matrix, Rng64};
+use neurodeanon_testkit::gen::{from_fn, u64_in, usize_in};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
+
+/// Accuracy is a fraction of matched columns, so it must stay in [0, 1]
+/// for any prediction/truth pair of equal length.
+#[test]
+fn matching_accuracy_bounded() {
+    forall!(Config::cases(64), (pt in from_fn(|rng| {
+        let n = 1 + rng.below(40);
+        let pred: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+        let truth: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+        (pred, truth)
+    })) => {
+        let (pred, truth) = pt;
+        let acc = matching_accuracy(&pred, &truth).unwrap();
+        tk_assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
+        // Perfect agreement with itself is exactly 1.
+        tk_assert_eq!(matching_accuracy(&truth, &truth).unwrap(), 1.0);
+    });
+}
+
+/// Hungarian assignment must be a permutation of the known subjects —
+/// unlike greedy argmax it can never assign one row twice.
+#[test]
+fn hungarian_assignment_is_a_permutation() {
+    forall!(Config::cases(48), (s in from_fn(|rng| {
+        let n = 2 + rng.below(12);
+        Matrix::from_fn(n, n, |_, _| rng.uniform_range(-1.0, 1.0))
+    })) => {
+        let n = s.rows();
+        let assignment = hungarian_matching(&s).unwrap();
+        tk_assert_eq!(assignment.len(), n);
+        let mut seen = assignment.clone();
+        seen.sort_unstable();
+        tk_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        // Argmax predictions are at least valid row indices.
+        let greedy = argmax_matching(&s).unwrap();
+        tk_assert!(greedy.iter().all(|&r| r < n));
+    });
+}
+
+/// Running the attack with the release equal to the known group is the
+/// degenerate self-match: every subject is its own best match.
+#[test]
+fn self_match_on_identical_groups_is_perfect() {
+    forall!(Config::cases(8), (seed in u64_in(0..1000), n in usize_in(5..9)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(n, seed)).unwrap();
+        let g = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&g, &g).unwrap();
+        tk_assert_eq!(out.accuracy, 1.0, "self-match must identify everyone");
+        // The diagonal is exact self-correlation.
+        tk_assert!(out.mean_diagonal_similarity() > 0.999);
+    });
+}
+
+/// Attack accuracy is always a valid fraction, whatever the cohort.
+#[test]
+fn attack_accuracy_bounded() {
+    forall!(Config::cases(8), (seed in u64_in(0..1000)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(6, seed)).unwrap();
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let out = attack.run(&known, &anon).unwrap();
+        tk_assert!((0.0..=1.0).contains(&out.accuracy));
+        tk_assert!(out.predicted.iter().all(|&p| p < known.n_subjects()));
+    });
+}
+
+/// Defense monotonicity: strengthening the targeted noise never helps the
+/// attacker. Zero noise leaves accuracy at the baseline exactly; a heavy
+/// perturbation of the signature edges must not *increase* accuracy (a
+/// small tolerance absorbs the randomness of individual noise draws).
+#[test]
+fn more_targeted_noise_never_helps_the_attacker() {
+    forall!(Config::cases(6), (seed in u64_in(0..500)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(8, seed)).unwrap();
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let release = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+        let edges = signature_edges(&release, 60).unwrap();
+        let mut accs = Vec::new();
+        for sigma in [0.0, 0.5, 2.0] {
+            // Deterministic noise per case so the run is replayable.
+            let mut rng = Rng64::new(seed.wrapping_add(7));
+            let plan = DefensePlan { edges: edges.clone(), sigma };
+            let out = evaluate_defense(
+                &known,
+                &release,
+                &plan,
+                AttackConfig::default(),
+                &mut rng,
+            )
+            .unwrap();
+            if sigma == 0.0 {
+                tk_assert_eq!(out.accuracy_after, out.accuracy_before);
+            }
+            tk_assert!((0.0..=1.0).contains(&out.accuracy_after));
+            accs.push(out.accuracy_after);
+        }
+        for w in accs.windows(2) {
+            tk_assert!(
+                w[1] <= w[0] + 0.13,
+                "accuracy rose under stronger defense: {:?}",
+                accs
+            );
+        }
+    });
+}

@@ -151,9 +151,21 @@ impl AdhdCohort {
         let mut rng_pop = master.fork(1);
         let pop_loadings = dense_loadings(config.n_regions, config.n_pop_factors, &mut rng_pop);
         let subtype_loadings = [
-            dense_loadings(config.n_regions, config.n_subtype_factors, &mut master.fork(11)),
-            dense_loadings(config.n_regions, config.n_subtype_factors, &mut master.fork(12)),
-            dense_loadings(config.n_regions, config.n_subtype_factors, &mut master.fork(13)),
+            dense_loadings(
+                config.n_regions,
+                config.n_subtype_factors,
+                &mut master.fork(11),
+            ),
+            dense_loadings(
+                config.n_regions,
+                config.n_subtype_factors,
+                &mut master.fork(12),
+            ),
+            dense_loadings(
+                config.n_regions,
+                config.n_subtype_factors,
+                &mut master.fork(13),
+            ),
         ];
         let session_loadings = [
             dense_loadings(config.n_regions, 4, &mut master.fork(21)),
@@ -276,7 +288,8 @@ impl AdhdCohort {
             &components,
             self.config.noise_std,
             &mut rng,
-        )}
+        )
+    }
 
     /// One subject-session connectome.
     pub fn connectome(&self, subject: usize, session: Session) -> Result<Connectome> {

@@ -136,7 +136,8 @@ impl HcpCohort {
                 )
                 ^ 0xB10C,
         );
-        let exec_loadings = supported_loadings(n, &self.exec_regions, self.config.n_sig_factors, &mut rng);
+        let exec_loadings =
+            supported_loadings(n, &self.exec_regions, self.config.n_sig_factors, &mut rng);
         let instab_loadings =
             supported_loadings(n, &self.sig_regions, self.config.n_sig_factors, &mut rng);
 
@@ -215,10 +216,7 @@ impl HcpCohort {
         let score = self.subtype_score(subject, task, subtype)?;
         let mut rng = Rng64::new(
             self.config.seed
-                ^ (0xB10C_BEE5
-                    + subject as u64 * 131
-                    + task.index() as u64 * 17
-                    + subtype as u64),
+                ^ (0xB10C_BEE5 + subject as u64 * 131 + task.index() as u64 * 17 + subtype as u64),
         );
         let noise = rng.gaussian() * 0.2;
         Ok((80.0 + 8.0 * score + noise).clamp(0.0, 100.0))

@@ -184,7 +184,9 @@ impl HcpCohort {
                 // their t-SNE clusters sit closest together (the paper
                 // reports occasional rest → gambling confusion; our
                 // synthetic clusters stay separable — see EXPERIMENTS.md E4).
-                let rest = rest_loading.as_ref().expect("REST precedes GAMBLING in ALL");
+                let rest = rest_loading
+                    .as_ref()
+                    .expect("REST precedes GAMBLING in ALL");
                 let shared = config.n_task_factors / 2;
                 for c in 0..shared {
                     for r in 0..config.n_regions {
@@ -515,7 +517,8 @@ impl HcpCohort {
             &components,
             self.config.noise_std,
             &mut rng,
-        )}
+        )
+    }
 
     /// The functional connectome of one scan.
     pub fn connectome(&self, subject: usize, task: Task, session: Session) -> Result<Connectome> {
@@ -540,10 +543,7 @@ impl HcpCohort {
                 scope.spawn(move || {
                     for (off, out) in slot.iter_mut().enumerate() {
                         let s = start + off;
-                        *out = Some(
-                            self.connectome(s, task, session)
-                                .map(|c| c.vectorize()),
-                        );
+                        *out = Some(self.connectome(s, task, session).map(|c| c.vectorize()));
                     }
                 });
             }
@@ -686,7 +686,12 @@ mod tests {
     #[test]
     fn performance_metrics_available_and_bounded() {
         let cohort = small();
-        for task in [Task::Language, Task::Emotion, Task::Relational, Task::WorkingMemory] {
+        for task in [
+            Task::Language,
+            Task::Emotion,
+            Task::Relational,
+            Task::WorkingMemory,
+        ] {
             let y = cohort.performance_vector(task).unwrap();
             assert_eq!(y.len(), 8);
             assert!(y.iter().all(|&v| (0.0..=100.0).contains(&v)));

@@ -52,7 +52,10 @@ impl Task {
 
     /// Index into [`Task::ALL`].
     pub fn index(&self) -> usize {
-        Task::ALL.iter().position(|t| t == self).expect("member of ALL")
+        Task::ALL
+            .iter()
+            .position(|t| t == self)
+            .expect("member of ALL")
     }
 
     /// Signature expression `a_k`: how strongly the individual signature
@@ -130,8 +133,7 @@ mod tests {
 
     #[test]
     fn eight_distinct_conditions() {
-        let names: std::collections::HashSet<&str> =
-            Task::ALL.iter().map(|t| t.name()).collect();
+        let names: std::collections::HashSet<&str> = Task::ALL.iter().map(|t| t.name()).collect();
         assert_eq!(names.len(), 8);
     }
 

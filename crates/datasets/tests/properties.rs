@@ -3,7 +3,12 @@
 use neurodeanon_datasets::{
     AdhdCohort, AdhdCohortConfig, HcpCohort, HcpCohortConfig, Session, Task,
 };
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{u64_in, usize_in};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, tk_assert_ne, Config};
+
+fn cfg() -> Config {
+    Config::cases(24)
+}
 
 fn tiny_hcp(seed: u64) -> HcpCohort {
     HcpCohort::generate(HcpCohortConfig {
@@ -23,54 +28,61 @@ fn tiny_hcp(seed: u64) -> HcpCohort {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn scans_are_deterministic_and_distinct(seed in 0u64..200) {
+#[test]
+fn scans_are_deterministic_and_distinct() {
+    forall!(cfg(), (seed in u64_in(0..200)) => {
         let cohort = tiny_hcp(seed);
         let a = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
         let b = cohort.region_ts(0, Task::Rest, Session::One).unwrap();
-        prop_assert_eq!(a.as_slice(), b.as_slice());
+        tk_assert_eq!(a.as_slice(), b.as_slice());
         // Different subject / task / session ⇒ different series.
         let c = cohort.region_ts(1, Task::Rest, Session::One).unwrap();
-        prop_assert_ne!(a.as_slice(), c.as_slice());
+        tk_assert_ne!(a.as_slice(), c.as_slice());
         let d = cohort.region_ts(0, Task::Motor, Session::One).unwrap();
-        prop_assert_ne!(a.as_slice(), d.as_slice());
+        tk_assert_ne!(a.as_slice(), d.as_slice());
         let e = cohort.region_ts(0, Task::Rest, Session::Two).unwrap();
-        prop_assert_ne!(a.as_slice(), e.as_slice());
-    }
+        tk_assert_ne!(a.as_slice(), e.as_slice());
+    });
+}
 
-    #[test]
-    fn all_scans_finite(seed in 0u64..100, task_idx in 0usize..8) {
+#[test]
+fn all_scans_finite() {
+    forall!(cfg(), (seed in u64_in(0..100), task_idx in usize_in(0..8)) => {
         let cohort = tiny_hcp(seed);
         let task = Task::ALL[task_idx];
         let ts = cohort.region_ts(2, task, Session::Two).unwrap();
-        prop_assert!(ts.is_finite());
-        prop_assert_eq!(ts.shape(), (12, 64));
-    }
+        tk_assert!(ts.is_finite());
+        tk_assert_eq!(ts.shape(), (12, 64));
+    });
+}
 
-    #[test]
-    fn performance_in_percent_band(seed in 0u64..100) {
+#[test]
+fn performance_in_percent_band() {
+    forall!(cfg(), (seed in u64_in(0..100)) => {
         let cohort = tiny_hcp(seed);
         for task in [Task::Language, Task::Emotion, Task::Relational, Task::WorkingMemory] {
             let y = cohort.performance_vector(task).unwrap();
-            prop_assert!(y.iter().all(|&v| (0.0..=100.0).contains(&v)));
+            tk_assert!(y.iter().all(|&v| (0.0..=100.0).contains(&v)));
         }
-    }
+    });
+}
 
-    #[test]
-    fn mode_scores_are_standard_normal_ish(seed in 0u64..50) {
+#[test]
+fn mode_scores_are_standard_normal_ish() {
+    forall!(cfg(), (seed in u64_in(0..50)) => {
         let cohort = tiny_hcp(seed);
         for s in 0..4 {
             let z = cohort.subject_mode_scores(s).unwrap();
-            prop_assert!(z.iter().all(|v| v.abs() < 6.0));
+            tk_assert!(z.iter().all(|v| v.abs() < 6.0));
         }
-        prop_assert!(cohort.subject_mode_scores(4).is_err());
-    }
+        tk_assert!(cohort.subject_mode_scores(4).is_err());
+    });
+}
 
-    #[test]
-    fn adhd_group_bookkeeping(controls in 1usize..5, cases in 1usize..4, seed in 0u64..100) {
+#[test]
+fn adhd_group_bookkeeping() {
+    forall!(cfg(), (controls in usize_in(1..5), cases in usize_in(1..4),
+                    seed in u64_in(0..100)) => {
         let cohort = AdhdCohort::generate(AdhdCohortConfig {
             n_controls: controls,
             n_cases_per_subtype: cases,
@@ -87,7 +99,7 @@ proptest! {
             seed,
         })
         .unwrap();
-        prop_assert_eq!(cohort.n_subjects(), controls + 3 * cases);
+        tk_assert_eq!(cohort.n_subjects(), controls + 3 * cases);
         let mut total = 0;
         for g in [neurodeanon_datasets::AdhdGroup::Control,
                   neurodeanon_datasets::AdhdGroup::Subtype(1),
@@ -95,16 +107,18 @@ proptest! {
                   neurodeanon_datasets::AdhdGroup::Subtype(3)] {
             total += cohort.subjects_in(g).len();
         }
-        prop_assert_eq!(total, cohort.n_subjects());
+        tk_assert_eq!(total, cohort.n_subjects());
         let ts = cohort.region_ts(0, Session::One).unwrap();
-        prop_assert!(ts.is_finite());
-    }
+        tk_assert!(ts.is_finite());
+    });
+}
 
-    #[test]
-    fn group_matrix_ids_are_unique(seed in 0u64..50) {
+#[test]
+fn group_matrix_ids_are_unique() {
+    forall!(cfg(), (seed in u64_in(0..50)) => {
         let cohort = tiny_hcp(seed);
         let g = cohort.group_matrix(Task::Rest, Session::One).unwrap();
         let set: std::collections::HashSet<&String> = g.subject_ids().iter().collect();
-        prop_assert_eq!(set.len(), g.n_subjects());
-    }
+        tk_assert_eq!(set.len(), g.n_subjects());
+    });
 }

@@ -442,12 +442,7 @@ mod tests {
         let (pts, _) = blobs();
         let a = tsne(&pts, &quick_config()).unwrap();
         let b = tsne(&pts, &quick_config()).unwrap();
-        assert!(a
-            .embedding
-            .sub(&b.embedding)
-            .unwrap()
-            .max_abs()
-            < 1e-12);
+        assert!(a.embedding.sub(&b.embedding).unwrap().max_abs() < 1e-12);
         let mut cfg = quick_config();
         cfg.seed = 1;
         let c = tsne(&pts, &cfg).unwrap();

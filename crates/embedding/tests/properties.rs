@@ -4,55 +4,63 @@ use neurodeanon_embedding::pca;
 use neurodeanon_embedding::quality::{continuity, trustworthiness};
 use neurodeanon_embedding::tsne::{pairwise_squared_distances, tsne, TsneConfig};
 use neurodeanon_linalg::Matrix;
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{matrix_in, u64_in, Gen};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-fn points(n: usize, d: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0_f64..5.0, n * d)
-        .prop_map(move |v| Matrix::from_vec(n, d, v).expect("sized"))
+fn cfg() -> Config {
+    Config::cases(24)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn points(n: usize, d: usize) -> impl Gen<Value = Matrix> {
+    matrix_in(n, d, -5.0, 5.0)
+}
 
-    #[test]
-    fn condensed_distances_match_pairwise(p in points(10, 3)) {
+#[test]
+fn condensed_distances_match_pairwise() {
+    forall!(cfg(), (p in points(10, 3)) => {
         let d2 = pairwise_squared_distances(&p);
-        prop_assert_eq!(d2.len(), 45);
+        tk_assert_eq!(d2.len(), 45);
         let mut idx = 0;
         for i in 0..10 {
             for j in (i + 1)..10 {
                 let direct = neurodeanon_linalg::vector::dist_sq(p.row(i), p.row(j));
-                prop_assert!((d2[idx] - direct).abs() < 1e-12);
-                prop_assert!(d2[idx] >= 0.0);
+                tk_assert!((d2[idx] - direct).abs() < 1e-12);
+                tk_assert!(d2[idx] >= 0.0);
                 idx += 1;
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pca_full_rank_preserves_distances(p in points(8, 3)) {
+#[test]
+fn pca_full_rank_preserves_distances() {
+    forall!(cfg(), (p in points(8, 3)) => {
         let s = pca(&p, 3).unwrap();
         for i in 0..8 {
             for j in 0..8 {
                 let a = neurodeanon_linalg::vector::dist_sq(p.row(i), p.row(j));
                 let b = neurodeanon_linalg::vector::dist_sq(s.row(i), s.row(j));
-                prop_assert!((a - b).abs() < 1e-6 * a.max(1.0));
+                tk_assert!((a - b).abs() < 1e-6 * a.max(1.0));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn quality_metrics_bounded(p in points(12, 3), q in points(12, 2)) {
+#[test]
+fn quality_metrics_bounded() {
+    forall!(cfg(), (p in points(12, 3), q in points(12, 2)) => {
         let t = trustworthiness(&p, &q, 3).unwrap();
         let c = continuity(&p, &q, 3).unwrap();
-        prop_assert!((0.0..=1.0).contains(&t));
-        prop_assert!((0.0..=1.0).contains(&c));
+        tk_assert!((0.0..=1.0).contains(&t));
+        tk_assert!((0.0..=1.0).contains(&c));
         // Identity embedding is perfect in both directions.
-        prop_assert!((trustworthiness(&p, &p, 3).unwrap() - 1.0).abs() < 1e-12);
-    }
+        tk_assert!((trustworthiness(&p, &p, 3).unwrap() - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn tsne_output_shape_and_finiteness(seed in 0u64..200) {
+#[test]
+fn tsne_output_shape_and_finiteness() {
+    forall!(cfg(), (seed in u64_in(0..200)) => {
         // Deterministic blob-ish cloud varied by seed.
         let p = Matrix::from_fn(16, 4, |r, c| {
             ((seed + 1) as f64 * (r as f64 * 0.7 + c as f64 * 1.3)).sin() * 4.0
@@ -67,9 +75,9 @@ proptest! {
             ..TsneConfig::default()
         };
         let out = tsne(&p, &cfg).unwrap();
-        prop_assert_eq!(out.embedding.shape(), (16, 2));
-        prop_assert!(out.embedding.is_finite());
-        prop_assert_eq!(out.kl_history.len(), 60);
-        prop_assert!(out.kl_history.iter().all(|k| k.is_finite() && *k >= -1e-9));
-    }
+        tk_assert_eq!(out.embedding.shape(), (16, 2));
+        tk_assert!(out.embedding.is_finite());
+        tk_assert_eq!(out.kl_history.len(), 60);
+        tk_assert!(out.kl_history.iter().all(|k| k.is_finite() && *k >= -1e-9));
+    });
 }

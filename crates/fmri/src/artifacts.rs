@@ -98,8 +98,7 @@ pub fn add_spikes(
         // smooth spatial pattern of one sign, plus per-voxel noise.
         let field = smooth_field(vol.dims(), rng);
         for v in 0..vol.n_voxels() {
-            vol.voxel_ts_mut(v)[frame] +=
-                magnitude * (field[v] + 0.3 * rng.gaussian());
+            vol.voxel_ts_mut(v)[frame] += magnitude * (field[v] + 0.3 * rng.gaussian());
         }
     }
     let mut sorted = frames.clone();

@@ -31,7 +31,10 @@ impl fmt::Display for FmriError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FmriError::ShapeMismatch { expected, got } => {
-                write!(f, "volume shape mismatch: expected {expected} elements, got {got}")
+                write!(
+                    f,
+                    "volume shape mismatch: expected {expected} elements, got {got}"
+                )
             }
             FmriError::EmptyVolume => write!(f, "volume has zero voxels or time points"),
             FmriError::InvalidParameter { name, reason } => {

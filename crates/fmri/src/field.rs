@@ -76,7 +76,11 @@ mod tests {
         let f = smooth_field((16, 16, 16), &mut rng);
         let min = f.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = f.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.8, "field nearly constant: range {}", max - min);
+        assert!(
+            max - min > 0.8,
+            "field nearly constant: range {}",
+            max - min
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ mod tests {
             let ratio = rvar / ovar;
             assert!((ratio - 0.25).abs() < 0.12, "row {r}: ratio {ratio}");
             // Noise mean ≈ signal mean, per the paper's model.
-            assert!((rmean - omean).abs() < 0.25 * ovar.sqrt().max(1.0), "row {r}");
+            assert!(
+                (rmean - omean).abs() < 0.25 * ovar.sqrt().max(1.0),
+                "row {r}"
+            );
         }
     }
 

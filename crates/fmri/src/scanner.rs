@@ -249,7 +249,13 @@ impl Scanner {
             artifacts::add_head_motion(&mut vol, cfg.n_motion_events, cfg.motion_blend, rng)?;
         }
         if cfg.respiration > 0.0 {
-            artifacts::add_respiration(&mut vol, cfg.respiration, cfg.respiration_freq, cfg.tr, rng)?;
+            artifacts::add_respiration(
+                &mut vol,
+                cfg.respiration,
+                cfg.respiration_freq,
+                cfg.tr,
+                rng,
+            )?;
         }
         if cfg.n_spikes > 0 && cfg.spike_magnitude > 0.0 {
             artifacts::add_spikes(&mut vol, cfg.n_spikes, cfg.spike_magnitude, rng)?;

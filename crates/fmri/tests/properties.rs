@@ -5,28 +5,33 @@ use neurodeanon_fmri::noise::multi_site_noise;
 use neurodeanon_fmri::signal::{block_design, convolve, hrf_kernel};
 use neurodeanon_fmri::Volume4D;
 use neurodeanon_linalg::{Matrix, Rng64};
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{f64_in, u64_in, usize_in, vec_exact};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn cfg() -> Config {
+    Config::cases(40)
+}
 
-    #[test]
-    fn volume_flat_index_bijection(nx in 1usize..8, ny in 1usize..8, nz in 1usize..8) {
+#[test]
+fn volume_flat_index_bijection() {
+    forall!(cfg(), (nx in usize_in(1..8), ny in usize_in(1..8), nz in usize_in(1..8)) => {
         let vol = Volume4D::zeros(nx, ny, nz, 2).unwrap();
         let mut seen = std::collections::HashSet::new();
         for z in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
                     let idx = vol.voxel_index(x, y, z);
-                    prop_assert!(idx < vol.n_voxels());
-                    prop_assert!(seen.insert(idx), "duplicate index {}", idx);
+                    tk_assert!(idx < vol.n_voxels());
+                    tk_assert!(seen.insert(idx), "duplicate index {}", idx);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn artifacts_preserve_shape_and_finiteness(seed in 0u64..300) {
+#[test]
+fn artifacts_preserve_shape_and_finiteness() {
+    forall!(cfg(), (seed in u64_in(0..300)) => {
         let mut vol = Volume4D::zeros(5, 5, 5, 20).unwrap();
         let mut rng = Rng64::new(seed);
         for v in 0..vol.n_voxels() {
@@ -38,40 +43,46 @@ proptest! {
         add_drift(&mut vol, 1.0, &mut rng).unwrap();
         add_global_signal(&mut vol, 0.8, &mut rng).unwrap();
         add_thermal_noise(&mut vol, 0.2, &mut rng).unwrap();
-        prop_assert_eq!(vol.dims(), (5, 5, 5));
-        prop_assert_eq!(vol.time_points(), 20);
-        prop_assert!(vol.as_matrix().is_finite());
-    }
+        tk_assert_eq!(vol.dims(), (5, 5, 5));
+        tk_assert_eq!(vol.time_points(), 20);
+        tk_assert!(vol.as_matrix().is_finite());
+    });
+}
 
-    #[test]
-    fn multi_site_noise_preserves_shape_and_is_seeded(frac in 0.0_f64..2.0, seed in 0u64..300) {
+#[test]
+fn multi_site_noise_preserves_shape_and_is_seeded() {
+    forall!(cfg(), (frac in f64_in(0.0..2.0), seed in u64_in(0..300)) => {
         let base = Matrix::from_fn(4, 60, |r, c| ((r + 1) as f64 * c as f64 * 0.1).sin());
         let mut a = base.clone();
         let mut b = base.clone();
         multi_site_noise(&mut a, frac, &mut Rng64::new(seed)).unwrap();
         multi_site_noise(&mut b, frac, &mut Rng64::new(seed)).unwrap();
-        prop_assert_eq!(a.as_slice(), b.as_slice());
-        prop_assert!(a.is_finite());
-    }
+        tk_assert_eq!(a.as_slice(), b.as_slice());
+        tk_assert!(a.is_finite());
+    });
+}
 
-    #[test]
-    fn block_design_period_and_range(n in 2usize..200, block in 1usize..20) {
+#[test]
+fn block_design_period_and_range() {
+    forall!(cfg(), (n in usize_in(2..200), block in usize_in(1..20)) => {
         let d = block_design(n, block).unwrap();
-        prop_assert_eq!(d.len(), n);
-        prop_assert!(d.iter().all(|&x| x == 0.0 || x == 1.0));
+        tk_assert_eq!(d.len(), n);
+        tk_assert!(d.iter().all(|&x| x == 0.0 || x == 1.0));
         // First block is all zeros.
         for &x in d.iter().take(block.min(n)) {
-            prop_assert_eq!(x, 0.0);
+            tk_assert_eq!(x, 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn convolution_output_is_bounded(signal in prop::collection::vec(0.0_f64..1.0, 30)) {
+#[test]
+fn convolution_output_is_bounded() {
+    forall!(cfg(), (signal in vec_exact(f64_in(0.0..1.0), 30)) => {
         let k = hrf_kernel(0.72, 24).unwrap();
         let out = convolve(&signal, &k);
-        prop_assert_eq!(out.len(), 30);
+        tk_assert_eq!(out.len(), 30);
         let k_l1: f64 = k.iter().map(|x| x.abs()).sum();
         // |out| <= max|signal| * ||k||_1 for signals in [0, 1].
-        prop_assert!(out.iter().all(|&o| o.abs() <= k_l1 + 1e-12));
-    }
+        tk_assert!(out.iter().all(|&o| o.abs() <= k_l1 + 1e-12));
+    });
 }

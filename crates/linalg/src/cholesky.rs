@@ -73,7 +73,11 @@ pub fn cholesky_regularized(a: &Matrix, initial_ridge: f64, max_ridge: f64) -> R
         Err(e) => return Err(e),
     }
     let n = a.rows();
-    let mut ridge = if initial_ridge == 0.0 { 1e-10 } else { initial_ridge };
+    let mut ridge = if initial_ridge == 0.0 {
+        1e-10
+    } else {
+        initial_ridge
+    };
     while ridge <= max_ridge {
         let mut loaded = a.clone();
         for i in 0..n {

@@ -142,12 +142,8 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_square() {
-        let a = Matrix::from_rows(&[
-            &[4.0, 1.0, -2.0],
-            &[1.0, 2.0, 0.0],
-            &[-2.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, 1.0, -2.0], &[1.0, 2.0, 0.0], &[-2.0, 0.0, 3.0]]).unwrap();
         let f = qr(&a).unwrap();
         assert!(max_diff(&reconstruct(&f), &a) < 1e-10);
     }
@@ -181,10 +177,7 @@ mod tests {
     #[test]
     fn qr_rejects_wide() {
         let a = Matrix::zeros(2, 5);
-        assert!(matches!(
-            qr(&a),
-            Err(LinalgError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(qr(&a), Err(LinalgError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -198,12 +191,7 @@ mod tests {
     fn qr_handles_rank_deficient_column() {
         // Second column identical to first: reflector for col 2 sees a zero
         // residual, tau = 0 path.
-        let a = Matrix::from_rows(&[
-            &[1.0, 1.0],
-            &[2.0, 2.0],
-            &[3.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
         let f = qr(&a).unwrap();
         assert!(max_diff(&reconstruct(&f), &a) < 1e-10);
     }

@@ -51,7 +51,9 @@ impl Default for RsvdConfig {
 pub fn randomized_svd(a: &Matrix, config: &RsvdConfig) -> Result<Svd> {
     let (m, n) = a.shape();
     if a.is_empty() {
-        return Err(LinalgError::EmptyMatrix { op: "randomized_svd" });
+        return Err(LinalgError::EmptyMatrix {
+            op: "randomized_svd",
+        });
     }
     let k = config.rank;
     if k == 0 || k > m.min(n) {
@@ -74,7 +76,7 @@ pub fn randomized_svd(a: &Matrix, config: &RsvdConfig) -> Result<Svd> {
         y = a.matmul(&q2)?;
     }
     let q_basis = qr(&y)?.q; // m × l orthonormal
-    // Project: B = Qᵀ A (l × n), solve the small SVD.
+                             // Project: B = Qᵀ A (l × n), solve the small SVD.
     let b = q_basis.transpose().matmul(a)?;
     // thin_svd requires rows ≥ cols; transpose if needed.
     let small = if b.rows() >= b.cols() {
@@ -141,7 +143,12 @@ mod tests {
         .unwrap();
         for i in 0..3 {
             let rel = (approx.sigma[i] - exact.sigma[i]).abs() / exact.sigma[i];
-            assert!(rel < 0.02, "σ_{i}: {} vs {}", approx.sigma[i], exact.sigma[i]);
+            assert!(
+                rel < 0.02,
+                "σ_{i}: {} vs {}",
+                approx.sigma[i],
+                exact.sigma[i]
+            );
         }
     }
 

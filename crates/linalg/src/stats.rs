@@ -350,7 +350,9 @@ mod tests {
 
     #[test]
     fn correlation_matrix_matches_pairwise_pearson() {
-        let m = Matrix::from_fn(5, 30, |r, c| ((r * 7 + c * 13) % 11) as f64 + (c as f64 * 0.1));
+        let m = Matrix::from_fn(5, 30, |r, c| {
+            ((r * 7 + c * 13) % 11) as f64 + (c as f64 * 0.1)
+        });
         let cm = correlation_matrix(&m).unwrap();
         for i in 0..5 {
             for j in 0..5 {

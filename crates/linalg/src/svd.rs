@@ -164,8 +164,7 @@ fn jacobi_svd(a: &Matrix) -> Result<Svd> {
                     aqq += wq * wq;
                     apq += wp * wq;
                 }
-                if apq == 0.0 || app == 0.0 || aqq == 0.0 || apq.abs() <= eps * (app * aqq).sqrt()
-                {
+                if apq == 0.0 || app == 0.0 || aqq == 0.0 || apq.abs() <= eps * (app * aqq).sqrt() {
                     continue;
                 }
                 rotated = true;

@@ -24,9 +24,9 @@ pub mod split;
 pub mod svr;
 
 pub use error::MlError;
+pub use kfold::kfold;
 pub use knn::KnnClassifier;
 pub use ridge::Ridge;
-pub use kfold::kfold;
 pub use split::train_test_split;
 pub use svr::{Svr, SvrConfig};
 

@@ -23,7 +23,11 @@ pub fn accuracy(pred: &[usize], truth: &[usize]) -> Result<f64> {
 
 /// Confusion matrix: `counts[t][p]` = samples with true class `t` predicted
 /// as class `p`. `n_classes` must exceed every label.
-pub fn confusion_matrix(pred: &[usize], truth: &[usize], n_classes: usize) -> Result<Vec<Vec<usize>>> {
+pub fn confusion_matrix(
+    pred: &[usize],
+    truth: &[usize],
+    n_classes: usize,
+) -> Result<Vec<Vec<usize>>> {
     if pred.len() != truth.len() {
         return Err(MlError::SampleCountMismatch {
             features: pred.len(),
@@ -59,11 +63,7 @@ pub fn r_squared(pred: &[f64], truth: &[f64]) -> Result<f64> {
     }
     let mean = truth.iter().sum::<f64>() / truth.len() as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     if ss_tot <= 0.0 {
         return Err(MlError::InvalidParameter {
             name: "truth",

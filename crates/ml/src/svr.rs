@@ -218,8 +218,9 @@ mod tests {
         let mut rng = Rng64::new(seed);
         let x = Matrix::from_fn(n, 3, |_, _| rng.gaussian());
         let y: Vec<f64> = (0..n)
-            .map(|r| 2.0 * x[(r, 0)] - 1.5 * x[(r, 1)] + 0.5 * x[(r, 2)] + 3.0
-                + noise * rng.gaussian())
+            .map(|r| {
+                2.0 * x[(r, 0)] - 1.5 * x[(r, 1)] + 0.5 * x[(r, 2)] + 3.0 + noise * rng.gaussian()
+            })
             .collect();
         (x, y)
     }

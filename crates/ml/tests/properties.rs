@@ -3,23 +3,35 @@
 use neurodeanon_linalg::{Matrix, Rng64};
 use neurodeanon_ml::metrics::{accuracy, confusion_matrix, mean_std, r_squared};
 use neurodeanon_ml::{kfold, train_test_split, KnnClassifier, Ridge, Svr, SvrConfig};
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{f64_in, from_fn, u64_in, usize_in, vec_of};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn cfg() -> Config {
+    Config::cases(40)
+}
 
-    #[test]
-    fn split_partitions(n in 2usize..200, frac in 0.05_f64..0.95, seed in 0u64..500) {
+#[test]
+fn split_partitions() {
+    forall!(cfg(), (n in usize_in(2..200), frac in f64_in(0.05..0.95), seed in u64_in(0..500)) => {
         let s = train_test_split(n, frac, &mut Rng64::new(seed)).unwrap();
         let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
-        prop_assert!(!s.train.is_empty() && !s.test.is_empty());
-    }
+        tk_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        tk_assert!(!s.train.is_empty() && !s.test.is_empty());
+    });
+}
 
-    #[test]
-    fn kfold_covers_everything(n in 4usize..100, k in 2usize..8, seed in 0u64..500) {
-        prop_assume!(n >= k);
+#[test]
+fn kfold_covers_everything() {
+    // Jointly generate (n, k) with n >= k (the proptest version used
+    // `prop_assume!`; here the generator enforces the constraint directly).
+    forall!(cfg(), (nk in from_fn(|rng| {
+        let k = 2 + rng.below(6); // 2..=7
+        let lo = k.max(4);
+        let n = lo + rng.below(100 - lo); // lo..100
+        (n, k)
+    }), seed in u64_in(0..500)) => {
+        let (n, k) = nk;
         let splits = kfold(n, k, &mut Rng64::new(seed)).unwrap();
         let mut count = vec![0usize; n];
         for s in &splits {
@@ -27,11 +39,13 @@ proptest! {
                 count[t] += 1;
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
-    }
+        tk_assert!(count.iter().all(|&c| c == 1));
+    });
+}
 
-    #[test]
-    fn knn_memorizes_training_set(seed in 0u64..300) {
+#[test]
+fn knn_memorizes_training_set() {
+    forall!(cfg(), (seed in u64_in(0..300)) => {
         let mut rng = Rng64::new(seed);
         let x = Matrix::from_fn(12, 3, |_, _| rng.gaussian() * 5.0);
         let y: Vec<usize> = (0..12).map(|i| i % 3).collect();
@@ -39,11 +53,13 @@ proptest! {
         knn.fit(&x, &y).unwrap();
         // 1-NN classifies every training point as itself (distance 0),
         // unless two points coincide exactly (measure zero for Gaussians).
-        prop_assert_eq!(knn.predict(&x).unwrap(), y);
-    }
+        tk_assert_eq!(knn.predict(&x).unwrap(), y);
+    });
+}
 
-    #[test]
-    fn svr_and_ridge_agree_on_clean_linear_data(seed in 0u64..200) {
+#[test]
+fn svr_and_ridge_agree_on_clean_linear_data() {
+    forall!(cfg(), (seed in u64_in(0..200)) => {
         let mut rng = Rng64::new(seed);
         let x = Matrix::from_fn(40, 2, |_, _| rng.gaussian());
         let y: Vec<f64> = (0..40).map(|r| 1.5 * x[(r, 0)] - 0.5 * x[(r, 1)] + 2.0).collect();
@@ -54,38 +70,43 @@ proptest! {
         let ps = svr.predict(&x).unwrap();
         let pr = ridge.predict(&x).unwrap();
         for i in 0..40 {
-            prop_assert!((ps[i] - pr[i]).abs() < 0.2, "svr {} ridge {}", ps[i], pr[i]);
+            tk_assert!((ps[i] - pr[i]).abs() < 0.2, "svr {} ridge {}", ps[i], pr[i]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn accuracy_matches_confusion_trace(pred in prop::collection::vec(0usize..4, 1..60),
-                                        truth_seed in 0u64..100) {
+#[test]
+fn accuracy_matches_confusion_trace() {
+    forall!(cfg(), (pred in vec_of(usize_in(0..4), 1..60), truth_seed in u64_in(0..100)) => {
         let mut rng = Rng64::new(truth_seed);
         let truth: Vec<usize> = pred.iter().map(|_| rng.below(4)).collect();
         let acc = accuracy(&pred, &truth).unwrap();
         let cm = confusion_matrix(&pred, &truth, 4).unwrap();
         let trace: usize = (0..4).map(|i| cm[i][i]).sum();
-        prop_assert!((acc - trace as f64 / pred.len() as f64).abs() < 1e-12);
-    }
+        tk_assert!((acc - trace as f64 / pred.len() as f64).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn r_squared_at_most_one(truth in prop::collection::vec(-10.0_f64..10.0, 3..40),
-                             noise in prop::collection::vec(-1.0_f64..1.0, 3..40)) {
+#[test]
+fn r_squared_at_most_one() {
+    forall!(cfg(), (truth in vec_of(f64_in(-10.0..10.0), 3..40),
+                    noise in vec_of(f64_in(-1.0..1.0), 3..40)) => {
         let n = truth.len().min(noise.len());
         // Non-constant target guaranteed by an index ramp.
         let t: Vec<f64> = truth[..n].iter().enumerate().map(|(i, &x)| x + i as f64).collect();
         let pred: Vec<f64> = t.iter().zip(&noise[..n]).map(|(x, e)| x + e).collect();
         let r2 = r_squared(&pred, &t).unwrap();
-        prop_assert!(r2 <= 1.0 + 1e-12);
-    }
+        tk_assert!(r2 <= 1.0 + 1e-12);
+    });
+}
 
-    #[test]
-    fn mean_std_bounds(values in prop::collection::vec(-100.0_f64..100.0, 1..50)) {
+#[test]
+fn mean_std_bounds() {
+    forall!(cfg(), (values in vec_of(f64_in(-100.0..100.0), 1..50)) => {
         let (mean, std) = mean_std(&values).unwrap();
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
-        prop_assert!(std >= 0.0);
-    }
+        tk_assert!(mean >= lo - 1e-12 && mean <= hi + 1e-12);
+        tk_assert!(std >= 0.0);
+    });
 }

@@ -65,7 +65,7 @@ pub fn fit_trend(series: &[f64], degree: usize) -> Result<Vec<f64>> {
     let f = qr(&basis)?;
     let y = Matrix::from_vec(t, 1, series.to_vec())?;
     let qty = f.q.transpose().matmul(&y)?; // (degree+1) × 1
-    // Back-substitute R c = Qᵀ y.
+                                           // Back-substitute R c = Qᵀ y.
     let k = degree + 1;
     let mut c = vec![0.0; k];
     for i in (0..k).rev() {

@@ -52,10 +52,7 @@ fn transform(buf: &mut [Complex], inverse: bool) -> Result<()> {
             for k in 0..len / 2 {
                 let a = buf[start + k];
                 let b = buf[start + k + len / 2];
-                let t = (
-                    b.0 * cur.0 - b.1 * cur.1,
-                    b.0 * cur.1 + b.1 * cur.0,
-                );
+                let t = (b.0 * cur.0 - b.1 * cur.1, b.0 * cur.1 + b.1 * cur.0);
                 buf[start + k] = (a.0 + t.0, a.1 + t.1);
                 buf[start + k + len / 2] = (a.0 - t.0, a.1 - t.1);
                 cur = (cur.0 * wr - cur.1 * wi, cur.0 * wi + cur.1 * wr);
@@ -124,7 +121,12 @@ mod tests {
         let n = 32;
         let k = 5;
         let mut b: Vec<Complex> = (0..n)
-            .map(|i| ((std::f64::consts::TAU * k as f64 * i as f64 / n as f64).cos(), 0.0))
+            .map(|i| {
+                (
+                    (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).cos(),
+                    0.0,
+                )
+            })
             .collect();
         fft(&mut b).unwrap();
         // Energy concentrated in bins k and n-k.
@@ -144,8 +146,7 @@ mod tests {
         let time_energy: f64 = orig.iter().map(|x| x * x).sum();
         let mut b = to_complex(&orig);
         fft(&mut b).unwrap();
-        let freq_energy: f64 =
-            b.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 16.0;
+        let freq_energy: f64 = b.iter().map(|&(re, im)| re * re + im * im).sum::<f64>() / 16.0;
         assert!((time_energy - freq_energy).abs() < 1e-9);
     }
 

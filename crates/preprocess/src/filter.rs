@@ -245,7 +245,11 @@ mod tests {
         let stop_lo = fir_apply(&tone(t, fs, 0.005), &h).unwrap();
         // Ignore filter edges when measuring.
         let core = 100..t - 100;
-        assert!(rms(&pass[core.clone()]) > 0.5, "pass rms {}", rms(&pass[core.clone()]));
+        assert!(
+            rms(&pass[core.clone()]) > 0.5,
+            "pass rms {}",
+            rms(&pass[core.clone()])
+        );
         assert!(rms(&stop_hi[core.clone()]) < 0.05);
         assert!(rms(&stop_lo[core]) < 0.15);
     }
@@ -290,11 +294,9 @@ mod tests {
         assert!((r_fir - 0.707).abs() < 0.12, "fir rms {r_fir}");
         assert!((r_fft - 0.707).abs() < 0.12, "fft rms {r_fft}");
         // And they correlate strongly sample-by-sample in the core.
-        let r = neurodeanon_linalg::stats::pearson(
-            &fir_m.row(0)[core.clone()],
-            &fft_m.row(0)[core],
-        )
-        .unwrap();
+        let r =
+            neurodeanon_linalg::stats::pearson(&fir_m.row(0)[core.clone()], &fft_m.row(0)[core])
+                .unwrap();
         assert!(r > 0.95, "agreement r = {r}");
     }
 

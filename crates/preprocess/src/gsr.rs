@@ -97,9 +97,8 @@ mod tests {
         // Exact Fourier tones on the grid: shared at 4 cycles, row tones at
         // 8 + r cycles — mutually orthogonal, so GSR's behaviour is exact.
         let t = 256;
-        let cycles = |k: usize, i: usize| {
-            (std::f64::consts::TAU * k as f64 * i as f64 / t as f64).sin()
-        };
+        let cycles =
+            |k: usize, i: usize| (std::f64::consts::TAU * k as f64 * i as f64 / t as f64).sin();
         let shared: Vec<f64> = (0..t).map(|i| cycles(4, i)).collect();
         let mut m = Matrix::from_fn(4, t, |r, i| shared[i] + cycles(8 + r, i));
         global_signal_regression(&mut m).unwrap();

@@ -223,9 +223,8 @@ mod tests {
             for y in 0..ny {
                 for x in 0..nx {
                     let v = vol.voxel_index(x, y, z);
-                    let val = (x as f64 * 0.8).sin() * 2.0
-                        + (y as f64 * 0.5).cos()
-                        + z as f64 * 0.1;
+                    let val =
+                        (x as f64 * 0.8).sin() * 2.0 + (y as f64 * 0.5).cos() + z as f64 * 0.1;
                     for s in vol.voxel_ts_mut(v) {
                         *s = val;
                     }

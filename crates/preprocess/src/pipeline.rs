@@ -219,7 +219,9 @@ mod tests {
         // (no-preprocessing) path: the pipeline must do strictly better on
         // average.
         let raw_vol = scanner.acquire(&lat, &p, &mut Rng64::new(22)).unwrap();
-        let (raw, _) = Pipeline::new(PipelineConfig::none()).run(raw_vol, &p).unwrap();
+        let (raw, _) = Pipeline::new(PipelineConfig::none())
+            .run(raw_vol, &p)
+            .unwrap();
 
         let mut clean_corr = 0.0;
         let mut raw_corr = 0.0;

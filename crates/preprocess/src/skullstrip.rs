@@ -173,6 +173,10 @@ mod tests {
             mask.brain_count(),
             mask.is_brain.iter().filter(|&&b| b).count()
         );
-        assert!((28..=36).contains(&mask.brain_count()), "{}", mask.brain_count());
+        assert!(
+            (28..=36).contains(&mask.brain_count()),
+            "{}",
+            mask.brain_count()
+        );
     }
 }

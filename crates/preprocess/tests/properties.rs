@@ -6,47 +6,56 @@ use neurodeanon_preprocess::fft::{fft, ifft};
 use neurodeanon_preprocess::filter::{design_fir, fir_apply, Band};
 use neurodeanon_preprocess::gsr::global_signal_regression;
 use neurodeanon_preprocess::scrub::{framewise_displacement, scrub_spikes};
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{f64_in, u64_in, usize_in, vec_exact};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cfg() -> Config {
+    Config::cases(48)
+}
 
-    #[test]
-    fn fft_roundtrip_random(v in prop::collection::vec(-10.0_f64..10.0, 64)) {
+#[test]
+fn fft_roundtrip_random() {
+    forall!(cfg(), (v in vec_exact(f64_in(-10.0..10.0), 64)) => {
         let mut buf: Vec<(f64, f64)> = v.iter().map(|&x| (x, 0.0)).collect();
         fft(&mut buf).unwrap();
         ifft(&mut buf).unwrap();
         for (orig, &(re, im)) in v.iter().zip(&buf) {
-            prop_assert!((re - orig).abs() < 1e-9);
-            prop_assert!(im.abs() < 1e-9);
+            tk_assert!((re - orig).abs() < 1e-9);
+            tk_assert!(im.abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn detrend_kills_any_quadratic(a in -3.0_f64..3.0, b in -3.0_f64..3.0, c in -3.0_f64..3.0) {
+#[test]
+fn detrend_kills_any_quadratic() {
+    forall!(cfg(), (a in f64_in(-3.0..3.0), b in f64_in(-3.0..3.0), c in f64_in(-3.0..3.0)) => {
         let t = 60;
         let mut m = Matrix::from_fn(1, t, |_, i| {
             let tau = i as f64 / (t - 1) as f64;
             a + b * tau + c * tau * tau
         });
         detrend_rows(&mut m, 2).unwrap();
-        prop_assert!(m.max_abs() < 1e-8, "residual {}", m.max_abs());
-    }
+        tk_assert!(m.max_abs() < 1e-8, "residual {}", m.max_abs());
+    });
+}
 
-    #[test]
-    fn detrend_is_projection(v in prop::collection::vec(-5.0_f64..5.0, 50)) {
+#[test]
+fn detrend_is_projection() {
+    forall!(cfg(), (v in vec_exact(f64_in(-5.0..5.0), 50)) => {
         // Applying twice equals applying once.
         let mut m = Matrix::from_vec(1, 50, v).unwrap();
         detrend_rows(&mut m, 2).unwrap();
         let once = m.clone();
         detrend_rows(&mut m, 2).unwrap();
-        prop_assert!(m.sub(&once).unwrap().max_abs() < 1e-9);
-    }
+        tk_assert!(m.sub(&once).unwrap().max_abs() < 1e-9);
+    });
+}
 
-    #[test]
-    fn fir_is_linear(v in prop::collection::vec(-5.0_f64..5.0, 80),
-                     w in prop::collection::vec(-5.0_f64..5.0, 80),
-                     alpha in -2.0_f64..2.0) {
+#[test]
+fn fir_is_linear() {
+    forall!(cfg(), (v in vec_exact(f64_in(-5.0..5.0), 80),
+                    w in vec_exact(f64_in(-5.0..5.0), 80),
+                    alpha in f64_in(-2.0..2.0)) => {
         let band = Band::new(0.05, 0.2, 1.0).unwrap();
         let k = design_fir(band, 21).unwrap();
         let combo: Vec<f64> = v.iter().zip(&w).map(|(a, b)| alpha * a + b).collect();
@@ -54,12 +63,14 @@ proptest! {
         let fv = fir_apply(&v, &k).unwrap();
         let fw = fir_apply(&w, &k).unwrap();
         for i in 0..80 {
-            prop_assert!((left[i] - (alpha * fv[i] + fw[i])).abs() < 1e-9);
+            tk_assert!((left[i] - (alpha * fv[i] + fw[i])).abs() < 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn gsr_never_increases_variance(rows in 2usize..6, seed in 0u64..400) {
+#[test]
+fn gsr_never_increases_variance() {
+    forall!(cfg(), (rows in usize_in(2..6), seed in u64_in(0..400)) => {
         let t = 40;
         let mut m = Matrix::from_fn(rows, t, |r, i| {
             ((seed + 1) as f64 * (r as f64 + 1.0) * (i as f64 * 0.3)).sin()
@@ -77,28 +88,32 @@ proptest! {
         let before = var_of(&m);
         let frac = global_signal_regression(&mut m).unwrap();
         let after = var_of(&m);
-        prop_assert!(after <= before + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&frac));
-    }
+        tk_assert!(after <= before + 1e-9);
+        tk_assert!((0.0..=1.0).contains(&frac));
+    });
+}
 
-    #[test]
-    fn scrub_is_noop_without_outliers(seed in 0u64..300) {
+#[test]
+fn scrub_is_noop_without_outliers() {
+    forall!(cfg(), (seed in u64_in(0..300)) => {
         let mut m = Matrix::from_fn(4, 50, |r, i| {
             ((seed + 3) as f64 * 0.01 + (i as f64 * 0.17 + r as f64)).sin()
         });
         let orig = m.clone();
         // Very high threshold: nothing should be flagged.
         let flagged = scrub_spikes(&mut m, 50.0).unwrap();
-        prop_assert!(flagged.is_empty());
-        prop_assert_eq!(m.as_slice(), orig.as_slice());
-    }
+        tk_assert!(flagged.is_empty());
+        tk_assert_eq!(m.as_slice(), orig.as_slice());
+    });
+}
 
-    #[test]
-    fn framewise_displacement_nonnegative(v in prop::collection::vec(-5.0_f64..5.0, 60)) {
+#[test]
+fn framewise_displacement_nonnegative() {
+    forall!(cfg(), (v in vec_exact(f64_in(-5.0..5.0), 60)) => {
         let m = Matrix::from_vec(3, 20, v).unwrap();
         let fd = framewise_displacement(&m).unwrap();
-        prop_assert_eq!(fd.len(), 20);
-        prop_assert_eq!(fd[0], 0.0);
-        prop_assert!(fd.iter().all(|&x| x >= 0.0));
-    }
+        tk_assert_eq!(fd.len(), 20);
+        tk_assert_eq!(fd[0], 0.0);
+        tk_assert!(fd.iter().all(|&x| x >= 0.0));
+    });
 }

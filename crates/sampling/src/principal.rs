@@ -37,7 +37,11 @@ impl PrincipalFeatures {
 /// deterministic. `rank_k = Some(k)` restricts the scores to the top `k`
 /// singular directions (the rank-`k` leverage scores of the Equation 4
 /// guarantee); `None` uses the full column space, the paper's default.
-pub fn principal_features(a: &Matrix, t: usize, rank_k: Option<usize>) -> Result<PrincipalFeatures> {
+pub fn principal_features(
+    a: &Matrix,
+    t: usize,
+    rank_k: Option<usize>,
+) -> Result<PrincipalFeatures> {
     if t == 0 || t > a.rows() {
         return Err(SamplingError::InvalidSampleCount {
             requested: t,
@@ -151,7 +155,7 @@ mod tests {
         let mut f = full.indices.clone();
         f.sort_unstable();
         assert_eq!(f, vec![28, 29]); // unique-direction rows dominate
-        // Rank-1 scores ignore those directions entirely.
+                                     // Rank-1 scores ignore those directions entirely.
         assert!(!rank1.indices.contains(&28) || !rank1.indices.contains(&29));
     }
 

@@ -54,7 +54,8 @@ mod tests {
         Matrix::from_fn(m, 6, |r, c| {
             let u1 = (r as f64 * 0.17).sin();
             let u2 = (r as f64 * 0.05).cos();
-            3.0 * u1 * (c as f64 + 1.0) + 2.0 * u2 * ((c * c) as f64 - 2.0)
+            3.0 * u1 * (c as f64 + 1.0)
+                + 2.0 * u2 * ((c * c) as f64 - 2.0)
                 + 0.01 * (((r * 31 + c * 7) % 13) as f64 - 6.0)
         })
     }

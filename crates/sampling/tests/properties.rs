@@ -3,72 +3,82 @@
 use neurodeanon_linalg::{Matrix, Rng64};
 use neurodeanon_sampling::sketch::{best_rank_k_error, projection_error};
 use neurodeanon_sampling::{principal_features, row_sample, SamplingDistribution};
-use proptest::prelude::*;
+use neurodeanon_testkit::gen::{matrix_in, u64_in, usize_in, Gen};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
-fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-3.0_f64..3.0, rows * cols)
-        .prop_map(move |v| Matrix::from_vec(rows, cols, v).expect("sized"))
+fn cfg() -> Config {
+    Config::cases(48)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn matrix(rows: usize, cols: usize) -> impl Gen<Value = Matrix> {
+    matrix_in(rows, cols, -3.0, 3.0)
+}
 
-    #[test]
-    fn probabilities_are_distributions(a in matrix(25, 4)) {
+#[test]
+fn probabilities_are_distributions() {
+    forall!(cfg(), (a in matrix(25, 4)) => {
         for dist in [SamplingDistribution::Uniform, SamplingDistribution::L2Norm, SamplingDistribution::Leverage] {
             match dist.probabilities(&a) {
                 Ok(p) => {
-                    prop_assert_eq!(p.len(), 25);
+                    tk_assert_eq!(p.len(), 25);
                     let total: f64 = p.iter().sum();
-                    prop_assert!((total - 1.0).abs() < 1e-8);
-                    prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+                    tk_assert!((total - 1.0).abs() < 1e-8);
+                    tk_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
                 }
                 // All-zero matrices legitimately degenerate for norm-based
                 // distributions.
-                Err(_) => prop_assert!(a.max_abs() == 0.0),
+                Err(_) => tk_assert!(a.max_abs() == 0.0),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn row_sample_shape_and_indices(a in matrix(30, 3), s in 1usize..20, seed in 0u64..500) {
+#[test]
+fn row_sample_shape_and_indices() {
+    forall!(cfg(), (a in matrix(30, 3), s in usize_in(1..20), seed in u64_in(0..500)) => {
         let out = row_sample(&a, s, SamplingDistribution::Uniform, &mut Rng64::new(seed)).unwrap();
-        prop_assert_eq!(out.sketch.shape(), (s, 3));
-        prop_assert_eq!(out.indices.len(), s);
-        prop_assert!(out.indices.iter().all(|&i| i < 30));
-    }
+        tk_assert_eq!(out.sketch.shape(), (s, 3));
+        tk_assert_eq!(out.indices.len(), s);
+        tk_assert!(out.indices.iter().all(|&i| i < 30));
+    });
+}
 
-    #[test]
-    fn principal_features_count_and_determinism(a in matrix(40, 4), t in 1usize..=40) {
+#[test]
+fn principal_features_count_and_determinism() {
+    forall!(cfg(), (a in matrix(40, 4), t in usize_in(1..=40)) => {
         let x = principal_features(&a, t, None).unwrap();
         let y = principal_features(&a, t, None).unwrap();
-        prop_assert_eq!(&x.indices, &y.indices);
-        prop_assert_eq!(x.indices.len(), t);
+        tk_assert_eq!(&x.indices, &y.indices);
+        tk_assert_eq!(x.indices.len(), t);
         // Indices are valid and distinct.
         let mut sorted = x.indices.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), t);
-        prop_assert!(x.indices.iter().all(|&i| i < 40));
-    }
+        tk_assert_eq!(sorted.len(), t);
+        tk_assert!(x.indices.iter().all(|&i| i < 40));
+    });
+}
 
-    #[test]
-    fn projection_error_nonincreasing_in_t(a in matrix(30, 4)) {
+#[test]
+fn projection_error_nonincreasing_in_t() {
+    forall!(cfg(), (a in matrix(30, 4)) => {
         let mut prev = f64::INFINITY;
         for t in [3usize, 10, 30] {
             let r = principal_features(&a, t, None).unwrap().reduce(&a).unwrap();
             let e = projection_error(&a, &r).unwrap();
-            prop_assert!(e <= prev + 1e-6, "t={} error {} > prev {}", t, e, prev);
+            tk_assert!(e <= prev + 1e-6, "t={} error {} > prev {}", t, e, prev);
             prev = e;
         }
-    }
+    });
+}
 
-    #[test]
-    fn best_rank_error_brackets_projection(a in matrix(20, 4)) {
+#[test]
+fn best_rank_error_brackets_projection() {
+    forall!(cfg(), (a in matrix(20, 4)) => {
         // For any sketch, projection error ≥ best same-rank truncation error.
         let sk = principal_features(&a, 4, None).unwrap().reduce(&a).unwrap();
         let err = projection_error(&a, &sk).unwrap();
         let opt = best_rank_k_error(&a, 4).unwrap();
-        prop_assert!(err + 1e-8 >= opt);
-    }
+        tk_assert!(err + 1e-8 >= opt);
+    });
 }

@@ -1,0 +1,426 @@
+//! Value generators (strategies) for the property runner.
+//!
+//! A [`Gen`] produces random values from an [`Rng64`] stream and offers
+//! shrink candidates for minimizing counterexamples. The provided
+//! generators cover the shapes the workspace's property suites need:
+//! ranged integers, finite floats, vectors, matrices, and arbitrary
+//! closure-defined values ([`from_fn`]). Tuples of generators are
+//! themselves generators, which is what lets [`crate::forall!`] bind
+//! several inputs at once.
+
+use neurodeanon_linalg::{Matrix, Rng64};
+use std::fmt::Debug;
+use std::ops::{Bound, Range, RangeBounds};
+
+/// A generator of random test inputs with optional shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from the generator.
+    fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+    /// Proposes strictly "simpler" variants of a failing value. The runner
+    /// keeps any candidate that still fails and iterates; returning an
+    /// empty list disables shrinking for this generator.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+fn bounds_to_inclusive(r: &impl RangeBounds<u64>) -> (u64, u64) {
+    let lo = match r.start_bound() {
+        Bound::Included(&x) => x,
+        Bound::Excluded(&x) => x + 1,
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&x) => x,
+        Bound::Excluded(&x) => x.checked_sub(1).expect("empty range"),
+        Bound::Unbounded => u64::MAX - 1,
+    };
+    assert!(lo <= hi, "empty integer range");
+    (lo, hi)
+}
+
+/// Uniform `usize` in the given range (inclusive or exclusive bounds both
+/// work: `usize_in(2..40)`, `usize_in(1..=40)`).
+pub fn usize_in(r: impl RangeBounds<usize>) -> UsizeIn {
+    let map = |b: Bound<&usize>| match b {
+        Bound::Included(&x) => Bound::Included(x as u64),
+        Bound::Excluded(&x) => Bound::Excluded(x as u64),
+        Bound::Unbounded => Bound::Unbounded,
+    };
+    let (lo, hi) = bounds_to_inclusive(&(map(r.start_bound()), map(r.end_bound())));
+    UsizeIn {
+        lo: lo as usize,
+        hi: hi as usize,
+    }
+}
+
+/// Generator for [`usize_in`].
+#[derive(Debug, Clone)]
+pub struct UsizeIn {
+    lo: usize,
+    hi: usize,
+}
+
+impl Gen for UsizeIn {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Rng64) -> usize {
+        self.lo + rng.below(self.hi - self.lo + 1)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        if *value > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (*value - self.lo) / 2;
+            if mid != self.lo && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `u64` in the given range.
+pub fn u64_in(r: impl RangeBounds<u64>) -> U64In {
+    let (lo, hi) = bounds_to_inclusive(&r);
+    U64In { lo, hi }
+}
+
+/// Generator for [`u64_in`].
+#[derive(Debug, Clone)]
+pub struct U64In {
+    lo: u64,
+    hi: u64,
+}
+
+impl Gen for U64In {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Rng64) -> u64 {
+        let span = self.hi - self.lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        self.lo + rng.below((span + 1) as usize) as u64
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if *value > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (*value - self.lo) / 2;
+            if mid != self.lo && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform finite `f64` in `[lo, hi)` (mirrors `proptest`'s `lo..hi`
+/// float strategy).
+pub fn f64_in(r: Range<f64>) -> F64In {
+    assert!(
+        r.start.is_finite() && r.end.is_finite() && r.start < r.end,
+        "f64_in needs a finite, non-empty range"
+    );
+    F64In {
+        lo: r.start,
+        hi: r.end,
+    }
+}
+
+/// Generator for [`f64_in`].
+#[derive(Debug, Clone)]
+pub struct F64In {
+    lo: f64,
+    hi: f64,
+}
+
+impl F64In {
+    fn contains(&self, v: f64) -> bool {
+        v >= self.lo && v < self.hi
+    }
+}
+
+impl Gen for F64In {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Rng64) -> f64 {
+        rng.uniform_range(self.lo, self.hi)
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out: Vec<f64> = Vec::new();
+        let mut push = |c: f64| {
+            if self.contains(c) && c != *value && !out.contains(&c) {
+                out.push(c);
+            }
+        };
+        push(0.0);
+        push(self.lo);
+        push(value.trunc());
+        push(value / 2.0);
+        out
+    }
+}
+
+/// Vector of generated elements with length drawn uniformly from `len`
+/// (half-open, mirroring `proptest::collection::vec(elem, a..b)`).
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecOf<G> {
+    assert!(len.start < len.end, "empty length range");
+    VecOf {
+        elem,
+        min: len.start,
+        max: len.end - 1,
+    }
+}
+
+/// Vector of exactly `len` generated elements.
+pub fn vec_exact<G: Gen>(elem: G, len: usize) -> VecOf<G> {
+    VecOf {
+        elem,
+        min: len,
+        max: len,
+    }
+}
+
+/// Generator for [`vec_of`] / [`vec_exact`].
+#[derive(Debug, Clone)]
+pub struct VecOf<G> {
+    elem: G,
+    min: usize,
+    max: usize,
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng64) -> Vec<G::Value> {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // Structural shrinks: cut to the minimum length, then halve.
+        if n > self.min {
+            out.push(value[..self.min].to_vec());
+            let half = self.min + (n - self.min) / 2;
+            if half != self.min && half != n {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..n - 1].to_vec());
+        }
+        // Element-wise shrinks on a few leading positions.
+        for i in 0..n.min(4) {
+            for cand in self.elem.shrink(&value[i]).into_iter().take(2) {
+                let mut w = value.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// `rows × cols` matrix with entries uniform in `[lo, hi)`.
+pub fn matrix_in(rows: usize, cols: usize, lo: f64, hi: f64) -> MatrixIn {
+    assert!(lo < hi && lo.is_finite() && hi.is_finite());
+    MatrixIn { rows, cols, lo, hi }
+}
+
+/// Generator for [`matrix_in`].
+#[derive(Debug, Clone)]
+pub struct MatrixIn {
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+}
+
+impl Gen for MatrixIn {
+    type Value = Matrix;
+
+    fn generate(&self, rng: &mut Rng64) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |_, _| {
+            rng.uniform_range(self.lo, self.hi)
+        })
+    }
+
+    fn shrink(&self, value: &Matrix) -> Vec<Matrix> {
+        let mut out = Vec::new();
+        let in_range = |v: f64| v >= self.lo && v < self.hi;
+        if value.max_abs() > 0.0 && in_range(0.0) {
+            out.push(Matrix::from_fn(self.rows, self.cols, |_, _| 0.0));
+        }
+        if value.max_abs() > 1e-3 {
+            let halved: Vec<f64> = value.as_slice().iter().map(|v| v / 2.0).collect();
+            if halved.iter().all(|&v| in_range(v)) {
+                out.push(Matrix::from_vec(self.rows, self.cols, halved).expect("same shape"));
+            }
+        }
+        out
+    }
+}
+
+/// Arbitrary generator from a closure over the RNG; no shrinking. This is
+/// the escape hatch for dependent shapes (e.g. "a tall matrix whose row
+/// count exceeds its sampled column count").
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut Rng64) -> T,
+{
+    FromFn(f)
+}
+
+/// Generator for [`from_fn`].
+#[derive(Clone)]
+pub struct FromFn<F>(F);
+
+impl<F> Debug for FromFn<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FromFn(..)")
+    }
+}
+
+impl<T, F> Gen for FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut Rng64) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng64) -> T {
+        (self.0)(rng)
+    }
+}
+
+macro_rules! tuple_gen {
+    ($($g:ident . $idx:tt),+) => {
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut w = value.clone();
+                        w.$idx = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_gen!(A.0);
+tuple_gen!(A.0, B.1);
+tuple_gen!(A.0, B.1, C.2);
+tuple_gen!(A.0, B.1, C.2, D.3);
+tuple_gen!(A.0, B.1, C.2, D.3, E.4);
+tuple_gen!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usize_in_respects_bounds_inclusive_and_exclusive() {
+        let mut rng = Rng64::new(1);
+        let g = usize_in(2..40);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((2..40).contains(&v));
+        }
+        let g = usize_in(1..=4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[g.generate(&mut rng)] = true;
+        }
+        assert!(!seen[0] && seen[1] && seen[2] && seen[3] && seen[4]);
+    }
+
+    #[test]
+    fn f64_in_respects_bounds() {
+        let mut rng = Rng64::new(2);
+        let g = f64_in(-3.0..3.0);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((-3.0..3.0).contains(&v) && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn f64_shrink_moves_toward_zero() {
+        let g = f64_in(-10.0..10.0);
+        let cands = g.shrink(&7.25);
+        assert!(cands.contains(&0.0));
+        assert!(cands.iter().all(|&c| c.abs() <= 10.0 && c != 7.25));
+    }
+
+    #[test]
+    fn vec_of_length_band_and_shrink() {
+        let mut rng = Rng64::new(3);
+        let g = vec_of(f64_in(0.0..1.0), 5..40);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((5..40).contains(&v.len()));
+        }
+        let v = g.generate(&mut rng);
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 5 && cand.len() <= v.len());
+        }
+        // Exact-length vectors never shrink structurally.
+        let g = vec_exact(f64_in(0.0..1.0), 7);
+        let v = g.generate(&mut rng);
+        assert_eq!(v.len(), 7);
+        assert!(g.shrink(&v).iter().all(|c| c.len() == 7));
+    }
+
+    #[test]
+    fn matrix_in_shape_and_range() {
+        let mut rng = Rng64::new(4);
+        let g = matrix_in(4, 3, -10.0, 10.0);
+        let m = g.generate(&mut rng);
+        assert_eq!((m.rows(), m.cols()), (4, 3));
+        assert!(m.as_slice().iter().all(|v| (-10.0..10.0).contains(v)));
+        // Shrinks preserve shape.
+        for cand in g.shrink(&m) {
+            assert_eq!((cand.rows(), cand.cols()), (4, 3));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise_and_shrink_one_axis_at_a_time() {
+        let mut rng = Rng64::new(5);
+        let g = (usize_in(0..10), f64_in(0.0..1.0));
+        let (a, b) = g.generate(&mut rng);
+        assert!(a < 10 && (0.0..1.0).contains(&b));
+        for (ca, cb) in g.shrink(&(9, 0.75)) {
+            // Exactly one component changed.
+            assert!((ca == 9) != (cb == 0.75));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = vec_of(f64_in(-1.0..1.0), 1..20);
+        let a = g.generate(&mut Rng64::new(99));
+        let b = g.generate(&mut Rng64::new(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,337 @@
+//! The property-test runner: case scheduling, failure shrinking, and
+//! seed reporting.
+//!
+//! Each case derives its own seed from the base seed and the case index,
+//! so a failure report names a single `TESTKIT_SEED` value that replays
+//! the exact counterexample as case 0 (`TESTKIT_CASES=1`). Failures
+//! raised through [`crate::tk_assert!`]-style macros are shrunk with the
+//! generator's [`Gen::shrink`] candidates; plain panics inside a property
+//! body are reported as-is (still with the replay seed) without a shrink
+//! pass, keeping captured test output readable.
+
+use crate::gen::Gen;
+use neurodeanon_linalg::Rng64;
+
+/// Default base seed when `TESTKIT_SEED` is not set. Arbitrary but fixed:
+/// CI failures replay locally without any environment plumbing.
+pub const DEFAULT_SEED: u64 = 0x6e64_7465_7374; // "ndtest"
+
+/// Per-case seed stride (the SplitMix64 golden-gamma constant, coprime to
+/// 2⁶⁴, so case seeds never collide).
+const CASE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Runner configuration: case count, base seed, shrink budget.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of randomized cases to run.
+    pub cases: u64,
+    /// Base seed; case `i` uses `seed + i * CASE_STRIDE` (wrapping).
+    pub seed: u64,
+    /// Maximum number of candidate evaluations during shrinking.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// A config running `n` cases with the default seed. The environment
+    /// overrides both knobs: `TESTKIT_SEED` (decimal or `0x`-hex) replays
+    /// a reported counterexample and `TESTKIT_CASES` adjusts the count.
+    pub fn cases(n: u64) -> Self {
+        let seed = std::env::var("TESTKIT_SEED")
+            .ok()
+            .and_then(|s| parse_seed(&s))
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(n)
+            .max(1);
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 256,
+        }
+    }
+
+    /// Same config with a different base seed (ignores `TESTKIT_SEED`);
+    /// useful for pinning a suite to a known-good stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// A minimized property failure, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Property name (file:line from [`crate::forall!`]).
+    pub name: String,
+    /// Zero-based index of the failing case.
+    pub case: u64,
+    /// The per-case seed; replaying with `TESTKIT_SEED=<this>`
+    /// `TESTKIT_CASES=1` regenerates the original input as case 0.
+    pub case_seed: u64,
+    /// The assertion/panic message.
+    pub message: String,
+    /// Debug rendering of the originally generated input.
+    pub original: String,
+    /// Debug rendering of the shrunk input, if shrinking made progress.
+    pub shrunk: Option<String>,
+    /// Number of shrink candidates evaluated.
+    pub shrink_steps: u32,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "property failed: {}", self.name)?;
+        writeln!(f, "  case:   {}", self.case)?;
+        writeln!(
+            f,
+            "  seed:   0x{:x}  (replay: TESTKIT_SEED=0x{:x} TESTKIT_CASES=1)",
+            self.case_seed, self.case_seed
+        )?;
+        writeln!(
+            f,
+            "  error:  {}",
+            self.message.replace('\n', "\n          ")
+        )?;
+        writeln!(f, "  input:  {}", self.original)?;
+        if let Some(s) = &self.shrunk {
+            writeln!(f, "  shrunk: {s}  ({} steps)", self.shrink_steps)?;
+        }
+        Ok(())
+    }
+}
+
+enum CaseOutcome {
+    Pass,
+    /// (message, failed via panic rather than a returned Err)
+    Fail(String, bool),
+}
+
+fn run_case<V, F>(prop: &F, value: &V) -> CaseOutcome
+where
+    F: Fn(&V) -> Result<(), String>,
+{
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(value))) {
+        Ok(Ok(())) => CaseOutcome::Pass,
+        Ok(Err(msg)) => CaseOutcome::Fail(msg, false),
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "panic with non-string payload".to_string()
+            };
+            CaseOutcome::Fail(msg, true)
+        }
+    }
+}
+
+/// Runs the property over `cfg.cases` random cases. Returns the first
+/// failure (shrunk where possible) or `Ok(())`.
+pub fn run<G, F>(name: &str, cfg: &Config, gen: &G, prop: F) -> Result<(), Failure>
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let case_seed = cfg.seed.wrapping_add(case.wrapping_mul(CASE_STRIDE));
+        let mut rng = Rng64::new(case_seed);
+        let value = gen.generate(&mut rng);
+        let (mut message, was_panic) = match run_case(&prop, &value) {
+            CaseOutcome::Pass => continue,
+            CaseOutcome::Fail(m, p) => (m, p),
+        };
+
+        let original = format!("{value:?}");
+        let mut current = value;
+        let mut steps = 0u32;
+        let mut progressed = false;
+        // Shrink only assertion-style failures: re-running a panicking body
+        // hundreds of times floods the captured output with panic traces.
+        if !was_panic {
+            'outer: loop {
+                if steps >= cfg.max_shrink_steps {
+                    break;
+                }
+                for cand in gen.shrink(&current) {
+                    steps += 1;
+                    if let CaseOutcome::Fail(m, false) = run_case(&prop, &cand) {
+                        current = cand;
+                        message = m;
+                        progressed = true;
+                        continue 'outer;
+                    }
+                    if steps >= cfg.max_shrink_steps {
+                        break 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        return Err(Failure {
+            name: name.to_string(),
+            case,
+            case_seed,
+            message,
+            shrunk: progressed.then(|| format!("{current:?}")),
+            original,
+            shrink_steps: steps,
+        });
+    }
+    Ok(())
+}
+
+/// [`run`], panicking with the full failure report — the entry point the
+/// [`crate::forall!`] macro expands to.
+pub fn check<G, F>(name: &str, cfg: &Config, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    if let Err(failure) = run(name, cfg, gen, prop) {
+        panic!("{failure}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{f64_in, usize_in, vec_of};
+
+    fn cfg(cases: u64) -> Config {
+        // Fixed seed: these tests assert on runner mechanics and must not
+        // be perturbed by an inherited TESTKIT_SEED.
+        Config {
+            cases,
+            seed: DEFAULT_SEED,
+            max_shrink_steps: 256,
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        run("t", &cfg(200), &usize_in(0..100), |&v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err("out of range".into())
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn failure_reports_replayable_seed() {
+        let failure = run("t", &cfg(100), &usize_in(0..1000), |&v| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err(format!("{v} too big"))
+            }
+        })
+        .unwrap_err();
+        // Replay: the reported case seed regenerates the same input as
+        // case 0 of a fresh run.
+        let replay = Config {
+            cases: 1,
+            seed: failure.case_seed,
+            max_shrink_steps: 256,
+        };
+        let again = run("t", &replay, &usize_in(0..1000), |&v| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err(format!("{v} too big"))
+            }
+        })
+        .unwrap_err();
+        assert_eq!(again.case, 0);
+        assert_eq!(again.original, failure.original);
+        // And the rendered report carries the replay instructions.
+        let report = failure.to_string();
+        assert!(report.contains("TESTKIT_SEED=0x"), "report: {report}");
+        assert!(
+            report.contains(&format!("0x{:x}", failure.case_seed)),
+            "report: {report}"
+        );
+    }
+
+    #[test]
+    fn shrinking_minimizes_the_counterexample() {
+        // Fails for any v >= 100; the minimum is reachable by halving.
+        let failure = run("t", &cfg(100), &usize_in(0..10_000), |&v| {
+            if v < 100 {
+                Ok(())
+            } else {
+                Err("too big".into())
+            }
+        })
+        .unwrap_err();
+        let shrunk: usize = failure
+            .shrunk
+            .as_deref()
+            .unwrap_or(&failure.original)
+            .parse()
+            .unwrap();
+        assert!(shrunk >= 100, "shrunk value must still fail");
+        assert!(
+            shrunk < 2500,
+            "shrinking barely progressed: {shrunk} (from {})",
+            failure.original
+        );
+    }
+
+    #[test]
+    fn vec_counterexamples_shrink_structurally() {
+        let gen = vec_of(f64_in(-10.0..10.0), 1..50);
+        let failure = run("t", &cfg(100), &gen, |v: &Vec<f64>| {
+            if v.len() < 8 {
+                Ok(())
+            } else {
+                Err("long".into())
+            }
+        })
+        .unwrap_err();
+        let shrunk = failure.shrunk.expect("structural shrink available");
+        // The minimal failing length is 8; shrinking must get close.
+        let commas = shrunk.matches(',').count();
+        assert!(commas <= 9, "shrunk vec still long: {shrunk}");
+    }
+
+    #[test]
+    fn panicking_property_is_reported_with_seed_but_not_shrunk() {
+        let failure = run("t", &cfg(10), &usize_in(0..10), |&v| {
+            assert!(v > 100, "boom {v}");
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(failure.message.contains("boom"));
+        assert!(failure.shrunk.is_none());
+        assert_eq!(failure.shrink_steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "TESTKIT_SEED")]
+    fn check_panics_with_replay_instructions() {
+        check("t", &cfg(10), &usize_in(0..10), |_| Err("always".into()));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_hex_and_decimal() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("0X10"), Some(16));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("zz"), None);
+    }
+}

@@ -21,7 +21,12 @@ use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
 use neurodeanon_linalg::{Matrix, Rng64};
 
 /// Adds N(0, sigma²) to the listed feature rows of a group matrix.
-fn perturb_features(group: &GroupMatrix, features: &[usize], sigma: f64, rng: &mut Rng64) -> GroupMatrix {
+fn perturb_features(
+    group: &GroupMatrix,
+    features: &[usize],
+    sigma: f64,
+    rng: &mut Rng64,
+) -> GroupMatrix {
     let mut data: Matrix = group.as_matrix().clone();
     for &f in features {
         for s in 0..data.cols() {
@@ -68,9 +73,14 @@ fn main() {
     // Untargeted defense: the same number of randomly chosen edges.
     let random_edges = rng.sample_indices(known.n_features(), signature_edges.len());
     let defended_rand = perturb_features(&anon, &random_edges, sigma, &mut rng);
-    let untargeted = attack.run(&known, &defended_rand).expect("attack vs untargeted");
+    let untargeted = attack
+        .run(&known, &defended_rand)
+        .expect("attack vs untargeted");
 
-    println!("\ndefense comparison (σ = {sigma}, {} edges perturbed):", signature_edges.len());
+    println!(
+        "\ndefense comparison (σ = {sigma}, {} edges perturbed):",
+        signature_edges.len()
+    );
     println!(
         "  targeted (signature edges):   identification {:.0}%",
         targeted.accuracy * 100.0

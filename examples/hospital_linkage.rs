@@ -33,7 +33,11 @@ fn main() {
     let sensitive: Vec<String> = (0..n)
         .map(|_| {
             let dx = ["none", "MDD", "GAD", "ADHD"][rng.below(4)];
-            let apoe4 = if rng.uniform() < 0.25 { "APOE4+" } else { "APOE4-" };
+            let apoe4 = if rng.uniform() < 0.25 {
+                "APOE4+"
+            } else {
+                "APOE4-"
+            };
             format!("dx={dx}, {apoe4}")
         })
         .collect();
@@ -48,7 +52,10 @@ fn main() {
         "linkage accuracy across tasks: {:.1}%\n",
         outcome.accuracy * 100.0
     );
-    println!("{:<12} {:<28} exposed metadata", "record", "linked identity");
+    println!(
+        "{:<12} {:<28} exposed metadata",
+        "record", "linked identity"
+    );
     let mut correct = 0;
     for (record, &predicted) in outcome.predicted.iter().enumerate() {
         let hit = outcome.truth[record] == predicted;

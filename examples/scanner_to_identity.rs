@@ -71,7 +71,11 @@ fn main() {
             }
             let conn = Connectome::from_region_ts(&clean).expect("connectome");
             data.set_col(s, &conn.vectorize()).expect("column");
-            ids.push(format!("{}/REST/{}", cohort.subject_id(s), session.encoding()));
+            ids.push(format!(
+                "{}/REST/{}",
+                cohort.subject_id(s),
+                session.encoding()
+            ));
         }
         GroupMatrix::from_matrix(data, ids, n_regions).expect("group matrix")
     };
@@ -98,5 +102,8 @@ fn main() {
         outcome.mean_diagonal_similarity(),
         outcome.mean_offdiagonal_similarity()
     );
-    assert!(outcome.accuracy >= 0.5, "pipeline demo should mostly identify");
+    assert!(
+        outcome.accuracy >= 0.5,
+        "pipeline demo should mostly identify"
+    );
 }

@@ -22,7 +22,11 @@ fn defense_workflow_end_to_end() {
     };
     let mut rng = Rng64::new(5);
     let out = evaluate_defense(&known, &release, &plan, AttackConfig::default(), &mut rng).unwrap();
-    assert!(out.accuracy_before >= 0.8, "baseline {}", out.accuracy_before);
+    assert!(
+        out.accuracy_before >= 0.8,
+        "baseline {}",
+        out.accuracy_before
+    );
     assert!(
         out.accuracy_after <= out.accuracy_before,
         "defense did not reduce accuracy"

@@ -1,0 +1,28 @@
+//! Fast determinism smoke test: the E1 attack (rest-session similarity,
+//! Figure 1) run twice from the same seed must produce bit-identical
+//! similarity matrices and an accuracy above the floor. Sized to finish in
+//! seconds — this is the first thing to run when touching the pipeline.
+
+use neurodeanon_core::attack::AttackConfig;
+use neurodeanon_core::experiments::similarity_experiment;
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Task};
+use neurodeanon_testkit::gen::u64_in;
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
+
+#[test]
+fn e1_attack_is_deterministic_and_accurate() {
+    forall!(Config::cases(4), (seed in u64_in(0..10_000)) => {
+        let run = || {
+            let cohort = HcpCohort::generate(HcpCohortConfig::small(8, seed)).unwrap();
+            similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap()
+        };
+        let a = run();
+        let b = run();
+        // Bit-identical similarity matrices, not merely close.
+        tk_assert_eq!(a.similarity.as_slice(), b.similarity.as_slice());
+        tk_assert_eq!(a.accuracy, b.accuracy);
+        // The attack must actually work on the default synthetic cohort.
+        tk_assert!(a.accuracy >= 0.75, "accuracy {} below floor", a.accuracy);
+        tk_assert!(a.contrast() > 0.0);
+    });
+}

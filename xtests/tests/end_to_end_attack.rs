@@ -106,7 +106,10 @@ fn selected_features_localize_to_signature_regions() {
     let frac = hits as f64 / out.selected_features.len() as f64;
     // Signature pairs are ~5% of all edges; the selection should be > 10×
     // enriched.
-    assert!(frac > 0.5, "only {frac} of selected features are signature pairs");
+    assert!(
+        frac > 0.5,
+        "only {frac} of selected features are signature pairs"
+    );
 }
 
 #[test]

@@ -7,7 +7,9 @@
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
 use neurodeanon_linalg::Rng64;
-use neurodeanon_sampling::sketch::{additive_bound, best_rank_k_error, gram_error, projection_error};
+use neurodeanon_sampling::sketch::{
+    additive_bound, best_rank_k_error, gram_error, projection_error,
+};
 use neurodeanon_sampling::{principal_features, row_sample, SamplingDistribution};
 
 fn group(seed: u64) -> GroupMatrix {

@@ -47,7 +47,11 @@ fn group_via_pipeline(
         let (clean, _) = pipeline.run(vol, &atlas).unwrap();
         data.set_col(s, &Connectome::from_region_ts(&clean).unwrap().vectorize())
             .unwrap();
-        ids.push(format!("{}/REST/{}", cohort.subject_id(s), session.encoding()));
+        ids.push(format!(
+            "{}/REST/{}",
+            cohort.subject_id(s),
+            session.encoding()
+        ));
     }
     GroupMatrix::from_matrix(data, ids, 14).unwrap()
 }
