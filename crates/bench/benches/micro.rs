@@ -6,16 +6,41 @@
 //! the in-repo `neurodeanon_bench::timing` harness (build with
 //! `--features criterion-bench`).
 
-use neurodeanon_bench::timing::Bench;
+use neurodeanon_bench::timing::{self, Bench, Sample};
 use neurodeanon_embedding::tsne::{tsne, TsneConfig};
 use neurodeanon_linalg::stats::correlation_matrix;
 use neurodeanon_linalg::svd::{leverage_scores, thin_svd};
-use neurodeanon_linalg::{Matrix, Rng64};
+use neurodeanon_linalg::{par, Matrix, Rng64};
 use neurodeanon_preprocess::filter::{fft_bandpass, fir_bandpass, Band};
+use neurodeanon_testkit::json;
+use std::path::{Path, PathBuf};
 
 fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Rng64::new(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.gaussian())
+}
+
+/// Path of the bench JSON trajectory file (`NEURODEANON_BENCH_JSON`
+/// overrides the default `bench_results.jsonl` in the working directory).
+fn bench_json_path() -> PathBuf {
+    std::env::var("NEURODEANON_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results.jsonl"))
+}
+
+/// Appends one thread-sweep sample to the bench JSON trajectory.
+fn record_sweep(path: &Path, s: &Sample, threads: usize) {
+    let rec = json!({
+        "group": "paper_scale_thread_sweep",
+        "label": s.label.as_str(),
+        "threads": threads,
+        "min_ns": s.min.as_nanos() as f64,
+        "median_ns": s.median.as_nanos() as f64,
+        "mean_ns": s.mean.as_nanos() as f64,
+    });
+    if let Err(e) = timing::append_jsonl(path, &rec) {
+        eprintln!("bench json append failed for {}: {e}", path.display());
+    }
 }
 
 fn main() {
@@ -85,4 +110,32 @@ fn main() {
         ..TsneConfig::default()
     };
     b.run("160pts_250iters", || tsne(&points, &cfg).unwrap());
+
+    // Paper-scale shapes (the 64,620 × 100 HCP group matrix of §4) swept
+    // over thread counts; medians land in the bench JSON trajectory so the
+    // NEURODEANON_THREADS=1 vs default speedup is recorded, not just printed.
+    let json_path = bench_json_path();
+    let a = random_matrix(64_620, 100, 10);
+    let bm = random_matrix(100, 100, 11);
+    let mut sweep: Vec<usize> = Vec::new();
+    for t in [1, 2, par::num_threads()] {
+        if !sweep.contains(&t) {
+            sweep.push(t);
+        }
+    }
+    for &t in &sweep {
+        par::with_thread_count(t, || {
+            let b = Bench::new("paper_scale").iters(3);
+            let s = b.run(&format!("matmul_64620x100_100x100_t{t}"), || {
+                a.matmul(&bm).unwrap()
+            });
+            record_sweep(&json_path, &s, t);
+            let s = b.run(&format!("gram_64620x100_t{t}"), || a.gram());
+            record_sweep(&json_path, &s, t);
+            let s = b.run(&format!("thin_svd_64620x100_t{t}"), || {
+                thin_svd(&a).unwrap()
+            });
+            record_sweep(&json_path, &s, t);
+        });
+    }
 }

@@ -6,6 +6,9 @@
 //! printed as a table; no statistics beyond the basics are attempted, so
 //! use the medians for coarse comparisons, not for microbenchmark claims.
 
+use neurodeanon_testkit::{json, Value};
+use std::io::Write as _;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// A group of named timings sharing warm-up and iteration settings.
@@ -85,6 +88,29 @@ impl Bench {
     }
 }
 
+impl Sample {
+    /// Renders the sample as one JSON record for the bench trajectory file,
+    /// tagged with its benchmark `group` name.
+    pub fn to_json(&self, group: &str) -> Value {
+        json!({
+            "group": group,
+            "label": self.label.as_str(),
+            "min_ns": self.min.as_nanos() as f64,
+            "median_ns": self.median.as_nanos() as f64,
+            "mean_ns": self.mean.as_nanos() as f64,
+        })
+    }
+}
+
+/// Appends one JSON record as a line to a JSONL file, creating it if needed.
+pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{record}")
+}
+
 /// Formats a duration with an adaptive unit (ns / µs / ms / s).
 pub fn fmt_duration(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -116,6 +142,29 @@ mod tests {
         assert_eq!(s.label, "spin");
         assert!(s.min <= s.median);
         assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn sample_json_record_and_jsonl_append() {
+        let s = Sample {
+            label: "gram_64620x100".to_string(),
+            min: Duration::from_nanos(5),
+            median: Duration::from_nanos(7),
+            mean: Duration::from_nanos(6),
+        };
+        let v = s.to_json("thread_sweep");
+        assert_eq!(v.get("group").and_then(Value::as_str), Some("thread_sweep"));
+        assert_eq!(v.get("median_ns").and_then(Value::as_f64), Some(7.0));
+
+        let path = std::env::temp_dir().join(format!("nd_timing_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_jsonl(&path, &v).unwrap();
+        append_jsonl(&path, &v).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let parsed = neurodeanon_testkit::json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(parsed.get("min_ns").and_then(Value::as_f64), Some(5.0));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

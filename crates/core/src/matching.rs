@@ -8,10 +8,19 @@
 
 use crate::error::CoreError;
 use crate::Result;
-use neurodeanon_linalg::Matrix;
+use neurodeanon_linalg::{par, Matrix};
+
+/// Minimum similarity-matrix element count before `argmax_matching` spreads
+/// columns over threads; each element costs one strided load + compare.
+const MATCH_PAR_THRESHOLD: usize = 1 << 16;
 
 /// Per-column argmax: `result[j]` = row index of the best-matching known
 /// subject for anonymous subject `j`.
+///
+/// Columns are scanned independently (one per chunk), each with the same
+/// sequential first-max-wins rule as [`neurodeanon_linalg::vector::argmax`]
+/// (NaN entries skipped), so the prediction vector is identical at any
+/// thread count.
 pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
     if similarity.is_empty() {
         return Err(CoreError::InvalidParameter {
@@ -19,14 +28,29 @@ pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
             reason: "empty similarity matrix",
         });
     }
-    let mut out = Vec::with_capacity(similarity.cols());
-    for j in 0..similarity.cols() {
-        let col = similarity.col(j);
-        let best = neurodeanon_linalg::vector::argmax(&col).ok_or(CoreError::InvalidParameter {
+    let rows = similarity.rows();
+    let mut out = vec![usize::MAX; similarity.cols()];
+    par::par_chunks_mut(&mut out, 1, rows, MATCH_PAR_THRESHOLD, |j, slot| {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..rows {
+            let v = similarity[(i, j)];
+            if v.is_nan() {
+                continue;
+            }
+            match best {
+                Some((_, bv)) if bv >= v => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        if let Some((bi, _)) = best {
+            slot[0] = bi;
+        }
+    });
+    if out.contains(&usize::MAX) {
+        return Err(CoreError::InvalidParameter {
             name: "similarity",
             reason: "a column is all NaN",
-        })?;
-        out.push(best);
+        });
     }
     Ok(out)
 }

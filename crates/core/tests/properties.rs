@@ -5,6 +5,7 @@ use neurodeanon_core::attack::{AttackConfig, DeanonAttack};
 use neurodeanon_core::defense::{evaluate_defense, signature_edges, DefensePlan};
 use neurodeanon_core::matching::{argmax_matching, hungarian_matching, matching_accuracy};
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_linalg::par::with_thread_count;
 use neurodeanon_linalg::{Matrix, Rng64};
 use neurodeanon_testkit::gen::{from_fn, u64_in, usize_in};
 use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
@@ -112,6 +113,27 @@ fn more_targeted_noise_never_helps_the_attacker() {
                 "accuracy rose under stronger defense: {:?}",
                 accs
             );
+        }
+    });
+}
+
+/// `linalg::par` determinism contract at the matching layer: the per-column
+/// argmax scan must return the identical prediction vector at any thread
+/// count, and must agree with the scalar per-column reference.
+#[test]
+fn argmax_matching_identical_across_thread_counts() {
+    forall!(Config::cases(8), (s in from_fn(|rng| {
+        Matrix::from_fn(300, 300, |_, _| rng.uniform_range(-1.0, 1.0))
+    })) => {
+        let reference = with_thread_count(1, || argmax_matching(&s).unwrap());
+        for t in [2usize, 8] {
+            let par = with_thread_count(t, || argmax_matching(&s).unwrap());
+            tk_assert_eq!(reference, par);
+        }
+        // Scalar reference: vector::argmax on each copied column.
+        for (j, &pred) in reference.iter().enumerate() {
+            let col = s.col(j);
+            tk_assert_eq!(pred, neurodeanon_linalg::vector::argmax(&col).unwrap());
         }
     });
 }

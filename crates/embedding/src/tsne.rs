@@ -8,8 +8,26 @@
 
 use crate::error::EmbeddingError;
 use crate::Result;
+use neurodeanon_linalg::par::{self, DisjointMut};
 use neurodeanon_linalg::vector::dist_sq;
 use neurodeanon_linalg::{Matrix, Rng64};
+
+/// Rows per tile for the pairwise Q/KL passes; small tiles keep the skewed
+/// triangle row lengths balanced across threads.
+const TSNE_ROW_TILE: usize = 8;
+
+/// Minimum pairwise work before the per-iteration t-SNE passes spawn
+/// threads. These passes run `n_iter` (typically hundreds of) times, so the
+/// threshold is lower than for one-shot kernels.
+const TSNE_PAR_THRESHOLD: usize = 1 << 15;
+
+/// Condensed (strict upper triangle, row-major) index of pair `(i, j)`,
+/// `i < j`.
+#[inline]
+fn cond_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
 
 /// t-SNE hyper-parameters; defaults follow van der Maaten & Hinton (2008).
 #[derive(Debug, Clone)]
@@ -130,6 +148,7 @@ pub fn tsne_from_distances(d2: &[f64], n: usize, config: &TsneConfig) -> Result<
 
     let mut kl_history = Vec::with_capacity(config.n_iter);
     let mut q = vec![0.0; n * (n - 1) / 2];
+    let mut grad = Matrix::zeros(n, dims);
 
     for iter in 0..config.n_iter {
         let exaggerate = if iter < config.exaggeration_iters {
@@ -138,41 +157,101 @@ pub fn tsne_from_distances(d2: &[f64], n: usize, config: &TsneConfig) -> Result<
             1.0
         };
         // Q from current embedding (Equation 11), unnormalized then summed.
-        let mut qsum = 0.0;
-        {
-            let mut idx = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let w = 1.0 / (1.0 + dist_sq(y.row(i), y.row(j)));
-                    q[idx] = w;
-                    qsum += 2.0 * w;
-                    idx += 1;
-                }
-            }
-        }
+        // Fixed row tiles fill disjoint condensed-triangle segments; the
+        // per-tile partial sums merge in tile order (par determinism
+        // contract), so qsum is bit-stable at any thread count.
+        let qsum = {
+            let yref = &y;
+            let qshare = DisjointMut::new(&mut q);
+            2.0 * par::par_reduce_tiles(
+                n,
+                TSNE_ROW_TILE,
+                n,
+                TSNE_PAR_THRESHOLD,
+                0.0f64,
+                |tile| {
+                    let mut local = 0.0;
+                    for i in tile.range() {
+                        if i + 1 >= n {
+                            continue;
+                        }
+                        // SAFETY: row i exclusively owns its condensed
+                        // segment [cond_index(i, i+1), +n−1−i).
+                        let qrow = unsafe { qshare.slice(cond_index(n, i, i + 1), n - 1 - i) };
+                        let yi = yref.row(i);
+                        for (o, j) in qrow.iter_mut().zip(i + 1..n) {
+                            let w = 1.0 / (1.0 + dist_sq(yi, yref.row(j)));
+                            *o = w;
+                            local += w;
+                        }
+                    }
+                    local
+                },
+                |acc, part| acc + part,
+            )
+        };
 
         // Gradient (Equation 12): dC/dyᵢ = 4 Σⱼ (pᵢⱼ − qᵢⱼ)(yᵢ − yⱼ)wᵢⱼ.
-        let mut grad = Matrix::zeros(n, dims);
-        let mut kl = 0.0;
-        let mut idx = 0;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let w = q[idx];
-                let qij = (w / qsum).max(1e-300);
-                let pij = p[idx];
-                let coeff = 4.0 * (exaggerate * pij - qij) * w;
-                for dcol in 0..dims {
-                    let diff = y[(i, dcol)] - y[(j, dcol)];
-                    grad[(i, dcol)] += coeff * diff;
-                    grad[(j, dcol)] -= coeff * diff;
-                }
-                if pij > 0.0 {
-                    // Both (i,j) and (j,i) contribute identically.
-                    kl += 2.0 * pij * (pij / qij).ln();
-                }
-                idx += 1;
-            }
+        // One embedding row per chunk: row i reads every pair (i, j) from
+        // both triangles and owns its own gradient row, so no cross-row
+        // accumulation races exist to begin with.
+        {
+            let yref = &y;
+            let pref = &p;
+            let qref = &q;
+            par::par_chunks_mut(
+                grad.as_mut_slice(),
+                dims,
+                n,
+                TSNE_PAR_THRESHOLD,
+                |i, grow| {
+                    grow.fill(0.0);
+                    let yi = yref.row(i);
+                    for j in 0..n {
+                        if j == i {
+                            continue;
+                        }
+                        let idx = cond_index(n, i.min(j), i.max(j));
+                        let w = qref[idx];
+                        let qij = (w / qsum).max(1e-300);
+                        let coeff = 4.0 * (exaggerate * pref[idx] - qij) * w;
+                        let yj = yref.row(j);
+                        for ((g, &yiv), &yjv) in grow.iter_mut().zip(yi).zip(yj) {
+                            *g += coeff * (yiv - yjv);
+                        }
+                    }
+                },
+            );
         }
+
+        // KL divergence over the same fixed row tiles, partials folded in
+        // tile order.
+        let kl = par::par_reduce_tiles(
+            n,
+            TSNE_ROW_TILE,
+            n,
+            TSNE_PAR_THRESHOLD,
+            0.0f64,
+            |tile| {
+                let mut local = 0.0;
+                for i in tile.range() {
+                    if i + 1 >= n {
+                        continue;
+                    }
+                    let base = cond_index(n, i, i + 1);
+                    let row = base..base + n - 1 - i;
+                    for (&pij, &w) in p[row.clone()].iter().zip(&q[row]) {
+                        if pij > 0.0 {
+                            let qij = (w / qsum).max(1e-300);
+                            // Both (i,j) and (j,i) contribute identically.
+                            local += 2.0 * pij * (pij / qij).ln();
+                        }
+                    }
+                }
+                local
+            },
+            |acc, part| acc + part,
+        );
         kl_history.push(kl);
 
         // Momentum + gains update (Algorithm 2 line 7).
@@ -212,13 +291,28 @@ pub fn tsne_from_distances(d2: &[f64], n: usize, config: &TsneConfig) -> Result<
 }
 
 /// Condensed (strict upper triangle, row-major) pairwise squared distances.
+///
+/// Parallel over fixed row tiles; each row writes its own disjoint segment
+/// of the condensed buffer, so output is identical at any thread count.
 pub fn pairwise_squared_distances(points: &Matrix) -> Vec<f64> {
     let n = points.rows();
-    let mut out = Vec::with_capacity(n * (n - 1) / 2);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            out.push(dist_sq(points.row(i), points.row(j)));
-        }
+    let dims = points.cols();
+    let mut out = vec![0.0; n * (n - 1) / 2];
+    if n < 2 {
+        return out;
+    }
+    {
+        let share = DisjointMut::new(&mut out);
+        par::par_tiles(n - 1, TSNE_ROW_TILE, n * dims, TSNE_PAR_THRESHOLD, |tile| {
+            for i in tile.range() {
+                // SAFETY: row i exclusively owns its condensed segment.
+                let orow = unsafe { share.slice(cond_index(n, i, i + 1), n - 1 - i) };
+                let pi = points.row(i);
+                for (o, j) in orow.iter_mut().zip(i + 1..n) {
+                    *o = dist_sq(pi, points.row(j));
+                }
+            }
+        });
     }
     out
 }
@@ -227,11 +321,7 @@ pub fn pairwise_squared_distances(points: &Matrix) -> Vec<f64> {
 /// calibrating σᵢ per point to the target perplexity by binary search.
 fn joint_probabilities(d2: &[f64], n: usize, perplexity: f64) -> Result<Vec<f64>> {
     let log_perp = perplexity.ln();
-    let cond_idx = |i: usize, j: usize| -> usize {
-        // Condensed index for i < j.
-        debug_assert!(i < j);
-        i * n - i * (i + 1) / 2 + (j - i - 1)
-    };
+    let cond_idx = |i: usize, j: usize| cond_index(n, i, j);
     // Conditional probabilities p_{j|i}, dense row storage.
     let mut cond = vec![0.0; n * n];
     for i in 0..n {

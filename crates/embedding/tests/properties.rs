@@ -3,6 +3,7 @@
 use neurodeanon_embedding::pca;
 use neurodeanon_embedding::quality::{continuity, trustworthiness};
 use neurodeanon_embedding::tsne::{pairwise_squared_distances, tsne, TsneConfig};
+use neurodeanon_linalg::par::with_thread_count;
 use neurodeanon_linalg::Matrix;
 use neurodeanon_testkit::gen::{matrix_in, u64_in, Gen};
 use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
@@ -79,5 +80,58 @@ fn tsne_output_shape_and_finiteness() {
         tk_assert!(out.embedding.is_finite());
         tk_assert_eq!(out.kl_history.len(), 60);
         tk_assert!(out.kl_history.iter().all(|k| k.is_finite() && *k >= -1e-9));
+    });
+}
+
+/// `linalg::par` determinism contract: the parallel distance and gradient
+/// passes must be bit-identical at any thread count. n = 150–200 points put
+/// the per-iteration pairwise work above the t-SNE parallel threshold.
+#[test]
+fn pairwise_distances_bitwise_across_thread_counts() {
+    forall!(Config::cases(4), (p in points(150, 10)) => {
+        let reference = with_thread_count(1, || pairwise_squared_distances(&p));
+        for t in [2usize, 8] {
+            let par = with_thread_count(t, || pairwise_squared_distances(&p));
+            tk_assert!(
+                reference.len() == par.len()
+                    && reference.iter().zip(&par).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "pairwise distances diverged at {t} threads"
+            );
+        }
+    });
+}
+
+#[test]
+fn tsne_embedding_bitwise_across_thread_counts() {
+    let cfg_tsne = TsneConfig {
+        output_dims: 4,
+        perplexity: 12.0,
+        n_iter: 40,
+        exaggeration_iters: 15,
+        momentum_switch: 20,
+        ..TsneConfig::default()
+    };
+    forall!(Config::cases(2), (p in points(200, 6)) => {
+        let reference = with_thread_count(1, || tsne(&p, &cfg_tsne).unwrap());
+        for t in [2usize, 8] {
+            let par = with_thread_count(t, || tsne(&p, &cfg_tsne).unwrap());
+            tk_assert!(
+                reference
+                    .embedding
+                    .as_slice()
+                    .iter()
+                    .zip(par.embedding.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "t-SNE embedding diverged at {t} threads"
+            );
+            tk_assert!(
+                reference
+                    .kl_history
+                    .iter()
+                    .zip(&par.kl_history)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "t-SNE KL history diverged at {t} threads"
+            );
+        }
     });
 }

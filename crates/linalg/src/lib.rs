@@ -23,6 +23,9 @@
 //!   matrices.
 //! * [`rng`] — a small deterministic xoshiro256++ RNG with Gaussian sampling,
 //!   so the whole reproduction is seed-reproducible end to end.
+//! * [`par`] — dependency-free scoped parallel-for layer with a hard
+//!   determinism contract (fixed tile boundaries, fixed merge order), shared
+//!   by every multi-threaded kernel in the workspace.
 //!
 //! All fallible operations return [`LinalgError`] instead of panicking, per
 //! the workspace convention that library code never aborts on bad input.
@@ -31,6 +34,7 @@ pub mod cholesky;
 pub mod eigen;
 pub mod error;
 pub mod matrix;
+pub mod par;
 pub mod pinv;
 pub mod qr;
 pub mod rng;

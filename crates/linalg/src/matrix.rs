@@ -8,7 +8,7 @@
 //! the paper tractable on a laptop.
 
 use crate::error::LinalgError;
-use crate::Result;
+use crate::{par, Result};
 
 /// Default cache block edge for the blocked matmul kernel.
 ///
@@ -17,9 +17,26 @@ use crate::Result;
 /// targets.
 const BLOCK: usize = 64;
 
-/// Minimum number of scalar multiply-adds before the matmul kernel bothers
-/// spawning threads; below this the spawn overhead dominates.
-const PAR_THRESHOLD: usize = 1 << 22;
+/// Minimum number of scalar multiply-adds before `matmul` tiles across
+/// threads; below this the spawn overhead dominates.
+const MATMUL_PAR_THRESHOLD: usize = par::DEFAULT_PAR_THRESHOLD;
+
+/// Rows per matmul output tile. Tile boundaries are fixed by shape alone
+/// (determinism contract), so this also bounds load imbalance.
+const MATMUL_ROW_TILE: usize = 16;
+
+/// Columns per matmul output tile on the single-row (`m == 1`) path, where
+/// wide `1×k · k×n` products tile over output columns instead of rows.
+const MATMUL_COL_TILE: usize = 256;
+
+/// Rows of `self` per Gram partial panel. Each panel accumulates a private
+/// upper-triangle `n × n` partial; partials merge in fixed panel order.
+const GRAM_ROW_PANEL: usize = 512;
+
+/// Minimum `m · n² / 2` work before `gram` goes parallel. Lower than the
+/// matmul threshold because the panel partials are cheap to merge when `n`
+/// is small (the paper's group matrices have n = 100).
+const GRAM_PAR_THRESHOLD: usize = 1 << 20;
 
 /// An owned, row-major dense matrix of `f64`.
 ///
@@ -287,8 +304,9 @@ impl Matrix {
     }
 
     /// Matrix product `self * rhs` using a cache-blocked kernel, parallel
-    /// over row panels when the product is large enough to amortize thread
-    /// spawn cost.
+    /// over fixed row tiles (column tiles for single-row products) when the
+    /// work is large enough to amortize thread spawn cost. Results are
+    /// bit-identical at any thread count ([`crate::par`] contract).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
@@ -299,24 +317,39 @@ impl Matrix {
         }
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        let work = m * k * n;
-        let threads = available_threads();
-        if work >= PAR_THRESHOLD && threads > 1 && m >= 2 {
-            let rows_per = m.div_ceil(threads);
-            let a = &self.data;
-            let b = &rhs.data;
-            let chunks: Vec<&mut [f64]> = out.data.chunks_mut(rows_per * n).collect();
-            std::thread::scope(|s| {
-                for (t, chunk) in chunks.into_iter().enumerate() {
-                    let row0 = t * rows_per;
-                    s.spawn(move || {
-                        let local_rows = chunk.len() / n;
-                        matmul_panel(&a[row0 * k..(row0 + local_rows) * k], b, chunk, k, n);
-                    });
-                }
-            });
+        if out.is_empty() {
+            return Ok(out);
+        }
+        let a = &self.data;
+        let b = &rhs.data;
+        if m >= 2 {
+            // Tile over fixed row panels of the output. Each output element
+            // accumulates over k in the same order regardless of how panels
+            // are distributed, so results are bit-identical at any thread
+            // count (see `par`'s determinism contract).
+            par::par_chunks_mut(
+                &mut out.data,
+                MATMUL_ROW_TILE * n,
+                k,
+                MATMUL_PAR_THRESHOLD,
+                |tile, chunk| {
+                    let row0 = tile * MATMUL_ROW_TILE;
+                    let rows = chunk.len() / n;
+                    matmul_panel(&a[row0 * k..(row0 + rows) * k], b, chunk, k, n);
+                },
+            );
         } else {
-            matmul_panel(&self.data, &rhs.data, &mut out.data, k, n);
+            // A single output row can't tile over rows; wide 1×k · k×n
+            // products (leverage-score probes) tile over output columns.
+            par::par_chunks_mut(
+                &mut out.data,
+                MATMUL_COL_TILE,
+                k,
+                MATMUL_PAR_THRESHOLD,
+                |tile, chunk| {
+                    matmul_col_panel(a, b, chunk, tile * MATMUL_COL_TILE, k, n);
+                },
+            );
         }
         Ok(out)
     }
@@ -329,21 +362,47 @@ impl Matrix {
     pub fn gram(&self) -> Matrix {
         let (m, n) = (self.rows, self.cols);
         let mut g = Matrix::zeros(n, n);
-        // Accumulate rank-1 updates row by row: G += a_r a_rᵀ. Row-major
-        // access keeps this sequential over `self.data`.
-        for r in 0..m {
-            let row = &self.data[r * n..(r + 1) * n];
-            for i in 0..n {
-                let ri = row[i];
-                if ri == 0.0 {
-                    continue;
-                }
-                let grow = &mut g.data[i * n..(i + 1) * n];
-                for j in i..n {
-                    grow[j] += ri * row[j];
-                }
-            }
+        if m == 0 || n == 0 {
+            return g;
         }
+        let a = &self.data;
+        // Fixed row panels each accumulate a private upper-triangle n × n
+        // partial (rank-1 updates in row order within the panel); partials
+        // are then added elementwise in panel order, so the merge tree is
+        // identical at any thread count.
+        let upper = par::par_reduce_tiles(
+            m,
+            GRAM_ROW_PANEL,
+            n * n / 2 + 1,
+            GRAM_PAR_THRESHOLD,
+            vec![0.0f64; n * n],
+            |tile| {
+                let mut part = vec![0.0f64; n * n];
+                for r in tile.range() {
+                    let row = &a[r * n..(r + 1) * n];
+                    for i in 0..n {
+                        let ri = row[i];
+                        // No `ri == 0.0` skip here: BOLD-derived group
+                        // matrices are dense, so the branch is a
+                        // misprediction per element, not a saving. Sparse
+                        // inputs would want a dedicated sparse kernel, not a
+                        // per-element test on this one.
+                        let grow = &mut part[i * n..(i + 1) * n];
+                        for j in i..n {
+                            grow[j] += ri * row[j];
+                        }
+                    }
+                }
+                part
+            },
+            |mut acc, part| {
+                for (av, pv) in acc.iter_mut().zip(&part) {
+                    *av += pv;
+                }
+                acc
+            },
+        );
+        g.data = upper;
         // Mirror the upper triangle into the lower.
         for i in 0..n {
             for j in (i + 1)..n {
@@ -568,12 +627,22 @@ fn matmul_panel(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
     }
 }
 
-/// Number of worker threads to use for parallel kernels.
-pub(crate) fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+/// Serial kernel computing one output-column panel of a single-row product:
+/// `out[j - c0] = Σ_k a[k] * b[k][c0 + j]` for columns `c0 .. c0 + out.len()`.
+///
+/// Accumulation runs k-ascending exactly like [`matmul_panel`], so splitting
+/// the row into column panels cannot change any output bit.
+fn matmul_col_panel(a: &[f64], b: &[f64], out: &mut [f64], c0: usize, k: usize, n: usize) {
+    let w = out.len();
+    for (kk, &aik) in a.iter().enumerate().take(k) {
+        if aik == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n + c0..kk * n + c0 + w];
+        for (o, &bv) in out.iter_mut().zip(brow) {
+            *o += aik * bv;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,24 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::par::{self, DisjointMut};
+use crate::vector::dot;
 use crate::Result;
+
+/// Minimum element count before `zscore_rows` spreads rows over threads;
+/// z-scoring is two cheap streaming passes, so the bar is low but nonzero.
+const ZSCORE_PAR_THRESHOLD: usize = 1 << 16;
+
+/// Edge of the square row-pair blocks `correlation_matrix` tiles the upper
+/// triangle into. 32 × 32 output blocks over a shared `regions × time`
+/// operand keep both row streams cache-resident.
+const CORR_TILE: usize = 32;
+
+/// Minimum multiply-add count before `correlation_matrix` goes parallel.
+const CORR_PAR_THRESHOLD: usize = 1 << 20;
+
+/// Minimum multiply-add count before `cross_correlation` goes parallel.
+const CROSS_PAR_THRESHOLD: usize = 1 << 20;
 
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
@@ -103,10 +120,17 @@ pub fn zscore_in_place(xs: &mut [f64]) {
 }
 
 /// Z-scores every row of a matrix in place (each row treated as one series).
+///
+/// Rows are independent, so this parallelizes one row per chunk; each row is
+/// normalized by the same sequential two-pass kernel at any thread count.
 pub fn zscore_rows(m: &mut Matrix) {
-    for r in 0..m.rows() {
-        zscore_in_place(m.row_mut(r));
+    let cols = m.cols();
+    if cols == 0 {
+        return;
     }
+    par::par_chunks_mut(m.as_mut_slice(), cols, 2, ZSCORE_PAR_THRESHOLD, |_, row| {
+        zscore_in_place(row)
+    });
 }
 
 /// Pearson correlation coefficient of two equal-length series.
@@ -165,15 +189,56 @@ pub fn correlation_matrix(m: &Matrix) -> Result<Matrix> {
     let mut z = m.clone();
     zscore_rows(&mut z);
     // corr = Z Zᵀ / T  (population normalization matches zscore_in_place).
-    let zt = z.transpose();
-    let mut c = z.matmul(&zt)?;
-    c.scale_mut(1.0 / m.cols() as f64);
-    // Exact ones on the diagonal, clamp rounding noise elsewhere.
-    let n = c.rows();
+    // Symmetry means only the upper triangle is computed: the triangle is
+    // tiled into fixed CORR_TILE × CORR_TILE row-pair blocks, each block
+    // writing a disjoint region of the output, so block scheduling cannot
+    // change a single bit.
+    let n = z.rows();
+    let t_len = z.cols();
+    let inv_t = 1.0 / t_len as f64;
+    let n_blocks = n.div_ceil(CORR_TILE);
+    let mut blocks: Vec<(usize, usize)> = Vec::with_capacity(n_blocks * (n_blocks + 1) / 2);
+    for bi in 0..n_blocks {
+        for bj in bi..n_blocks {
+            blocks.push((bi, bj));
+        }
+    }
+    let mut c = Matrix::zeros(n, n);
+    {
+        let zref = &z;
+        let cdata = DisjointMut::new(c.as_mut_slice());
+        par::par_tiles(
+            blocks.len(),
+            1,
+            CORR_TILE * CORR_TILE * t_len,
+            CORR_PAR_THRESHOLD,
+            |tile| {
+                for &(bi, bj) in &blocks[tile.range()] {
+                    let (i0, i1) = (bi * CORR_TILE, ((bi + 1) * CORR_TILE).min(n));
+                    let (j0, j1) = (bj * CORR_TILE, ((bj + 1) * CORR_TILE).min(n));
+                    for i in i0..i1 {
+                        let jlo = j0.max(i);
+                        if jlo >= j1 {
+                            continue;
+                        }
+                        let zi = zref.row(i);
+                        // SAFETY: block (bi, bj) exclusively owns the
+                        // upper-triangle output range [i*n+jlo, i*n+j1).
+                        let crow = unsafe { cdata.slice(i * n + jlo, j1 - jlo) };
+                        for (o, j) in crow.iter_mut().zip(jlo..j1) {
+                            *o = dot(zi, zref.row(j)) * inv_t;
+                        }
+                    }
+                }
+            },
+        );
+    }
+    // Sequential fixup: exact ones on the diagonal, clamp rounding noise
+    // elsewhere, mirror the upper triangle into the lower.
     for i in 0..n {
-        for j in 0..n {
+        for j in i..n {
             let v = c[(i, j)].clamp(-1.0, 1.0);
-            c[(i, j)] = if i == j {
+            let v = if i == j {
                 // A zero-variance row z-scored to zeros has self-corr 0.
                 if v == 0.0 {
                     0.0
@@ -183,6 +248,8 @@ pub fn correlation_matrix(m: &Matrix) -> Result<Matrix> {
             } else {
                 v
             };
+            c[(i, j)] = v;
+            c[(j, i)] = v;
         }
     }
     Ok(c)
@@ -206,16 +273,39 @@ pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             op: "cross_correlation",
         });
     }
-    // Z-score columns of both, then out = Aᵀ B / rows.
-    let mut az = a.transpose();
-    let mut bz = b.transpose();
-    zscore_rows(&mut az);
-    zscore_rows(&mut bz);
-    let mut out = az.matmul(&bz.transpose())?;
-    out.scale_mut(1.0 / a.rows() as f64);
-    for v in out.as_mut_slice() {
-        *v = v.clamp(-1.0, 1.0);
-    }
+    // Z-score columns of both (as rows of the transposes, prepared on two
+    // threads — the operands are independent), then out = Aᵀ B / rows.
+    let (az, bz) = par::par_join(
+        || {
+            let mut az = a.transpose();
+            zscore_rows(&mut az);
+            az
+        },
+        || {
+            let mut bz = b.transpose();
+            zscore_rows(&mut bz);
+            bz
+        },
+    );
+    let t_len = a.rows();
+    let inv = 1.0 / t_len as f64;
+    let bcols = bz.rows();
+    let mut out = Matrix::zeros(az.rows(), bcols);
+    // One output row per chunk: row i correlates subject i of `a` against
+    // every subject of `b`, reading shared z-scored operands and writing a
+    // disjoint row — the similarity matrix the matching step consumes.
+    par::par_chunks_mut(
+        out.as_mut_slice(),
+        bcols,
+        t_len,
+        CROSS_PAR_THRESHOLD,
+        |i, orow| {
+            let ai = az.row(i);
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = (dot(ai, bz.row(j)) * inv).clamp(-1.0, 1.0);
+            }
+        },
+    );
     Ok(out)
 }
 

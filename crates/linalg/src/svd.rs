@@ -17,10 +17,18 @@
 use crate::eigen::sym_eigen;
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::par::{self, DisjointMut};
+use crate::vector::{dot, norm2_sq};
 use crate::Result;
 
 /// Maximum one-sided Jacobi sweeps.
 const MAX_SWEEPS: usize = 60;
+
+/// Minimum per-round work (pairs × 8·column length) before one Jacobi round
+/// spawns threads. Rounds run many times per sweep, so the bar is lower than
+/// for one-shot kernels but still high enough that small matrices (the common
+/// connectome case) stay on the inline path.
+const JACOBI_PAR_THRESHOLD: usize = 1 << 16;
 
 /// Relative threshold below which singular values are treated as zero when
 /// forming `U` columns (they get a zero column instead of `A v / σ` blowup).
@@ -136,59 +144,117 @@ fn gram_svd(a: &Matrix) -> Result<Svd> {
     Ok(Svd { u, sigma, v })
 }
 
+/// Round-robin ("circle method") Jacobi ordering for `n` columns: `n − 1`
+/// rounds (`n` for odd `n`, one index sitting out per round) of `⌊n/2⌋`
+/// pairs, every unordered pair appearing exactly once across the rounds and
+/// the pairs within one round touching pairwise-disjoint columns.
+///
+/// Disjointness is what makes a round safe to execute in parallel without
+/// changing any bit: rotations in the same round read and write different
+/// columns, so their order cannot matter.
+fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    // Pad odd n with a dummy index; pairs touching it are dropped.
+    let nn = if n % 2 == 0 { n } else { n + 1 };
+    let mut arr: Vec<usize> = (0..nn).collect();
+    let mut rounds = Vec::with_capacity(nn - 1);
+    for _ in 0..nn - 1 {
+        let mut round = Vec::with_capacity(nn / 2);
+        for i in 0..nn / 2 {
+            let (a, b) = (arr[i], arr[nn - 1 - i]);
+            if a < n && b < n {
+                round.push((a.min(b), a.max(b)));
+            }
+        }
+        rounds.push(round);
+        // Rotate every position except arr[0] one step clockwise.
+        arr[1..].rotate_right(1);
+    }
+    rounds
+}
+
 /// One-sided Jacobi SVD: rotate column pairs of `W` (a copy of `A`) until all
 /// pairs are orthogonal; then `σ_j = ‖w_j‖`, `u_j = w_j/σ_j`, and `V`
 /// accumulates the rotations.
+///
+/// Works on column-major copies (`wt` holds `Wᵀ`, so column `c` of `W` is the
+/// contiguous row `c` of `wt`) and visits pairs in [`round_robin_rounds`]
+/// order: each round's pairs touch disjoint columns, so the round runs in
+/// parallel with bit-identical results at any thread count.
 fn jacobi_svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
-    let mut w = a.clone();
-    let mut v = Matrix::identity(n);
+    let mut wt = a.transpose();
+    let mut vt = Matrix::identity(n);
     // Convergence threshold for column-pair orthogonality. Tighter values
     // can cycle forever on degenerate inputs (repeated rows/columns) where
     // rounding keeps |a_pq| hovering a few ulps above machine epsilon.
     let eps = 1e-12;
+    // Columns whose squared norm falls below ε²·‖A‖²_F are numerically zero:
+    // rotations preserve the Frobenius norm, and near-duplicate columns decay
+    // toward denormals while staying ~100% correlated with a live column, so
+    // the relative `apq` test alone never fires and the sweep cycles forever.
+    // Such columns carry σ ≤ ε·‖A‖_F, far below RANK_TOL, so skipping them
+    // cannot change the extracted factors.
+    let fro2: f64 = wt.as_slice().iter().map(|x| x * x).sum();
+    let col_floor = f64::EPSILON * f64::EPSILON * fro2;
+    let rounds = round_robin_rounds(n);
 
-    let mut converged = false;
+    let mut converged = n < 2;
     for _sweep in 0..MAX_SWEEPS {
         let mut rotated = false;
-        for p in 0..n {
-            for q in (p + 1)..n {
-                // Compute the 2×2 Gram block of columns p, q.
-                let mut app = 0.0;
-                let mut aqq = 0.0;
-                let mut apq = 0.0;
-                for r in 0..m {
-                    let wp = w[(r, p)];
-                    let wq = w[(r, q)];
-                    app += wp * wp;
-                    aqq += wq * wq;
-                    apq += wp * wq;
-                }
-                if apq == 0.0 || app == 0.0 || aqq == 0.0 || apq.abs() <= eps * (app * aqq).sqrt() {
-                    continue;
-                }
-                rotated = true;
-                let theta = (aqq - app) / (2.0 * apq);
-                let t = if theta >= 0.0 {
-                    1.0 / (theta + (1.0 + theta * theta).sqrt())
-                } else {
-                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
-                };
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = t * c;
-                for r in 0..m {
-                    let wp = w[(r, p)];
-                    let wq = w[(r, q)];
-                    w[(r, p)] = c * wp - s * wq;
-                    w[(r, q)] = s * wp + c * wq;
-                }
-                for r in 0..n {
-                    let vp = v[(r, p)];
-                    let vq = v[(r, q)];
-                    v[(r, p)] = c * vp - s * vq;
-                    v[(r, q)] = s * vp + c * vq;
-                }
+        for round in &rounds {
+            let mut flags = vec![0u8; round.len()];
+            {
+                let wshare = DisjointMut::new(wt.as_mut_slice());
+                let vshare = DisjointMut::new(vt.as_mut_slice());
+                let fshare = DisjointMut::new(&mut flags);
+                par::par_tiles(round.len(), 1, 8 * m, JACOBI_PAR_THRESHOLD, |tile| {
+                    for pi in tile.range() {
+                        let (p, q) = round[pi];
+                        // SAFETY: pairs within a round touch pairwise-
+                        // disjoint columns and each pair index belongs to
+                        // exactly one tile, so all these regions are owned
+                        // exclusively by this iteration.
+                        let wp = unsafe { wshare.slice(p * m, m) };
+                        let wq = unsafe { wshare.slice(q * m, m) };
+                        // The 2×2 Gram block of columns p, q.
+                        let app = norm2_sq(wp);
+                        let aqq = norm2_sq(wq);
+                        let apq = dot(wp, wq);
+                        if apq == 0.0
+                            || app <= col_floor
+                            || aqq <= col_floor
+                            || apq.abs() <= eps * (app * aqq).sqrt()
+                        {
+                            continue;
+                        }
+                        unsafe { *fshare.get(pi) = 1 };
+                        let theta = (aqq - app) / (2.0 * apq);
+                        let t = if theta >= 0.0 {
+                            1.0 / (theta + (1.0 + theta * theta).sqrt())
+                        } else {
+                            -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                        };
+                        let c = 1.0 / (1.0 + t * t).sqrt();
+                        let s = t * c;
+                        for (x, y) in wp.iter_mut().zip(wq.iter_mut()) {
+                            let (wpv, wqv) = (*x, *y);
+                            *x = c * wpv - s * wqv;
+                            *y = s * wpv + c * wqv;
+                        }
+                        let vp = unsafe { vshare.slice(p * n, n) };
+                        let vq = unsafe { vshare.slice(q * n, n) };
+                        for (x, y) in vp.iter_mut().zip(vq.iter_mut()) {
+                            let (vpv, vqv) = (*x, *y);
+                            *x = c * vpv - s * vqv;
+                            *y = s * vpv + c * vqv;
+                        }
+                    }
+                });
             }
+            rotated |= flags.iter().any(|&f| f != 0);
         }
         if !rotated {
             converged = true;
@@ -202,38 +268,35 @@ fn jacobi_svd(a: &Matrix) -> Result<Svd> {
         });
     }
 
-    // Extract singular values and normalize U columns.
-    let mut sigma: Vec<f64> = (0..n)
-        .map(|c| {
-            let mut s = 0.0;
-            for r in 0..m {
-                s += w[(r, c)] * w[(r, c)];
-            }
-            s.sqrt()
-        })
-        .collect();
-    // Sort descending, permuting U and V columns consistently.
+    // Extract singular values (column norms = row norms of wt) and sort
+    // descending, permuting U and V consistently (row selects on the
+    // transposed copies).
+    let mut sigma: Vec<f64> = (0..n).map(|c| norm2_sq(wt.row(c)).sqrt()).collect();
     let order = crate::vector::argsort_desc(&sigma);
-    let w = w.select_cols(&order)?;
-    let v = v.select_cols(&order)?;
+    let mut ut = wt.select_rows(&order)?;
+    let vt = vt.select_rows(&order)?;
     sigma = order.iter().map(|&i| sigma[i]).collect();
 
     let smax = sigma.first().copied().unwrap_or(0.0);
     let tol = RANK_TOL * smax.max(f64::MIN_POSITIVE) * (m as f64).sqrt();
-    let mut u = w;
     for c in 0..n {
+        let urow = ut.row_mut(c);
         if sigma[c] > tol {
             let inv = 1.0 / sigma[c];
-            for r in 0..m {
-                u[(r, c)] *= inv;
+            for x in urow {
+                *x *= inv;
             }
         } else {
-            for r in 0..m {
-                u[(r, c)] = 0.0;
+            for x in urow {
+                *x = 0.0;
             }
         }
     }
-    Ok(Svd { u, sigma, v })
+    Ok(Svd {
+        u: ut.transpose(),
+        sigma,
+        v: vt.transpose(),
+    })
 }
 
 /// Leverage scores of the rows of `a`: `ℓᵢ = ‖Uᵢ,⋆‖²` where `U` holds the
@@ -284,6 +347,44 @@ mod tests {
         // V orthonormal.
         let vtv = f.v.transpose().matmul(&f.v).unwrap();
         assert!(vtv.sub(&Matrix::identity(a.cols())).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn round_robin_covers_every_pair_once_disjointly() {
+        for n in [2usize, 3, 4, 5, 8, 9] {
+            let rounds = round_robin_rounds(n);
+            let mut seen = std::collections::HashSet::new();
+            for round in &rounds {
+                let mut cols = std::collections::HashSet::new();
+                for &(p, q) in round {
+                    assert!(p < q && q < n);
+                    // Disjoint columns within one round.
+                    assert!(cols.insert(p) && cols.insert(q), "n={n}");
+                    assert!(seen.insert((p, q)), "pair repeated for n={n}");
+                }
+            }
+            assert_eq!(seen.len(), n * (n - 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn jacobi_converges_on_duplicate_row_sketch() {
+        // Regression: this rank-2 uniform-sampling sketch (three identical
+        // rows) sent the round-robin sweep into a rotation cycle — the dying
+        // duplicate columns decayed to denormals while staying fully
+        // correlated with a live column, so the relative skip test alone
+        // never fired. The ε²·‖A‖²_F column floor breaks the cycle.
+        let v = 0.2738612787525831;
+        let a = Matrix::from_rows(&[
+            &[v, v, v, v],
+            &[v, v, v, v],
+            &[0.0, 0.0, 16.431676725154983, 10.954451150103322],
+            &[v, v, v, v],
+        ])
+        .unwrap();
+        let f = jacobi_svd(&a).unwrap();
+        assert_eq!(f.rank(), 2);
+        assert!(a.sub(&f.reconstruct().unwrap()).unwrap().max_abs() < 1e-9);
     }
 
     #[test]

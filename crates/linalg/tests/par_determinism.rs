@@ -1,0 +1,138 @@
+//! Determinism contract of `linalg::par`: every parallel kernel must return
+//! **bit-identical** results at any thread count.
+//!
+//! Each property computes a reference result with the thread count forced to
+//! 1 and re-runs the same kernel at 2 and 8 threads (oversubscribing the
+//! host if needed — `with_thread_count` permits that deliberately), comparing
+//! outputs with `f64::to_bits`, not a tolerance. Shapes are chosen so the
+//! work sizes actually cross each kernel's parallel threshold; a dedicated
+//! case pins the behavior just below and just above the matmul cutoff.
+
+use neurodeanon_linalg::matrix::Matrix;
+use neurodeanon_linalg::par::with_thread_count;
+use neurodeanon_linalg::stats::{correlation_matrix, cross_correlation};
+use neurodeanon_linalg::svd::thin_svd;
+use neurodeanon_testkit::gen::matrix_in;
+use neurodeanon_testkit::{forall, tk_assert, Config};
+
+/// Thread counts every kernel is exercised at (1 is the reference).
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+fn bits_equal(a: &Matrix, b: &Matrix) -> bool {
+    a.shape() == b.shape()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn vec_bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn matmul_bitwise_across_thread_counts() {
+    // 160 · 170 · 160 ≈ 4.35M multiply-adds: above the 1 << 22 cutoff.
+    forall!(Config::cases(4), (a in matrix_in(160, 170, -5.0, 5.0),
+                               b in matrix_in(170, 160, -5.0, 5.0)) => {
+        let reference = with_thread_count(1, || a.matmul(&b).unwrap());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || a.matmul(&b).unwrap());
+            tk_assert!(bits_equal(&reference, &par), "matmul diverged at {t} threads");
+        }
+    });
+}
+
+#[test]
+fn matmul_bitwise_at_threshold_boundary() {
+    // 128 · 128 · 255 = 4,177,920 sits just below the 1 << 22 = 4,194,304
+    // cutoff (inline path); 128 · 128 · 257 = 4,210,688 just above it
+    // (parallel path). Both must agree with the 1-thread run bit-for-bit.
+    forall!(Config::cases(3), (a in matrix_in(128, 128, -3.0, 3.0),
+                               below in matrix_in(128, 255, -3.0, 3.0),
+                               above in matrix_in(128, 257, -3.0, 3.0)) => {
+        for b in [&below, &above] {
+            let reference = with_thread_count(1, || a.matmul(b).unwrap());
+            for t in THREAD_COUNTS {
+                let par = with_thread_count(t, || a.matmul(b).unwrap());
+                tk_assert!(bits_equal(&reference, &par),
+                           "matmul boundary ({}x{}) diverged at {t} threads",
+                           b.rows(), b.cols());
+            }
+        }
+    });
+}
+
+#[test]
+fn single_row_matmul_tiles_over_columns_bitwise() {
+    // 1 × 2000 · 2000 × 4000 = 8M multiply-adds: the old `m >= 2` guard
+    // forced this wide product onto one thread; it now tiles over output
+    // columns and must still be exact.
+    forall!(Config::cases(3), (a in matrix_in(1, 2000, -2.0, 2.0),
+                               b in matrix_in(2000, 4000, -2.0, 2.0)) => {
+        let reference = with_thread_count(1, || a.matmul(&b).unwrap());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || a.matmul(&b).unwrap());
+            tk_assert!(bits_equal(&reference, &par),
+                       "column-tiled matmul diverged at {t} threads");
+        }
+    });
+}
+
+#[test]
+fn gram_bitwise_across_thread_counts() {
+    // 1200 rows → three 512-row panels; 1200 · (50²/2 + 1) ≈ 1.5M crosses
+    // the gram threshold.
+    forall!(Config::cases(4), (a in matrix_in(1200, 50, -4.0, 4.0)) => {
+        let reference = with_thread_count(1, || a.gram());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || a.gram());
+            tk_assert!(bits_equal(&reference, &par), "gram diverged at {t} threads");
+        }
+    });
+}
+
+#[test]
+fn correlation_matrix_bitwise_across_thread_counts() {
+    // 80 series → 6 upper-triangle 32×32 blocks over 500 time points.
+    forall!(Config::cases(4), (m in matrix_in(80, 500, -6.0, 6.0)) => {
+        let reference = with_thread_count(1, || correlation_matrix(&m).unwrap());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || correlation_matrix(&m).unwrap());
+            tk_assert!(bits_equal(&reference, &par),
+                       "correlation_matrix diverged at {t} threads");
+        }
+    });
+}
+
+#[test]
+fn cross_correlation_bitwise_across_thread_counts() {
+    // 2000 observations exercise both the parallel z-score path
+    // (40 · 2000 > 2¹⁶) and the parallel similarity rows (1200 · 2000 > 2²⁰).
+    forall!(Config::cases(3), (a in matrix_in(2000, 40, -3.0, 3.0),
+                               b in matrix_in(2000, 30, -3.0, 3.0)) => {
+        let reference = with_thread_count(1, || cross_correlation(&a, &b).unwrap());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || cross_correlation(&a, &b).unwrap());
+            tk_assert!(bits_equal(&reference, &par),
+                       "cross_correlation diverged at {t} threads");
+        }
+    });
+}
+
+#[test]
+fn jacobi_svd_bitwise_across_thread_counts() {
+    // 300 × 160 has m < 2n, forcing the Jacobi route; each round-robin round
+    // holds 80 disjoint pairs at 8 · 300 work each, crossing the Jacobi
+    // threshold.
+    forall!(Config::cases(2), (a in matrix_in(300, 160, -2.0, 2.0)) => {
+        let reference = with_thread_count(1, || thin_svd(&a).unwrap());
+        for t in THREAD_COUNTS {
+            let par = with_thread_count(t, || thin_svd(&a).unwrap());
+            tk_assert!(vec_bits_equal(&reference.sigma, &par.sigma),
+                       "jacobi sigma diverged at {t} threads");
+            tk_assert!(bits_equal(&reference.u, &par.u), "jacobi U diverged at {t} threads");
+            tk_assert!(bits_equal(&reference.v, &par.v), "jacobi V diverged at {t} threads");
+        }
+    });
+}

@@ -16,7 +16,16 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> cargo build --release --offline"
 cargo build --release --offline
 
-echo "==> cargo test -q --offline"
+# The parallel kernels promise bit-identical results at any thread count
+# (linalg::par determinism contract), so the whole suite must pass both
+# single-threaded and at the default thread count.
+echo "==> NEURODEANON_THREADS=1 cargo test -q --offline"
+NEURODEANON_THREADS=1 cargo test -q --offline
+
+echo "==> cargo test -q --offline (default threads)"
 cargo test -q --offline
+
+echo "==> cargo check --benches --features criterion-bench --offline"
+cargo check -p neurodeanon-bench --benches --features criterion-bench --offline
 
 echo "CI green."
