@@ -12,7 +12,7 @@
 //! cohort first, so the tool can be tried without data.
 
 use neurodeanon_connectome::io::{read_group_csv, write_group_csv};
-use neurodeanon_core::attack::{AttackConfig, DeanonAttack, MatchRule};
+use neurodeanon_core::attack::{AttackConfig, AttackPlan, MatchRule};
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
 use std::path::PathBuf;
 
@@ -91,14 +91,17 @@ fn main() {
         anon.n_subjects()
     );
 
-    let attack = DeanonAttack::new(AttackConfig {
-        n_features,
-        match_rule: rule,
-        ..Default::default()
-    })
+    let mut plan = AttackPlan::prepare(
+        known,
+        AttackConfig {
+            n_features,
+            match_rule: rule,
+            ..Default::default()
+        },
+    )
     .unwrap_or_else(|e| fail(&e.to_string()));
-    let outcome = attack
-        .run(&known, &anon)
+    let outcome = plan
+        .run_against(&anon)
         .unwrap_or_else(|e| fail(&e.to_string()));
 
     println!("record,predicted_identity,similarity");
@@ -106,7 +109,7 @@ fn main() {
         println!(
             "{},{},{:.4}",
             anon.subject_ids()[j],
-            known.subject_ids()[i],
+            plan.known().subject_ids()[i],
             outcome.similarity[(i, j)]
         );
     }

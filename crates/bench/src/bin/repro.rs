@@ -36,8 +36,8 @@ fn main() {
         match arg.as_str() {
             "--scale" => {
                 let v = it.next().expect("--scale needs a value");
-                scale = Scale::parse(v).unwrap_or_else(|| {
-                    eprintln!("unknown scale `{v}`; use small|paper");
+                scale = Scale::parse(v).unwrap_or_else(|e| {
+                    eprintln!("{e}");
                     std::process::exit(2);
                 });
             }

@@ -17,12 +17,16 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `"small"` / `"paper"`.
-    pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "small" => Some(Scale::Small),
-            "paper" => Some(Scale::Paper),
-            _ => None,
+    /// Parses a preset name, case-insensitively (`"small"`, `"Paper"`, …).
+    /// Unknown names return an error message listing the valid presets, so
+    /// CLI callers can print it verbatim instead of synthesizing their own.
+    pub fn parse(s: &str) -> Result<Scale, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Ok(Scale::Small),
+            "paper" => Ok(Scale::Paper),
+            _ => Err(format!(
+                "unknown scale `{s}`; valid presets are: small, paper"
+            )),
         }
     }
 
@@ -64,10 +68,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_known_values() {
-        assert_eq!(Scale::parse("small"), Some(Scale::Small));
-        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
-        assert_eq!(Scale::parse("huge"), None);
+    fn parse_known_values_case_insensitively() {
+        assert_eq!(Scale::parse("small"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
+        assert_eq!(Scale::parse("SMALL"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("Paper"), Ok(Scale::Paper));
+        let err = Scale::parse("huge").unwrap_err();
+        assert!(err.contains("huge"), "{err}");
+        assert!(err.contains("small") && err.contains("paper"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!   and reports residual identification accuracy plus the fraction of the
 //!   connectome left untouched (a proxy for downstream-analysis utility).
 
-use crate::attack::{AttackConfig, DeanonAttack};
+use crate::attack::{AttackConfig, AttackPlan};
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_linalg::{Matrix, Rng64};
@@ -82,6 +82,11 @@ pub fn perturb_edges(
 
 /// Evaluates a defense: runs the attack on the original and the defended
 /// release and reports residual accuracy plus untouched-feature fraction.
+///
+/// Prepares a fresh [`AttackPlan`] for the known group. Sweeps that
+/// evaluate many defenses against the *same* known group should prepare
+/// one plan and call [`evaluate_defense_with`] instead, paying for a
+/// single factorization across the whole sweep.
 pub fn evaluate_defense(
     known: &GroupMatrix,
     release: &GroupMatrix,
@@ -89,10 +94,22 @@ pub fn evaluate_defense(
     attack_config: AttackConfig,
     rng: &mut Rng64,
 ) -> Result<DefenseOutcome> {
-    let attack = DeanonAttack::new(attack_config)?;
-    let before = attack.run(known, release)?;
+    let mut attack = AttackPlan::prepare(known.clone(), attack_config)?;
+    evaluate_defense_with(&mut attack, release, plan, rng)
+}
+
+/// [`evaluate_defense`] against a prepared attack plan: both the baseline
+/// and the defended run reuse the plan's memoized known-side artifacts, so
+/// the marginal cost per evaluation is two anonymous-side correlations.
+pub fn evaluate_defense_with(
+    attack: &mut AttackPlan,
+    release: &GroupMatrix,
+    plan: &DefensePlan,
+    rng: &mut Rng64,
+) -> Result<DefenseOutcome> {
+    let before = attack.run_against(release)?;
     let defended = perturb_edges(release, plan, rng)?;
-    let after = attack.run(known, &defended)?;
+    let after = attack.run_against(&defended)?;
     Ok(DefenseOutcome {
         accuracy_before: before.accuracy,
         accuracy_after: after.accuracy,

@@ -2,12 +2,10 @@
 //! sampling strategy, retained-feature count, matching rule, and atlas
 //! granularity.
 
-use crate::attack::{AttackConfig, DeanonAttack, MatchRule};
-use crate::matching::{argmax_matching, matching_accuracy};
+use crate::attack::{match_with_features, AttackConfig, AttackPlan, MatchRule};
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
-use neurodeanon_linalg::stats::cross_correlation;
 use neurodeanon_linalg::Rng64;
 use neurodeanon_sampling::{principal_features, row_sample, SamplingDistribution};
 
@@ -32,20 +30,11 @@ pub fn ablation_sampling_strategy(
     let mut rng = Rng64::new(seed);
     let mut rows = Vec::new();
 
-    let run_with = |features: &[usize]| -> Result<f64> {
-        let k = known.select_features(features)?;
-        let a = anon.select_features(features)?;
-        let sim = cross_correlation(k.as_matrix(), a.as_matrix())?;
-        let predicted = argmax_matching(&sim)?;
-        let truth: Vec<usize> = (0..known.n_subjects()).collect();
-        matching_accuracy(&predicted, &truth)
-    };
-
     // Deterministic top-t leverage (the paper's principal features).
     let pf = principal_features(known.as_matrix(), n_features, None)?;
     rows.push(SamplingAblationRow {
         strategy: "deterministic-leverage".to_string(),
-        accuracy: run_with(&pf.indices)?,
+        accuracy: match_with_features(&known, &anon, &pf.indices)?,
     });
     // Randomized strategies: sample with replacement, dedup, keep order.
     for (label, dist) in [
@@ -59,7 +48,7 @@ pub fn ablation_sampling_strategy(
         idx.dedup();
         rows.push(SamplingAblationRow {
             strategy: label.to_string(),
-            accuracy: run_with(&idx)?,
+            accuracy: match_with_features(&known, &anon, &idx)?,
         });
     }
     Ok(rows)
@@ -73,13 +62,11 @@ pub fn ablation_feature_count(
 ) -> Result<Vec<(usize, f64)>> {
     let known = cohort.group_matrix(Task::Rest, Session::One)?;
     let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    // One plan serves every `t`: the whole sweep costs a single thin SVD.
+    let mut plan = AttackPlan::prepare(known, AttackConfig::default())?;
     let mut out = Vec::with_capacity(feature_counts.len());
     for &t in feature_counts {
-        let attack = DeanonAttack::new(AttackConfig {
-            n_features: t,
-            ..Default::default()
-        })?;
-        out.push((t, attack.run(&known, &anon)?.accuracy));
+        out.push((t, plan.run_with(&anon, t, MatchRule::Argmax)?.accuracy));
     }
     Ok(out)
 }
@@ -88,16 +75,18 @@ pub fn ablation_feature_count(
 pub fn ablation_matching_rule(cohort: &HcpCohort) -> Result<Vec<(String, f64)>> {
     let known = cohort.group_matrix(Task::Rest, Session::One)?;
     let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
+    // Both rules read the same similarity structure: one plan, one SVD.
+    let mut plan = AttackPlan::prepare(known, AttackConfig::default())?;
+    let n_features = plan.config().n_features;
     let mut out = Vec::new();
     for (label, rule) in [
         ("argmax", MatchRule::Argmax),
         ("hungarian", MatchRule::Hungarian),
     ] {
-        let attack = DeanonAttack::new(AttackConfig {
-            match_rule: rule,
-            ..Default::default()
-        })?;
-        out.push((label.to_string(), attack.run(&known, &anon)?.accuracy));
+        out.push((
+            label.to_string(),
+            plan.run_with(&anon, n_features, rule)?.accuracy,
+        ));
     }
     Ok(out)
 }
@@ -128,8 +117,8 @@ pub fn ablation_atlas_granularity(
         })?;
         let known = cohort.group_matrix(Task::Rest, Session::One)?;
         let anon = cohort.group_matrix(Task::Rest, Session::Two)?;
-        let attack = DeanonAttack::new(AttackConfig::default())?;
-        out.push((n_regions, attack.run(&known, &anon)?.accuracy));
+        let mut plan = AttackPlan::prepare(known, AttackConfig::default())?;
+        out.push((n_regions, plan.run_against(&anon)?.accuracy));
     }
     Ok(out)
 }

@@ -2,7 +2,7 @@
 //! ADHD, per subtype and on the full mixed cases + controls cohort, with
 //! the train/test leverage-transfer protocol.
 
-use crate::attack::{AttackConfig, DeanonAttack};
+use crate::attack::{match_with_features, AttackConfig, AttackPlan};
 use crate::Result;
 use neurodeanon_datasets::{AdhdCohort, AdhdGroup, Session};
 use neurodeanon_linalg::{Matrix, Rng64};
@@ -35,8 +35,8 @@ pub fn adhd_experiment(
 ) -> Result<AdhdExperimentResult> {
     let known = cohort.group_matrix_for(subjects, Session::One)?;
     let anon = cohort.group_matrix_for(subjects, Session::Two)?;
-    let attack = DeanonAttack::new(attack_config)?;
-    let out = attack.run(&known, &anon)?;
+    let mut plan = AttackPlan::prepare(known, attack_config)?;
+    let out = plan.run_against(&anon)?;
     Ok(AdhdExperimentResult {
         population: label.to_string(),
         mean_diagonal: out.mean_diagonal_similarity(),
@@ -69,19 +69,9 @@ pub fn adhd_train_test_transfer(
         let t = n_features.min(train_group.n_features());
         let pf = principal_features(train_group.as_matrix(), t, None)?;
         // Match *test* subjects across sessions in that feature space.
-        let known_test = known
-            .select_subjects(&split.test)?
-            .select_features(&pf.indices)?;
-        let anon_test = anon
-            .select_subjects(&split.test)?
-            .select_features(&pf.indices)?;
-        let sim = neurodeanon_linalg::stats::cross_correlation(
-            known_test.as_matrix(),
-            anon_test.as_matrix(),
-        )?;
-        let predicted = crate::matching::argmax_matching(&sim)?;
-        let truth: Vec<usize> = (0..split.test.len()).collect();
-        let acc = crate::matching::matching_accuracy(&predicted, &truth)?;
+        let known_test = known.select_subjects(&split.test)?;
+        let anon_test = anon.select_subjects(&split.test)?;
+        let acc = match_with_features(&known_test, &anon_test, &pf.indices)?;
         accs.push(acc * 100.0);
     }
     mean_std(&accs).map_err(Into::into)

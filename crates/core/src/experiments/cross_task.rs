@@ -6,7 +6,7 @@
 //! feature space selected from the row dataset (the paper's protocol, and
 //! the source of the matrix's asymmetry).
 
-use crate::attack::{AttackConfig, DeanonAttack};
+use crate::attack::{AttackConfig, AttackPlan};
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_datasets::{HcpCohort, Session, Task};
@@ -58,11 +58,13 @@ pub fn cross_task_matrix(
                 .map_err(crate::CoreError::from)
         })
         .collect::<Result<_>>()?;
-    let attack = DeanonAttack::new(attack_config)?;
+    // Features come from the row (known) dataset, so each row shares one
+    // prepared plan: 8 factorizations serve all 64 grid cells.
     let mut accuracy = vec![vec![0.0; tasks.len()]; tasks.len()];
-    for (r, kg) in known.iter().enumerate() {
+    for (r, kg) in known.into_iter().enumerate() {
+        let mut plan = AttackPlan::prepare(kg, attack_config.clone())?;
         for (c, ag) in anon.iter().enumerate() {
-            accuracy[r][c] = attack.run(kg, ag)?.accuracy;
+            accuracy[r][c] = plan.run_against(ag)?.accuracy;
         }
     }
     Ok(CrossTaskResult { tasks, accuracy })

@@ -6,8 +6,8 @@
 //! sweeps the noise level for both the targeted plan and an equal-budget
 //! untargeted plan, producing the curve a data publisher would consult.
 
-use crate::attack::AttackConfig;
-use crate::defense::{evaluate_defense, signature_edges, DefensePlan};
+use crate::attack::{AttackConfig, AttackPlan};
+use crate::defense::{evaluate_defense_with, signature_edges, DefensePlan};
 use crate::Result;
 use neurodeanon_datasets::{HcpCohort, Session, Task};
 use neurodeanon_linalg::Rng64;
@@ -48,28 +48,29 @@ pub fn defense_sweep(
     let targeted_edges = signature_edges(&release, n_edges)?;
     let mut rng = Rng64::new(seed);
     let untargeted_edges = rng.sample_indices(release.n_features(), targeted_edges.len());
+    // One prepared plan serves every (sigma, plan-kind) evaluation: the
+    // known matrix is factored once for the whole trade-off curve.
+    let mut attack = AttackPlan::prepare(known, AttackConfig::default())?;
 
     let mut points = Vec::with_capacity(sigmas.len());
     let mut baseline = f64::NAN;
     for &sigma in sigmas {
-        let t = evaluate_defense(
-            &known,
+        let t = evaluate_defense_with(
+            &mut attack,
             &release,
             &DefensePlan {
                 edges: targeted_edges.clone(),
                 sigma,
             },
-            AttackConfig::default(),
             &mut rng,
         )?;
-        let u = evaluate_defense(
-            &known,
+        let u = evaluate_defense_with(
+            &mut attack,
             &release,
             &DefensePlan {
                 edges: untargeted_edges.clone(),
                 sigma,
             },
-            AttackConfig::default(),
             &mut rng,
         )?;
         baseline = t.accuracy_before;

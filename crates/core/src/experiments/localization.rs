@@ -9,11 +9,10 @@
 //! outside it, and (c) the unrestricted attack — showing that identity
 //! lives in a small, localizable set of edges.
 
-use crate::matching::{argmax_matching, matching_accuracy};
+use crate::attack::match_with_features;
 use crate::Result;
 use neurodeanon_connectome::EdgeIndex;
 use neurodeanon_datasets::{HcpCohort, Session, Task};
-use neurodeanon_linalg::stats::cross_correlation;
 use neurodeanon_sampling::principal_features;
 
 /// Identification accuracy under each feature-space restriction.
@@ -52,16 +51,12 @@ pub fn signature_localization(cohort: &HcpCohort, t: usize) -> Result<Localizati
         }
     }
 
-    let truth: Vec<usize> = (0..known.n_subjects()).collect();
     let accuracy_within = |pool: &[usize]| -> Result<f64> {
         let known_pool = known.select_features(pool)?;
         let anon_pool = anon.select_features(pool)?;
         let keep = t.min(known_pool.n_features());
         let pf = principal_features(known_pool.as_matrix(), keep.max(1), None)?;
-        let k = known_pool.select_features(&pf.indices)?;
-        let a = anon_pool.select_features(&pf.indices)?;
-        let sim = cross_correlation(k.as_matrix(), a.as_matrix())?;
-        matching_accuracy(&argmax_matching(&sim)?, &truth)
+        match_with_features(&known_pool, &anon_pool, &pf.indices)
     };
 
     let all: Vec<usize> = (0..known.n_features()).collect();

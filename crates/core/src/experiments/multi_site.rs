@@ -5,7 +5,7 @@
 //! session-2 time series, then running the standard attack. Table 2 sweeps
 //! the fraction over 10/20/30% for both HCP and ADHD-200.
 
-use crate::attack::{AttackConfig, DeanonAttack};
+use crate::attack::{AttackConfig, AttackPlan};
 use crate::Result;
 use neurodeanon_connectome::{Connectome, GroupMatrix};
 use neurodeanon_datasets::{AdhdCohort, HcpCohort, Session, Task};
@@ -74,10 +74,13 @@ pub fn multi_site_sweep(
     attack_config: AttackConfig,
     seed: u64,
 ) -> Result<MultiSiteResult> {
-    let attack = DeanonAttack::new(attack_config)?;
     let hcp_known = hcp.group_matrix(Task::Rest, Session::One)?;
     let adhd_all: Vec<usize> = (0..adhd.n_subjects()).collect();
     let adhd_known = adhd.group_matrix_for(&adhd_all, Session::One)?;
+    // The known side is fixed across all noise fractions and repeats: one
+    // prepared plan per cohort covers the whole Table 2 sweep.
+    let mut hcp_plan = AttackPlan::prepare(hcp_known, attack_config.clone())?;
+    let mut adhd_plan = AttackPlan::prepare(adhd_known, attack_config)?;
     let mut rng = Rng64::new(seed);
 
     let mut hcp_rows = Vec::new();
@@ -87,9 +90,9 @@ pub fn multi_site_sweep(
         let mut adhd_accs = Vec::new();
         for _ in 0..n_repeats.max(1) {
             let hcp_anon = hcp_noised_group(hcp, Task::Rest, fraction, &mut rng)?;
-            hcp_accs.push(attack.run(&hcp_known, &hcp_anon)?.accuracy * 100.0);
+            hcp_accs.push(hcp_plan.run_against(&hcp_anon)?.accuracy * 100.0);
             let adhd_anon = adhd_noised_group(adhd, fraction, &mut rng)?;
-            adhd_accs.push(attack.run(&adhd_known, &adhd_anon)?.accuracy * 100.0);
+            adhd_accs.push(adhd_plan.run_against(&adhd_anon)?.accuracy * 100.0);
         }
         hcp_rows.push(mean_std(&hcp_accs)?);
         adhd_rows.push(mean_std(&adhd_accs)?);

@@ -43,7 +43,7 @@ pub mod matching;
 pub mod performance;
 pub mod task_id;
 
-pub use attack::{AttackConfig, AttackOutcome, DeanonAttack};
+pub use attack::{match_with_features, AttackConfig, AttackOutcome, AttackPlan, DeanonAttack};
 pub use error::CoreError;
 
 /// Result alias for attack operations.

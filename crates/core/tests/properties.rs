@@ -1,7 +1,7 @@
 //! Property tests for the attack-pipeline core: matching invariants and
 //! defense monotonicity, on the testkit harness.
 
-use neurodeanon_core::attack::{AttackConfig, DeanonAttack};
+use neurodeanon_core::attack::{AttackConfig, AttackPlan, DeanonAttack, MatchRule};
 use neurodeanon_core::defense::{evaluate_defense, signature_edges, DefensePlan};
 use neurodeanon_core::matching::{argmax_matching, hungarian_matching, matching_accuracy};
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
@@ -113,6 +113,42 @@ fn more_targeted_noise_never_helps_the_attacker() {
                 "accuracy rose under stronger defense: {:?}",
                 accs
             );
+        }
+    });
+}
+
+/// The memoized plan is indistinguishable from the direct attack: for any
+/// cohort, feature budget, and rank restriction, `AttackPlan::run_with`
+/// returns bit-identical similarities, predictions, and selections to a
+/// fresh `DeanonAttack::run` — at 1 and 8 threads. This is the contract
+/// that lets every experiment sweep reuse one factorization.
+#[test]
+fn attack_plan_is_bitwise_equal_to_direct_attack() {
+    forall!(Config::cases(6), (seed in u64_in(0..1000), t in usize_in(5..120), k in usize_in(1..6)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(7, seed)).unwrap();
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = cohort.group_matrix(Task::Motor, Session::Two).unwrap();
+        for rank_k in [None, Some(k)] {
+            let config = AttackConfig { n_features: t, rank_k, ..Default::default() };
+            for threads in [1usize, 8] {
+                let (direct, planned) = with_thread_count(threads, || {
+                    let direct = DeanonAttack::new(config.clone())
+                        .unwrap()
+                        .run(&known, &anon)
+                        .unwrap();
+                    let mut plan = AttackPlan::prepare(known.clone(), config.clone()).unwrap();
+                    // Second call hits the warm cache; both must agree.
+                    plan.run_with(&anon, t, MatchRule::Argmax).unwrap();
+                    (direct, plan.run_against(&anon).unwrap())
+                });
+                tk_assert_eq!(direct.predicted, planned.predicted, "threads={threads} rank_k={rank_k:?}");
+                tk_assert_eq!(direct.truth, planned.truth);
+                tk_assert_eq!(direct.selected_features, planned.selected_features);
+                tk_assert_eq!(direct.accuracy.to_bits(), planned.accuracy.to_bits());
+                for (x, y) in direct.similarity.as_slice().iter().zip(planned.similarity.as_slice()) {
+                    tk_assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} rank_k={rank_k:?}");
+                }
+            }
         }
     });
 }

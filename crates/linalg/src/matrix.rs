@@ -284,9 +284,31 @@ impl Matrix {
         Ok(())
     }
 
+    /// Reshapes `self` to `rows × cols` for a full overwrite, reusing the
+    /// existing allocation whenever its capacity suffices. Contents after
+    /// the call are unspecified (the caller writes every entry).
+    pub(crate) fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        // clear + resize keeps capacity, so a steady-state sweep that cycles
+        // through same-shaped operands performs no allocation at all.
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Returns the transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out`, reusing `out`'s
+    /// allocation when it is large enough (the workspace form used by the
+    /// attack-plan sweep loop, where the same scratch matrix absorbs one
+    /// reduced group matrix per iteration).
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        out.reshape_for_overwrite(self.cols, self.rows);
         // Tile the transpose to keep both the read and write streams in
         // cache; a naive double loop thrashes on tall group matrices.
         for rb in (0..self.rows).step_by(BLOCK) {
@@ -300,7 +322,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Matrix product `self * rhs` using a cache-blocked kernel, parallel
@@ -487,7 +508,18 @@ impl Matrix {
     /// This is how the attack restricts a group matrix to its principal
     /// features subspace: `group.select_rows(&top_leverage_indices)`.
     pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the listed rows, in order, into `out`, reusing `out`'s
+    /// allocation when it is large enough. `out` is untouched on error.
+    ///
+    /// This is the workspace form of [`Matrix::select_rows`] for sweep
+    /// loops: restricting a group matrix to each new feature set reuses one
+    /// scratch matrix instead of allocating tens of megabytes per point.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) -> Result<()> {
         for &i in indices {
             if i >= self.rows {
                 return Err(LinalgError::IndexOutOfBounds {
@@ -495,13 +527,15 @@ impl Matrix {
                     shape: self.shape(),
                 });
             }
-            data.extend_from_slice(self.row(i));
         }
-        Ok(Matrix {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
-        })
+        out.rows = indices.len();
+        out.cols = self.cols;
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
+        for &i in indices {
+            out.data.extend_from_slice(self.row(i));
+        }
+        Ok(())
     }
 
     /// Returns a new matrix containing only the listed columns, in order.
@@ -794,6 +828,32 @@ mod tests {
     fn frobenius_norm_of_known_matrix() {
         let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
         assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_rows_into_reuses_buffer_and_matches() {
+        let m = Matrix::from_fn(6, 3, |r, c| (r * 10 + c) as f64);
+        // Start from a dirty, differently-shaped scratch buffer.
+        let mut out = Matrix::filled(9, 2, 7.0);
+        m.select_rows_into(&[5, 1, 3], &mut out).unwrap();
+        assert_eq!(out.shape(), (3, 3));
+        let direct = m.select_rows(&[5, 1, 3]).unwrap();
+        assert_eq!(out.as_slice(), direct.as_slice());
+        // An out-of-bounds index errors without clobbering the buffer.
+        let before = out.clone();
+        assert!(m.select_rows_into(&[0, 6], &mut out).is_err());
+        assert_eq!(out.as_slice(), before.as_slice());
+        assert_eq!(out.shape(), before.shape());
+    }
+
+    #[test]
+    fn transpose_into_matches_transpose_on_dirty_buffer() {
+        let m = Matrix::from_fn(70, 5, |r, c| (r * 7 + c * 3) as f64 - 11.0);
+        let mut out = Matrix::filled(2, 2, -1.0);
+        m.transpose_into(&mut out);
+        let direct = m.transpose();
+        assert_eq!(out.shape(), direct.shape());
+        assert_eq!(out.as_slice(), direct.as_slice());
     }
 
     #[test]

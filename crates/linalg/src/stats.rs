@@ -277,20 +277,57 @@ pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     // threads — the operands are independent), then out = Aᵀ B / rows.
     let (az, bz) = par::par_join(
         || {
-            let mut az = a.transpose();
-            zscore_rows(&mut az);
+            let mut az = Matrix::zeros(0, 0);
+            zscored_cols_into(a, &mut az);
             az
         },
         || {
-            let mut bz = b.transpose();
-            zscore_rows(&mut bz);
+            let mut bz = Matrix::zeros(0, 0);
+            zscored_cols_into(b, &mut bz);
             bz
         },
     );
-    let t_len = a.rows();
+    let mut out = Matrix::zeros(0, 0);
+    cross_correlation_zscored_into(&az, &bz, &mut out)?;
+    Ok(out)
+}
+
+/// Writes the z-scored columns of `a` into `out` as rows (`out` becomes
+/// `a.cols() × a.rows()`), reusing `out`'s allocation.
+///
+/// This is the preparation half of [`cross_correlation`], split out so a
+/// sweep can z-score its de-anonymized operand once and hold the result
+/// while many anonymous operands stream through the other side.
+pub fn zscored_cols_into(a: &Matrix, out: &mut Matrix) {
+    a.transpose_into(out);
+    zscore_rows(out);
+}
+
+/// The product half of [`cross_correlation`]: given operands already
+/// prepared by [`zscored_cols_into`] (rows are z-scored subject series of a
+/// common length), writes the subject-by-subject Pearson matrix
+/// (`az.rows() × bz.rows()`) into `out`, reusing `out`'s allocation.
+///
+/// Calling `zscored_cols_into` on both operands and then this function is
+/// bit-identical to [`cross_correlation`] — same kernels, same order — so
+/// caching the prepared side of a sweep cannot change a single result.
+pub fn cross_correlation_zscored_into(az: &Matrix, bz: &Matrix, out: &mut Matrix) -> Result<()> {
+    if az.cols() != bz.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation",
+            lhs: az.shape(),
+            rhs: bz.shape(),
+        });
+    }
+    if az.is_empty() || bz.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation",
+        });
+    }
+    let t_len = az.cols();
     let inv = 1.0 / t_len as f64;
     let bcols = bz.rows();
-    let mut out = Matrix::zeros(az.rows(), bcols);
+    out.reshape_for_overwrite(az.rows(), bcols);
     // One output row per chunk: row i correlates subject i of `a` against
     // every subject of `b`, reading shared z-scored operands and writing a
     // disjoint row — the similarity matrix the matching step consumes.
@@ -306,7 +343,7 @@ pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
             }
         },
     );
-    Ok(out)
+    Ok(())
 }
 
 /// Normalized root-mean-squared error, in percent, as used by Table 1.
@@ -478,6 +515,36 @@ mod tests {
                 assert!((x[(i, j)] - p).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn split_cross_correlation_is_bit_identical() {
+        // The workspace path (prepare each side, multiply into scratch) must
+        // reproduce cross_correlation exactly — this is the contract the
+        // attack plan's cached known side rests on.
+        let a = Matrix::from_fn(40, 6, |r, c| ((r * 3 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(40, 5, |r, c| ((r * 5 + c * 11) % 9) as f64 - 4.0);
+        let direct = cross_correlation(&a, &b).unwrap();
+        let mut az = Matrix::filled(3, 3, 9.0); // dirty scratch
+        let mut bz = Matrix::filled(1, 7, -2.0);
+        let mut out = Matrix::zeros(2, 2);
+        zscored_cols_into(&a, &mut az);
+        zscored_cols_into(&b, &mut bz);
+        cross_correlation_zscored_into(&az, &bz, &mut out).unwrap();
+        assert_eq!(out.shape(), direct.shape());
+        for (x, y) in out.as_slice().iter().zip(direct.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn cross_correlation_zscored_rejects_mismatch_and_empty() {
+        let az = Matrix::zeros(3, 10);
+        let bz = Matrix::zeros(4, 9);
+        let mut out = Matrix::zeros(0, 0);
+        assert!(cross_correlation_zscored_into(&az, &bz, &mut out).is_err());
+        let empty = Matrix::zeros(0, 0);
+        assert!(cross_correlation_zscored_into(&empty, &az, &mut out).is_err());
     }
 
     #[test]

@@ -24,6 +24,21 @@ use crate::Result;
 /// Maximum one-sided Jacobi sweeps.
 const MAX_SWEEPS: usize = 60;
 
+/// Process-wide count of [`thin_svd`] factorizations, for benches and
+/// diagnostics that assert how many SVDs a code path actually performed
+/// (e.g. the attack-plan sweep benches, which require a whole feature-count
+/// ablation to cost exactly one factorization). Monotonic; read deltas.
+static THIN_SVD_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Number of [`thin_svd`] factorizations performed by this process so far.
+///
+/// Intended for single-threaded benches and binaries; under a parallel test
+/// runner concurrent tests share the counter, so only same-thread deltas
+/// around a known workload are meaningful.
+pub fn thin_svd_calls() -> u64 {
+    THIN_SVD_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// Minimum per-round work (pairs × 8·column length) before one Jacobi round
 /// spawns threads. Rounds run many times per sweep, so the bar is lower than
 /// for one-shot kernels but still high enough that small matrices (the common
@@ -95,6 +110,7 @@ impl Svd {
 /// Computes the thin SVD of `a` (`m ≥ n` required; transpose wide inputs at
 /// the call site — the group matrices of the attack are always tall).
 pub fn thin_svd(a: &Matrix) -> Result<Svd> {
+    THIN_SVD_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let (m, n) = a.shape();
     if a.is_empty() {
         return Err(LinalgError::EmptyMatrix { op: "thin_svd" });

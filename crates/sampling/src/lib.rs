@@ -12,7 +12,8 @@
 //!   `1/√(s·pᵢ)` rescaling that makes `ÃᵀÃ` an unbiased estimate of `AᵀA`.
 //! * [`principal`] — the deterministic top-`t` leverage selection, the
 //!   *Principal Features Subspace* method of Ravindra et al. (2018) that the
-//!   attack actually uses.
+//!   attack actually uses, plus [`LeverageBank`], the memoized form that
+//!   factors a matrix once and serves every `(t, rank_k)` selection.
 //! * [`sketch`] — error functionals for both guarantees: the additive bound
 //!   of Equation 2 and the relative projection bound of Equation 4.
 
@@ -24,7 +25,9 @@ pub mod sketch;
 
 pub use distribution::SamplingDistribution;
 pub use error::SamplingError;
-pub use principal::{principal_features, principal_features_approx, PrincipalFeatures};
+pub use principal::{
+    principal_features, principal_features_approx, LeverageBank, PrincipalFeatures,
+};
 pub use row_sample::{row_sample, RowSample};
 
 /// Result alias for sampling operations.

@@ -1,8 +1,9 @@
 //! Property tests for the sampling layer.
 
+use neurodeanon_linalg::par::with_thread_count;
 use neurodeanon_linalg::{Matrix, Rng64};
 use neurodeanon_sampling::sketch::{best_rank_k_error, projection_error};
-use neurodeanon_sampling::{principal_features, row_sample, SamplingDistribution};
+use neurodeanon_sampling::{principal_features, row_sample, LeverageBank, SamplingDistribution};
 use neurodeanon_testkit::gen::{matrix_in, u64_in, usize_in, Gen};
 use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
@@ -56,6 +57,40 @@ fn principal_features_count_and_determinism() {
         sorted.dedup();
         tk_assert_eq!(sorted.len(), t);
         tk_assert!(x.indices.iter().all(|&i| i < 40));
+    });
+}
+
+/// The memoized bank must be indistinguishable from the direct selector:
+/// for any matrix, any sampled `t`, both rank paths, and at 1 or 8 threads,
+/// indices and scores agree bit-for-bit. This is the contract that lets the
+/// attack plan amortize one SVD across a whole experiment sweep without
+/// changing a single published number.
+#[test]
+fn leverage_bank_equals_principal_features_bitwise() {
+    forall!(Config::cases(24), (a in matrix(40, 5), t in usize_in(1..=40), k in usize_in(1..=5)) => {
+        for threads in [1usize, 8] {
+            with_thread_count(threads, || -> Result<(), String> {
+                let bank = LeverageBank::new(&a).unwrap();
+                for rank_k in [None, Some(k)] {
+                    let direct = principal_features(&a, t, rank_k).unwrap();
+                    let banked = bank.select(t, rank_k).unwrap();
+                    tk_assert_eq!(
+                        &banked.indices, &direct.indices,
+                        "threads={} t={} rank_k={:?}", threads, t, rank_k
+                    );
+                    tk_assert_eq!(banked.scores.len(), direct.scores.len());
+                    for (i, (x, y)) in banked.scores.iter().zip(&direct.scores).enumerate() {
+                        tk_assert_eq!(
+                            x.to_bits(), y.to_bits(),
+                            "score {} diverges: {} vs {} (threads={} rank_k={:?})",
+                            i, x, y, threads, rank_k
+                        );
+                    }
+                    tk_assert_eq!(bank.select_indices(t, rank_k).unwrap(), direct.indices);
+                }
+                Ok(())
+            })?;
+        }
     });
 }
 

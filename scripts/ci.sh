@@ -28,4 +28,11 @@ cargo test -q --offline
 echo "==> cargo check --benches --features criterion-bench --offline"
 cargo check -p neurodeanon-bench --benches --features criterion-bench --offline
 
+# Bench smoke: the sweeps bench at small scale appends its records to the
+# JSON trajectory and asserts plan/direct bit-identity, the one-SVD-per-plan
+# invariant, and that the trajectory parses with testkit::json.
+echo "==> bench smoke: sweeps @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
+NEURODEANON_BENCH_SCALE=small \
+  cargo bench -p neurodeanon-bench --bench sweeps --features criterion-bench --offline
+
 echo "CI green."
