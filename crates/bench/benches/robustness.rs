@@ -1,0 +1,145 @@
+//! Corruption-severity robustness sweep: accuracy/margin curves per fault
+//! kind under the `mask` and `impute` degradation policies, recorded to the
+//! bench JSON trajectory (`NEURODEANON_BENCH_JSON`, default
+//! `bench_results.jsonl`) as group `robustness_sweep`.
+//!
+//! Invariants asserted here, not just in the unit suites:
+//! - severity 0 reproduces the clean baseline **bit-identically** for every
+//!   fault kind and policy (the degradation layer's acceptance criterion);
+//! - accuracy decays weakly monotonically along each severity curve
+//!   (small tolerance for the discreteness of tiny cohorts);
+//! - no recorded accuracy or margin is NaN.
+//!
+//! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
+//! runs the full HCP shape with a denser severity grid).
+
+use neurodeanon_bench::scale::Scale;
+use neurodeanon_bench::timing::{self, Bench};
+use neurodeanon_core::attack::DegradedInput;
+use neurodeanon_core::experiments::robustness::{robustness_sweep, RobustnessResult};
+use neurodeanon_datasets::CorruptionKind;
+use neurodeanon_testkit::json;
+use std::path::PathBuf;
+
+fn bench_json_path() -> PathBuf {
+    std::env::var("NEURODEANON_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results.jsonl"))
+}
+
+/// Per-kind curve must not *gain* accuracy as severity rises (tolerance
+/// absorbs one subject flipping on a tiny cohort).
+fn assert_weakly_monotone(res: &RobustnessResult, tolerance: f64) {
+    for &kind in CorruptionKind::ALL.iter() {
+        let curve: Vec<(f64, f64)> = res
+            .points
+            .iter()
+            .filter(|p| p.kind == kind)
+            .filter_map(|p| p.accuracy.map(|a| (p.severity, a)))
+            .collect();
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + tolerance,
+                "{kind}: accuracy rose with severity: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+fn main() {
+    let scale = match std::env::var("NEURODEANON_BENCH_SCALE") {
+        Ok(v) => Scale::parse(&v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        Err(_) => Scale::Small,
+    };
+    let (scale_name, severities): (&str, &[f64]) = match scale {
+        Scale::Small => ("small", &[0.0, 0.25, 0.5, 1.0]),
+        Scale::Paper => ("paper", &[0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0]),
+    };
+    let json_path = bench_json_path();
+    let cohort = scale.hcp(0x0b5e55ed);
+    let b = Bench::new("robustness").iters(1).warmup(0);
+
+    let mut records = 0usize;
+    for policy in [DegradedInput::Mask, DegradedInput::Impute] {
+        let mut res: Option<RobustnessResult> = None;
+        let sample = b.run(
+            &format!("robustness_{}_{scale_name}", policy.name()),
+            || {
+                res = Some(robustness_sweep(&cohort, severities, policy, 0xDE6).unwrap());
+            },
+        );
+        let res = res.expect("sweep ran");
+
+        assert!(
+            res.baseline_accuracy.is_finite() && res.baseline_accuracy > 0.5,
+            "{policy}: implausible clean baseline {}",
+            res.baseline_accuracy
+        );
+        for p in res.points.iter().filter(|p| p.severity == 0.0) {
+            assert_eq!(
+                p.accuracy.map(f64::to_bits),
+                Some(res.baseline_accuracy.to_bits()),
+                "{policy}/{}: severity-0 must be bit-identical to clean",
+                p.kind
+            );
+        }
+        assert_weakly_monotone(&res, 0.15);
+
+        for p in &res.points {
+            if let Some(a) = p.accuracy {
+                assert!(a.is_finite(), "{policy}/{}: NaN accuracy", p.kind);
+            }
+            if let Some(m) = p.mean_margin {
+                assert!(m.is_finite(), "{policy}/{}: NaN margin", p.kind);
+            }
+            // NaN serializes as null in the in-repo JSON writer, so the
+            // Option fields map onto nullable JSONL columns.
+            let rec = json!({
+                "group": "robustness_sweep",
+                "scale": scale_name,
+                "policy": policy.name(),
+                "kind": p.kind.name(),
+                "severity": p.severity,
+                "baseline_accuracy": res.baseline_accuracy,
+                "accuracy": p.accuracy.unwrap_or(f64::NAN),
+                "mean_margin": p.mean_margin.unwrap_or(f64::NAN),
+                "recovered_accuracy": p.recovered_accuracy.unwrap_or(f64::NAN),
+                "error": p.error.clone().unwrap_or_default(),
+                "sweep_ns": sample.median.as_nanos() as f64,
+            });
+            if let Err(e) = timing::append_jsonl(&json_path, &rec) {
+                eprintln!("bench json append failed for {}: {e}", json_path.display());
+            }
+            records += 1;
+        }
+        println!(
+            "{policy}: baseline {:.3}, {} points in {:?}",
+            res.baseline_accuracy,
+            res.points.len(),
+            sample.median
+        );
+    }
+
+    // The trajectory must stay machine-readable end to end.
+    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let mut ours = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = neurodeanon_testkit::json::parse(line).expect("trajectory line parses as JSON");
+        if v.get("group").and_then(|g| g.as_str()) == Some("robustness_sweep") {
+            ours += 1;
+        }
+    }
+    assert!(
+        ours >= records,
+        "expected {records} robustness_sweep records in the trajectory, found {ours}"
+    );
+    println!(
+        "trajectory {} verified: {ours} robustness_sweep records",
+        json_path.display()
+    );
+}

@@ -6,20 +6,28 @@
 //!
 //! ```text
 //! deanon --known archive.csv --anon release.csv [--features 100] [--hungarian]
+//!        [--degraded-policy reject|mask|impute]
 //! ```
+//!
+//! Missing observations in the CSVs (empty cells, `NaN`) are handled per
+//! `--degraded-policy`: `reject` (default) refuses degraded inputs with a
+//! typed message, `mask` runs the attack on the usable feature support, and
+//! `impute` mean-fills before attacking. Records the masked attack cannot
+//! place print `unidentifiable` instead of a fabricated identity.
 //!
 //! A `--demo` flag synthesizes the two files from the built-in HCP-like
 //! cohort first, so the tool can be tried without data.
 
 use neurodeanon_connectome::io::{read_group_csv, write_group_csv};
-use neurodeanon_core::attack::{AttackConfig, AttackPlan, MatchRule};
+use neurodeanon_core::attack::{AttackConfig, AttackPlan, DegradedInput, MatchRule};
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
 use std::path::PathBuf;
 
 fn fail(msg: &str) -> ! {
     eprintln!("deanon: {msg}");
     eprintln!(
-        "usage: deanon --known FILE.csv --anon FILE.csv [--features N] [--hungarian] [--demo]"
+        "usage: deanon --known FILE.csv --anon FILE.csv [--features N] [--hungarian] \
+         [--degraded-policy reject|mask|impute] [--demo]"
     );
     std::process::exit(2);
 }
@@ -30,6 +38,7 @@ fn main() {
     let mut anon_path: Option<PathBuf> = None;
     let mut n_features = 100usize;
     let mut rule = MatchRule::Argmax;
+    let mut degraded = DegradedInput::Reject;
     let mut demo = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -52,6 +61,13 @@ fn main() {
                     .unwrap_or_else(|_| fail("--features must be a positive integer"));
             }
             "--hungarian" => rule = MatchRule::Hungarian,
+            "--degraded-policy" => {
+                degraded = DegradedInput::parse(
+                    it.next()
+                        .unwrap_or_else(|| fail("--degraded-policy needs a value")),
+                )
+                .unwrap_or_else(|_| fail("--degraded-policy must be reject, mask, or impute"));
+            }
             "--demo" => demo = true,
             "--help" | "-h" => fail("prints predicted identities for anonymous records"),
             other => fail(&format!("unknown argument `{other}`")),
@@ -60,20 +76,26 @@ fn main() {
 
     if demo {
         let dir = std::env::temp_dir().join("deanon_demo");
-        std::fs::create_dir_all(&dir).expect("temp dir");
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| fail(&format!("creating demo dir {}: {e}", dir.display())));
         let kp = dir.join("known.csv");
         let ap = dir.join("anon.csv");
         eprintln!(
             "demo: synthesizing a 15-subject cohort into {}",
             dir.display()
         );
-        let cohort = HcpCohort::generate(HcpCohortConfig::small(15, 0xde40)).expect("cohort");
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(15, 0xde40))
+            .unwrap_or_else(|e| fail(&format!("generating demo cohort: {e}")));
         let known = cohort
             .group_matrix(Task::Rest, Session::One)
-            .expect("known");
-        let anon = cohort.group_matrix(Task::Rest, Session::Two).expect("anon");
-        write_group_csv(&known, &kp).expect("write known");
-        write_group_csv(&anon, &ap).expect("write anon");
+            .unwrap_or_else(|e| fail(&format!("building demo known matrix: {e}")));
+        let anon = cohort
+            .group_matrix(Task::Rest, Session::Two)
+            .unwrap_or_else(|e| fail(&format!("building demo anon matrix: {e}")));
+        write_group_csv(&known, &kp)
+            .unwrap_or_else(|e| fail(&format!("writing {}: {e}", kp.display())));
+        write_group_csv(&anon, &ap)
+            .unwrap_or_else(|e| fail(&format!("writing {}: {e}", ap.display())));
         known_path = Some(kp);
         anon_path = Some(ap);
     }
@@ -96,6 +118,7 @@ fn main() {
         AttackConfig {
             n_features,
             match_rule: rule,
+            degraded,
             ..Default::default()
         },
     )
@@ -106,6 +129,12 @@ fn main() {
 
     println!("record,predicted_identity,similarity");
     for (j, &i) in outcome.predicted.iter().enumerate() {
+        // The mask policy marks whole-missing records with the no-prediction
+        // sentinel rather than fabricating a match.
+        if i == usize::MAX {
+            println!("{},unidentifiable,", anon.subject_ids()[j]);
+            continue;
+        }
         println!(
             "{},{},{:.4}",
             anon.subject_ids()[j],

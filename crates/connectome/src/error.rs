@@ -30,6 +30,23 @@ pub enum ConnectomeError {
     },
     /// Error propagated from the linear-algebra layer.
     Linalg(neurodeanon_linalg::LinalgError),
+    /// An operating-system I/O failure while reading or writing a file.
+    ///
+    /// Carries the rendered `std::io::Error` plus what was being done, as
+    /// strings so the error stays `Clone + PartialEq`.
+    Io {
+        /// What the I/O layer was doing ("open /path/x.csv").
+        context: String,
+        /// Rendered underlying error.
+        reason: String,
+    },
+    /// A structurally malformed line in a group-matrix CSV file.
+    Csv {
+        /// 1-based line number in the file.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConnectomeError {
@@ -46,6 +63,12 @@ impl fmt::Display for ConnectomeError {
                 write!(f, "feature {index} out of range ({n_features} features)")
             }
             ConnectomeError::Linalg(e) => write!(f, "linalg error: {e}"),
+            ConnectomeError::Io { context, reason } => {
+                write!(f, "io error while trying to {context}: {reason}")
+            }
+            ConnectomeError::Csv { line, reason } => {
+                write!(f, "malformed csv line {line}: {reason}")
+            }
         }
     }
 }

@@ -105,6 +105,15 @@ impl GroupMatrix {
         &self.data
     }
 
+    /// Mutable access to the features × subjects matrix.
+    ///
+    /// Shape is fixed by construction; this exists so in-place transforms
+    /// (defenses, fault injection, imputation) can edit values without
+    /// rebuilding the group.
+    pub fn as_matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.data
+    }
+
     /// One subject's feature vector (a column).
     pub fn subject_features(&self, s: usize) -> Vec<f64> {
         self.data.col(s)

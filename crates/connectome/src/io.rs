@@ -30,63 +30,78 @@ pub fn write_group_csv(group: &GroupMatrix, path: &Path) -> std::io::Result<()> 
 
 /// Reads a group matrix from the documented CSV format.
 ///
-/// I/O failures surface as `std::io::Error`; structural problems (missing
-/// header, ragged rows, non-numeric cells) as [`ConnectomeError`] wrapped in
-/// `io::ErrorKind::InvalidData`.
-pub fn read_group_csv(path: &Path) -> std::io::Result<GroupMatrix> {
-    let file = std::fs::File::open(path)?;
-    let mut lines = BufReader::new(file).lines();
+/// Hardened ingestion for third-party connectomes: every failure mode is a
+/// typed [`ConnectomeError`] — OS failures as [`ConnectomeError::Io`],
+/// structural problems (missing header, ragged rows, non-numeric cells) as
+/// [`ConnectomeError::Csv`] with a 1-based line number — and nothing panics.
+/// An *empty* cell parses as NaN (a missing observation for the degraded
+/// attack path to mask or impute) rather than an error; any other
+/// non-numeric cell is rejected.
+pub fn read_group_csv(path: &Path) -> Result<GroupMatrix, ConnectomeError> {
+    let io_err = |context: String, e: std::io::Error| ConnectomeError::Io {
+        context,
+        reason: e.to_string(),
+    };
+    let csv = |line: usize, reason: String| ConnectomeError::Csv { line, reason };
 
-    let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let file = std::fs::File::open(path).map_err(|e| io_err(format!("open {path:?}"), e))?;
+    let mut lines = BufReader::new(file).lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), ConnectomeError> {
+        match lines.next() {
+            None => Err(csv(0, format!("truncated file: missing {expect}"))),
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(io_err(format!("read line {} of {path:?}", i + 1), e)),
+        }
+    };
 
-    let first = lines.next().ok_or_else(|| invalid("empty file".into()))??;
+    let (_, first) = next_line("`# regions=` header")?;
     let n_regions: usize = first
         .strip_prefix("# regions=")
-        .ok_or_else(|| invalid("missing `# regions=` header".into()))?
+        .ok_or_else(|| csv(1, "missing `# regions=` header".into()))?
         .trim()
         .parse()
-        .map_err(|e| invalid(format!("bad region count: {e}")))?;
+        .map_err(|e| csv(1, format!("bad region count: {e}")))?;
 
-    let header = lines
-        .next()
-        .ok_or_else(|| invalid("missing subject-id header".into()))??;
+    let (_, header) = next_line("subject-id header")?;
     let ids: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if ids.is_empty() || ids.iter().any(String::is_empty) {
-        return Err(invalid("empty subject id in header".into()));
+        return Err(csv(2, "empty subject id in header".into()));
     }
 
     let mut data: Vec<f64> = Vec::new();
     let mut n_features = 0usize;
-    for (lineno, line) in lines.enumerate() {
-        let line = line?;
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let line = line.map_err(|e| io_err(format!("read line {lineno} of {path:?}"), e))?;
         if line.trim().is_empty() {
             continue;
         }
         let cells: Vec<&str> = line.split(',').collect();
         if cells.len() != ids.len() {
-            return Err(invalid(format!(
-                "feature line {} has {} cells, expected {}",
-                lineno + 3,
-                cells.len(),
-                ids.len()
-            )));
+            return Err(csv(
+                lineno,
+                format!("{} cells, expected {}", cells.len(), ids.len()),
+            ));
         }
         for c in cells {
-            let v: f64 = c
-                .trim()
-                .parse()
-                .map_err(|e| invalid(format!("bad value `{c}` on line {}: {e}", lineno + 3)))?;
+            let c = c.trim();
+            // Empty cell = missing observation: NaN, handled downstream by
+            // the degraded-input policy.
+            let v: f64 = if c.is_empty() {
+                f64::NAN
+            } else {
+                c.parse()
+                    .map_err(|e| csv(lineno, format!("bad value `{c}`: {e}")))?
+            };
             data.push(v);
         }
         n_features += 1;
     }
     if n_features == 0 {
-        return Err(invalid("no feature rows".into()));
+        return Err(csv(3, "no feature rows".into()));
     }
-    let matrix = Matrix::from_vec(n_features, ids.len(), data)
-        .map_err(|e| invalid(format!("shape error: {e}")))?;
+    let matrix = Matrix::from_vec(n_features, ids.len(), data)?;
     GroupMatrix::from_matrix(matrix, ids, n_regions)
-        .map_err(|e: ConnectomeError| invalid(e.to_string()))
 }
 
 #[cfg(test)]
@@ -136,21 +151,42 @@ mod tests {
         let path = tmpfile("noheader.csv");
         std::fs::write(&path, "a,b\n1,2\n").unwrap();
         let e = read_group_csv(&path).unwrap_err();
-        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(matches!(e, ConnectomeError::Csv { line: 1, .. }), "{e}");
     }
 
     #[test]
-    fn rejects_ragged_rows() {
+    fn rejects_ragged_rows_with_line_number() {
         let path = tmpfile("ragged.csv");
         std::fs::write(&path, "# regions=3\na,b\n1,2\n3\n").unwrap();
-        assert!(read_group_csv(&path).is_err());
+        let e = read_group_csv(&path).unwrap_err();
+        assert!(matches!(e, ConnectomeError::Csv { line: 4, .. }), "{e}");
     }
 
     #[test]
     fn rejects_non_numeric() {
-        let path = tmpfile("nan.csv");
+        let path = tmpfile("nonnum.csv");
         std::fs::write(&path, "# regions=3\na,b\n1,x\n").unwrap();
-        assert!(read_group_csv(&path).is_err());
+        let e = read_group_csv(&path).unwrap_err();
+        assert!(matches!(e, ConnectomeError::Csv { line: 3, .. }), "{e}");
+    }
+
+    #[test]
+    fn missing_file_is_typed_io_error() {
+        let e = read_group_csv(Path::new("/definitely/not/here.csv")).unwrap_err();
+        assert!(matches!(e, ConnectomeError::Io { .. }), "{e}");
+        assert!(e.to_string().contains("open"));
+    }
+
+    #[test]
+    fn empty_cells_parse_as_nan() {
+        let path = tmpfile("missing_cells.csv");
+        std::fs::write(&path, "# regions=3\na,b,c\n1,,3\n4,5,\n").unwrap();
+        let g = read_group_csv(&path).unwrap();
+        let m = g.as_matrix();
+        assert!(m[(0, 1)].is_nan());
+        assert!(m[(1, 2)].is_nan());
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 5.0);
     }
 
     #[test]

@@ -16,17 +16,81 @@
 //! tasks/sessions of the same cohort score correctly.
 
 use crate::error::CoreError;
-use crate::matching::{argmax_matching, hungarian_matching, matching_accuracy};
+use crate::matching::{
+    argmax_matching, argmax_matching_lenient, hungarian_matching, matching_accuracy,
+};
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_linalg::rsvd::RsvdConfig;
 use neurodeanon_linalg::stats::{
-    cross_correlation, cross_correlation_zscored_into, zscored_cols_into,
+    cross_correlation, cross_correlation_masked, cross_correlation_zscored_into, impute_row_means,
+    zscored_cols_into,
 };
 use neurodeanon_linalg::Matrix;
 use neurodeanon_sampling::{
-    principal_features, principal_features_approx, LeverageBank, PrincipalFeatures,
+    finite_rows, intersect_sorted, principal_features, principal_features_approx,
+    rows_with_any_finite, LeverageBank, PrincipalFeatures,
 };
+
+/// Minimum pairwise-complete observations the masked correlation requires
+/// before reporting a similarity; pairs below this yield NaN entries (see
+/// [`cross_correlation_masked`]), and a masked attack whose *entire* shared
+/// support is below this errors with [`CoreError::InsufficientSupport`].
+pub const MASKED_MIN_OVERLAP: usize = 4;
+
+/// What to do when an input group matrix contains NaN/inf cells (censored
+/// frames, dropped regions, missing subjects — the fault model of
+/// DESIGN.md §1.3).
+///
+/// On fully finite inputs every policy takes the identical clean code path,
+/// so enabling `Mask` or `Impute` costs nothing (and changes no bit) until
+/// degradation actually appears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedInput {
+    /// Refuse degraded inputs with [`CoreError::NonFiniteInput`] — the
+    /// strict default: silent NaN propagation was this system's worst
+    /// failure mode, so rejection is opt-out, not opt-in.
+    #[default]
+    Reject,
+    /// Attack on the valid intersection: leverage features are selected from
+    /// the fully finite known rows that the anonymous side also (at least
+    /// partially) observed, similarities are pairwise-complete Pearson, and
+    /// unmatchable subjects score as misses instead of aborting the run.
+    Mask,
+    /// Replace every non-finite cell with its feature row's finite mean
+    /// (cohort average), then run the clean attack unchanged.
+    Impute,
+}
+
+impl DegradedInput {
+    /// Parses a CLI flag value (`reject` | `mask` | `impute`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "reject" => Ok(DegradedInput::Reject),
+            "mask" => Ok(DegradedInput::Mask),
+            "impute" => Ok(DegradedInput::Impute),
+            _ => Err(CoreError::InvalidParameter {
+                name: "degraded-policy",
+                reason: "expected one of: reject, mask, impute",
+            }),
+        }
+    }
+
+    /// Stable lowercase name (CLI/JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradedInput::Reject => "reject",
+            DegradedInput::Mask => "mask",
+            DegradedInput::Impute => "impute",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradedInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// How predicted matches are derived from the similarity matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +116,9 @@ pub struct AttackConfig {
     pub randomized: Option<RsvdConfig>,
     /// Matching rule.
     pub match_rule: MatchRule,
+    /// Policy for NaN/inf cells in either input ([`DegradedInput::Reject`]
+    /// by default).
+    pub degraded: DegradedInput,
 }
 
 impl AttackConfig {
@@ -83,6 +150,7 @@ impl Default for AttackConfig {
             rank_k: None,
             randomized: None,
             match_rule: MatchRule::Argmax,
+            degraded: DegradedInput::default(),
         }
     }
 }
@@ -199,6 +267,10 @@ impl DeanonAttack {
 
     /// Runs the attack: `known` is the de-anonymized group, `anon` the
     /// target. Both must share the feature space (same atlas).
+    ///
+    /// Non-finite cells in either operand are handled per the configured
+    /// [`DegradedInput`] policy; on fully finite inputs every policy is
+    /// bit-identical to the historical clean path.
     pub fn run(&self, known: &GroupMatrix, anon: &GroupMatrix) -> Result<AttackOutcome> {
         if known.n_features() != anon.n_features() {
             return Err(CoreError::IncompatibleGroups {
@@ -206,25 +278,145 @@ impl DeanonAttack {
                 anon: anon.n_features(),
             });
         }
-        let t = self.config.n_features.min(known.n_features());
-        // Step 1-2: principal features from the *known* group only.
-        let pf = match &self.config.randomized {
-            None => principal_features(known.as_matrix(), t, self.config.rank_k)?,
-            Some(cfg) => principal_features_approx(known.as_matrix(), t, cfg)?,
-        };
-        let known_red = known.select_features(&pf.indices)?;
-        let anon_red = anon.select_features(&pf.indices)?;
-        // Step 3: subject-by-subject Pearson in the reduced space.
-        let similarity = cross_correlation(known_red.as_matrix(), anon_red.as_matrix())?;
-        // Step 4: matching + scoring.
-        outcome_from_similarity(
-            similarity,
-            pf.indices,
-            known.subject_ids(),
-            anon.subject_ids(),
-            self.config.match_rule,
-        )
+        let known_clean = known.as_matrix().is_finite();
+        let anon_clean = anon.as_matrix().is_finite();
+        if known_clean && anon_clean {
+            return clean_attack(known, anon, &self.config);
+        }
+        match self.config.degraded {
+            DegradedInput::Reject => Err(non_finite_error(known, anon)),
+            DegradedInput::Mask => masked_attack(known, anon, &self.config),
+            DegradedInput::Impute => {
+                let (k, a) = impute_pair(known, anon, known_clean, anon_clean);
+                clean_attack(
+                    k.as_ref().unwrap_or(known),
+                    a.as_ref().unwrap_or(anon),
+                    &self.config,
+                )
+            }
+        }
     }
+}
+
+/// The historical clean attack pipeline (select → reduce → correlate →
+/// match); both operands must be fully finite.
+fn clean_attack(
+    known: &GroupMatrix,
+    anon: &GroupMatrix,
+    config: &AttackConfig,
+) -> Result<AttackOutcome> {
+    let t = config.n_features.min(known.n_features());
+    // Step 1-2: principal features from the *known* group only.
+    let pf = match &config.randomized {
+        None => principal_features(known.as_matrix(), t, config.rank_k)?,
+        Some(cfg) => principal_features_approx(known.as_matrix(), t, cfg)?,
+    };
+    let known_red = known.select_features(&pf.indices)?;
+    let anon_red = anon.select_features(&pf.indices)?;
+    // Step 3: subject-by-subject Pearson in the reduced space.
+    let similarity = cross_correlation(known_red.as_matrix(), anon_red.as_matrix())?;
+    // Step 4: matching + scoring.
+    outcome_from_similarity(
+        similarity,
+        pf.indices,
+        known.subject_ids(),
+        anon.subject_ids(),
+        config.match_rule,
+    )
+}
+
+/// The graceful-degradation path of the `Mask` policy: restrict feature
+/// selection to the shared valid support (fully finite known rows ∩
+/// anonymous rows with any finite entry), correlate pairwise-complete, and
+/// score unmatchable subjects as misses. Indices in the outcome are global
+/// feature indices, so selections stay comparable with the clean path.
+fn masked_attack(
+    known: &GroupMatrix,
+    anon: &GroupMatrix,
+    config: &AttackConfig,
+) -> Result<AttackOutcome> {
+    let known_valid = finite_rows(known.as_matrix());
+    let anon_valid = rows_with_any_finite(anon.as_matrix());
+    let shared = intersect_sorted(&known_valid, &anon_valid);
+    if shared.len() < MASKED_MIN_OVERLAP {
+        return Err(CoreError::InsufficientSupport {
+            known_valid: known_valid.len(),
+            anon_valid: anon_valid.len(),
+            shared: shared.len(),
+        });
+    }
+    // Leverage selection on the known matrix restricted to the support; the
+    // selected local indices map back through `shared` to global features.
+    let known_sub = known.as_matrix().select_rows(&shared)?;
+    let t = config.n_features.min(shared.len());
+    let pf = match &config.randomized {
+        None => principal_features(&known_sub, t, config.rank_k)?,
+        Some(cfg) => principal_features_approx(&known_sub, t, cfg)?,
+    };
+    let indices: Vec<usize> = pf.indices.iter().map(|&i| shared[i]).collect();
+    let known_red = known.as_matrix().select_rows(&indices)?;
+    let anon_red = anon.as_matrix().select_rows(&indices)?;
+    let similarity = cross_correlation_masked(&known_red, &anon_red, MASKED_MIN_OVERLAP)?;
+    let predicted = match config.match_rule {
+        MatchRule::Argmax => argmax_matching_lenient(&similarity)?,
+        MatchRule::Hungarian => {
+            // The assignment needs finite costs; an unmeasurable similarity
+            // is worse than any real correlation, so pin it below −1.
+            let floored = Matrix::from_fn(similarity.rows(), similarity.cols(), |i, j| {
+                let v = similarity[(i, j)];
+                if v.is_nan() {
+                    -2.0
+                } else {
+                    v
+                }
+            });
+            hungarian_matching(&floored)?
+        }
+    };
+    score_predictions(
+        similarity,
+        indices,
+        predicted,
+        known.subject_ids(),
+        anon.subject_ids(),
+    )
+}
+
+/// Which side to blame in a [`CoreError::NonFiniteInput`]: the known matrix
+/// if it is degraded, else the anonymous one.
+fn non_finite_error(known: &GroupMatrix, anon: &GroupMatrix) -> CoreError {
+    let count = |m: &Matrix| m.as_slice().iter().filter(|x| !x.is_finite()).count();
+    let k = count(known.as_matrix());
+    if k > 0 {
+        CoreError::NonFiniteInput {
+            side: "known",
+            n_non_finite: k,
+        }
+    } else {
+        CoreError::NonFiniteInput {
+            side: "anon",
+            n_non_finite: count(anon.as_matrix()),
+        }
+    }
+}
+
+/// Mean-imputed copies of whichever operands need one (`None` = that side
+/// was already clean, use the original).
+fn impute_pair(
+    known: &GroupMatrix,
+    anon: &GroupMatrix,
+    known_clean: bool,
+    anon_clean: bool,
+) -> (Option<GroupMatrix>, Option<GroupMatrix>) {
+    let fix = |g: &GroupMatrix| {
+        let mut out = g.clone();
+        impute_row_means(out.as_matrix_mut());
+        out
+    };
+    (
+        (!known_clean).then(|| fix(known)),
+        (!anon_clean).then(|| fix(anon)),
+    )
 }
 
 /// Matching + ground-truth scoring shared by [`DeanonAttack::run`] and
@@ -241,6 +433,26 @@ fn outcome_from_similarity(
         MatchRule::Argmax => argmax_matching(&similarity)?,
         MatchRule::Hungarian => hungarian_matching(&similarity)?,
     };
+    score_predictions(
+        similarity,
+        selected_features,
+        predicted,
+        known_ids,
+        anon_ids,
+    )
+}
+
+/// Ground-truth scoring shared by the clean and masked paths. A prediction
+/// of `usize::MAX` ("unmatchable", from the lenient matcher) scores as a
+/// miss for subjects that do have a counterpart, so degraded runs report a
+/// real accuracy instead of NaN or an abort.
+fn score_predictions(
+    similarity: Matrix,
+    selected_features: Vec<usize>,
+    predicted: Vec<usize>,
+    known_ids: &[String],
+    anon_ids: &[String],
+) -> Result<AttackOutcome> {
     let truth = ground_truth(known_ids, anon_ids);
     let scored: Vec<(usize, usize)> = predicted
         .iter()
@@ -301,7 +513,11 @@ enum Selector {
 pub struct AttackPlan {
     known: GroupMatrix,
     config: AttackConfig,
-    selector: Selector,
+    /// `None` when the known matrix itself is degraded under the `Mask`
+    /// policy: no factorization is possible, so every run takes the masked
+    /// path (support + selection recomputed per call — the support depends
+    /// on each query's own missingness).
+    selector: Option<Selector>,
     /// `(t, rank_k)` of the artifacts currently in the known-side buffers.
     selection: Option<(usize, Option<usize>)>,
     indices: Vec<usize>,
@@ -315,16 +531,40 @@ impl AttackPlan {
     /// Factors the known matrix (the plan's only factorization) and stores
     /// the reusable artifacts. `known` is taken by value: the plan outlives
     /// individual attacks and needs the subject ids for scoring.
+    ///
+    /// A degraded (non-finite) known matrix is handled at preparation per
+    /// the configured policy: `Reject` errors here, `Impute` stores the
+    /// mean-imputed matrix (one imputation serves every query), and `Mask`
+    /// stores the matrix as-is and runs every query on the masked path.
     pub fn prepare(known: GroupMatrix, config: AttackConfig) -> Result<Self> {
         config.validate()?;
-        let selector = match &config.randomized {
-            None => Selector::Exact(LeverageBank::new(known.as_matrix())?),
-            // Ask for every row: the full descending ordering serves any `t`.
-            Some(cfg) => Selector::Approx(principal_features_approx(
-                known.as_matrix(),
-                known.n_features(),
-                cfg,
-            )?),
+        let known = if known.as_matrix().is_finite() {
+            known
+        } else {
+            match config.degraded {
+                DegradedInput::Reject => {
+                    return Err(non_finite_error(&known, &known));
+                }
+                DegradedInput::Mask => known,
+                DegradedInput::Impute => {
+                    let mut k = known;
+                    impute_row_means(k.as_matrix_mut());
+                    k
+                }
+            }
+        };
+        let selector = if known.as_matrix().is_finite() {
+            Some(match &config.randomized {
+                None => Selector::Exact(LeverageBank::new(known.as_matrix())?),
+                // Ask for every row: the full descending ordering serves any `t`.
+                Some(cfg) => Selector::Approx(principal_features_approx(
+                    known.as_matrix(),
+                    known.n_features(),
+                    cfg,
+                )?),
+            })
+        } else {
+            None
         };
         Ok(AttackPlan {
             known,
@@ -359,6 +599,12 @@ impl AttackPlan {
 
     /// Runs the attack with an overridden feature count and matching rule —
     /// the sweep entry point (vary `t` or the rule without refactorizing).
+    ///
+    /// Degraded operands follow [`AttackConfig::degraded`]: `Reject` errors,
+    /// `Impute` imputes a clone of the anonymous matrix and reuses the
+    /// memoized known-side artifacts, and `Mask` falls back to the
+    /// unmemoized [`masked_attack`] path (the usable support depends on each
+    /// query's own missingness, so nothing can be cached across calls).
     pub fn run_with(
         &mut self,
         anon: &GroupMatrix,
@@ -378,6 +624,41 @@ impl AttackPlan {
             });
         }
         let t = n_features.min(self.known.n_features());
+        if self.selector.is_none() || !anon.as_matrix().is_finite() {
+            match self.config.degraded {
+                DegradedInput::Reject => {
+                    return Err(non_finite_error(&self.known, anon));
+                }
+                DegradedInput::Mask => {
+                    let cfg = AttackConfig {
+                        n_features: t,
+                        match_rule,
+                        ..self.config.clone()
+                    };
+                    return masked_attack(&self.known, anon, &cfg);
+                }
+                DegradedInput::Impute => {
+                    // The known side was imputed at `prepare`; only the
+                    // anonymous operand needs filling before the memoized
+                    // path applies.
+                    let mut filled = anon.clone();
+                    impute_row_means(filled.as_matrix_mut());
+                    return self.run_memoized(&filled, t, match_rule);
+                }
+            }
+        }
+        self.run_memoized(anon, t, match_rule)
+    }
+
+    /// The historical memoized path: selection cache + known-side buffers +
+    /// dense correlation kernels. Requires `self.selector` to be `Some` and
+    /// `anon` to be fully finite.
+    fn run_memoized(
+        &mut self,
+        anon: &GroupMatrix,
+        t: usize,
+        match_rule: MatchRule,
+    ) -> Result<AttackOutcome> {
         self.ensure_selection(t)?;
         // Anonymous side: reduce + z-score into the reusable scratches.
         anon.as_matrix()
@@ -403,7 +684,11 @@ impl AttackPlan {
         }
         // Invalidate first so a failed refresh can't leave a stale key.
         self.selection = None;
-        self.indices = match &self.selector {
+        let selector = self.selector.as_ref().ok_or(CoreError::InvalidParameter {
+            name: "selector",
+            reason: "no factorization available for a mask-degraded known matrix",
+        })?;
+        self.indices = match selector {
             Selector::Exact(bank) => bank.select_indices(t, self.config.rank_k)?,
             Selector::Approx(pf) => pf.indices[..t].to_vec(),
         };
@@ -760,5 +1045,205 @@ mod tests {
         .run(&known, &anon)
         .unwrap();
         assert_eq!(acc.to_bits(), direct.accuracy.to_bits());
+    }
+
+    use neurodeanon_datasets::{corrupt_group, CorruptionKind, CorruptionSpec};
+
+    fn corrupted(g: &GroupMatrix, kind: CorruptionKind, severity: f64) -> GroupMatrix {
+        corrupt_group(
+            g,
+            &CorruptionSpec {
+                kind,
+                severity,
+                seed: 0xFA017,
+            },
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn degraded_policy_parsing() {
+        assert_eq!(DegradedInput::parse("mask").unwrap(), DegradedInput::Mask);
+        assert_eq!(
+            DegradedInput::parse("impute").unwrap(),
+            DegradedInput::Impute
+        );
+        assert_eq!(
+            DegradedInput::parse("reject").unwrap(),
+            DegradedInput::Reject
+        );
+        assert!(DegradedInput::parse("yolo").is_err());
+        assert_eq!(DegradedInput::default(), DegradedInput::Reject);
+    }
+
+    /// The acceptance criterion of the degradation layer: on fully finite
+    /// inputs, every policy takes the exact historical code path.
+    #[test]
+    fn policies_bit_identical_on_clean_inputs() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let baseline = DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        for degraded in [DegradedInput::Mask, DegradedInput::Impute] {
+            let out = DeanonAttack::new(AttackConfig {
+                degraded,
+                ..Default::default()
+            })
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+            outcomes_bit_identical(&baseline, &out);
+            let mut plan = AttackPlan::prepare(
+                known.clone(),
+                AttackConfig {
+                    degraded,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            outcomes_bit_identical(&baseline, &plan.run_against(&anon).unwrap());
+        }
+    }
+
+    #[test]
+    fn reject_policy_errors_identify_the_degraded_side() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let bad_anon = corrupted(&anon, CorruptionKind::NanCells, 0.5);
+        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        assert!(matches!(
+            attack.run(&known, &bad_anon),
+            Err(CoreError::NonFiniteInput { side: "anon", .. })
+        ));
+        let bad_known = corrupted(&known, CorruptionKind::NanRegions, 0.5);
+        assert!(matches!(
+            attack.run(&bad_known, &anon),
+            Err(CoreError::NonFiniteInput { side: "known", .. })
+        ));
+        // The plan refuses a degraded known matrix at preparation time.
+        assert!(matches!(
+            AttackPlan::prepare(bad_known, AttackConfig::default()),
+            Err(CoreError::NonFiniteInput { side: "known", .. })
+        ));
+    }
+
+    #[test]
+    fn mask_and_impute_survive_degraded_inputs() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let bad_anon = corrupted(&anon, CorruptionKind::NanCells, 0.3);
+        for degraded in [DegradedInput::Mask, DegradedInput::Impute] {
+            let out = DeanonAttack::new(AttackConfig {
+                degraded,
+                ..Default::default()
+            })
+            .unwrap()
+            .run(&known, &bad_anon)
+            .unwrap();
+            assert!(out.accuracy.is_finite(), "{degraded}: {}", out.accuracy);
+            // Mild cell dropout must not destroy identification.
+            assert!(out.accuracy >= 0.5, "{degraded}: accuracy {}", out.accuracy);
+        }
+    }
+
+    #[test]
+    fn mask_handles_degraded_known_side_too() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let bad_known = corrupted(&known, CorruptionKind::NanRegions, 0.4);
+        let config = AttackConfig {
+            degraded: DegradedInput::Mask,
+            ..Default::default()
+        };
+        let direct = DeanonAttack::new(config.clone())
+            .unwrap()
+            .run(&bad_known, &anon)
+            .unwrap();
+        assert!(direct.accuracy.is_finite());
+        // A plan over a mask-degraded known has no factorization to memoize
+        // but must produce the identical outcome through the masked path.
+        let mut plan = AttackPlan::prepare(bad_known, config).unwrap();
+        outcomes_bit_identical(&direct, &plan.run_against(&anon).unwrap());
+    }
+
+    #[test]
+    fn plan_parity_with_direct_attack_under_policies() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let bad_anon = corrupted(&anon, CorruptionKind::NanCells, 0.6);
+        for degraded in [DegradedInput::Mask, DegradedInput::Impute] {
+            let config = AttackConfig {
+                degraded,
+                ..Default::default()
+            };
+            let direct = DeanonAttack::new(config.clone())
+                .unwrap()
+                .run(&known, &bad_anon)
+                .unwrap();
+            let mut plan = AttackPlan::prepare(known.clone(), config).unwrap();
+            outcomes_bit_identical(&direct, &plan.run_against(&bad_anon).unwrap());
+        }
+    }
+
+    /// A whole-missing anonymous subject is scored as a miss under `Mask`
+    /// (argmax) rather than aborting the attack on everyone else.
+    #[test]
+    fn dropped_subjects_count_as_misses_under_mask() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let spec = CorruptionSpec {
+            kind: CorruptionKind::DropSubjects,
+            severity: 0.6,
+            seed: 3,
+        };
+        let (bad_anon, report) = corrupt_group(&anon, &spec).unwrap();
+        assert!(report.affected > 0);
+        let out = DeanonAttack::new(AttackConfig {
+            degraded: DegradedInput::Mask,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &bad_anon)
+        .unwrap();
+        let unmatched = out.predicted.iter().filter(|&&p| p == usize::MAX).count();
+        assert_eq!(unmatched, report.affected);
+        assert!(out.accuracy.is_finite());
+        assert!(out.accuracy <= 1.0 - report.affected as f64 / 10.0 + 1e-12);
+    }
+
+    #[test]
+    fn insufficient_support_is_typed() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        // Leave fewer than MASKED_MIN_OVERLAP fully finite feature rows.
+        let n = known.n_features();
+        let mut data = known.as_matrix().clone();
+        for r in 0..n.saturating_sub(MASKED_MIN_OVERLAP - 1) {
+            for s in 0..known.n_subjects() {
+                data[(r, s)] = f64::NAN;
+            }
+        }
+        let starved =
+            GroupMatrix::from_matrix(data, known.subject_ids().to_vec(), c.config().n_regions)
+                .unwrap();
+        let attack = DeanonAttack::new(AttackConfig {
+            degraded: DegradedInput::Mask,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(matches!(
+            attack.run(&starved, &anon),
+            Err(CoreError::InsufficientSupport { .. })
+        ));
     }
 }

@@ -19,6 +19,33 @@ pub enum CoreError {
         /// Constraint description.
         reason: &'static str,
     },
+    /// An input matrix contained NaN/inf under the
+    /// [`Reject`](crate::attack::DegradedInput::Reject) degradation policy.
+    NonFiniteInput {
+        /// Which operand (`"known"` or `"anon"`).
+        side: &'static str,
+        /// How many cells were non-finite.
+        n_non_finite: usize,
+    },
+    /// Under the [`Mask`](crate::attack::DegradedInput::Mask) policy, the
+    /// usable-feature intersection of a degraded known/anonymous pair was
+    /// too small for any correlation to be trustworthy.
+    InsufficientSupport {
+        /// Fully finite feature rows in the known matrix.
+        known_valid: usize,
+        /// Feature rows with at least one finite entry in the anonymous
+        /// matrix.
+        anon_valid: usize,
+        /// Rows in the intersection (what the attack would have to run on).
+        shared: usize,
+    },
+    /// A similarity column contained no finite entry, so the corresponding
+    /// anonymous subject cannot be matched at all (e.g. a whole-missing
+    /// subject column under strict matching).
+    UnmatchableColumn {
+        /// The offending anonymous-subject column.
+        column: usize,
+    },
     /// Error propagated from a substrate crate.
     Linalg(neurodeanon_linalg::LinalgError),
     /// Error from the connectome layer.
@@ -49,6 +76,24 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
+            CoreError::NonFiniteInput { side, n_non_finite } => write!(
+                f,
+                "{side} matrix has {n_non_finite} non-finite cells (policy: reject; \
+                 use the mask or impute degradation policy to attack anyway)"
+            ),
+            CoreError::InsufficientSupport {
+                known_valid,
+                anon_valid,
+                shared,
+            } => write!(
+                f,
+                "degraded inputs share only {shared} usable features \
+                 (known has {known_valid}, anon has {anon_valid}); too few to correlate"
+            ),
+            CoreError::UnmatchableColumn { column } => write!(
+                f,
+                "similarity column {column} has no finite entries; anonymous subject unmatchable"
+            ),
             CoreError::Linalg(e) => write!(f, "linalg: {e}"),
             CoreError::Connectome(e) => write!(f, "connectome: {e}"),
             CoreError::Sampling(e) => write!(f, "sampling: {e}"),

@@ -114,6 +114,7 @@ pub fn ablation_atlas_granularity(
             signature_gain: 1.6,
             signature_instability: 0.58,
             seed,
+            scrub_fd_threshold: None,
         })?;
         let known = cohort.group_matrix(Task::Rest, Session::One)?;
         let anon = cohort.group_matrix(Task::Rest, Session::Two)?;

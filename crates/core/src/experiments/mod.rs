@@ -14,6 +14,7 @@ pub mod localization;
 pub mod multi_site;
 pub mod perf_table;
 pub mod preprocess_ablation;
+pub mod robustness;
 pub mod similarity;
 pub mod task_prediction;
 
@@ -29,5 +30,6 @@ pub use localization::{signature_localization, LocalizationResult};
 pub use multi_site::{multi_site_sweep, MultiSiteResult};
 pub use perf_table::{performance_table, PerformanceTableRow};
 pub use preprocess_ablation::{preprocess_ablation, PreprocessAblationRow};
+pub use robustness::{robustness_sweep, RobustnessPoint, RobustnessResult};
 pub use similarity::{similarity_experiment, SimilarityResult};
 pub use task_prediction::{task_prediction_experiment, TaskPredictionResult};

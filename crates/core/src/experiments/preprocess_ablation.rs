@@ -213,6 +213,7 @@ pub fn preprocess_ablation(
         signature_gain: 1.6,
         signature_instability: 0.4,
         seed: config.seed,
+        scrub_fd_threshold: None,
     })?;
     let attack = DeanonAttack::new(AttackConfig {
         n_features: config.n_features,

@@ -43,7 +43,10 @@ pub mod matching;
 pub mod performance;
 pub mod task_id;
 
-pub use attack::{match_with_features, AttackConfig, AttackOutcome, AttackPlan, DeanonAttack};
+pub use attack::{
+    match_with_features, AttackConfig, AttackOutcome, AttackPlan, DeanonAttack, DegradedInput,
+    MASKED_MIN_OVERLAP,
+};
 pub use error::CoreError;
 
 /// Result alias for attack operations.

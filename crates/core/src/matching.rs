@@ -22,6 +22,21 @@ const MATCH_PAR_THRESHOLD: usize = 1 << 16;
 /// (NaN entries skipped), so the prediction vector is identical at any
 /// thread count.
 pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
+    let out = argmax_matching_lenient(similarity)?;
+    if let Some(column) = out.iter().position(|&p| p == usize::MAX) {
+        // An all-NaN column would previously fall through Vector::argmax
+        // and silently corrupt downstream accuracy; it is a typed error.
+        return Err(CoreError::UnmatchableColumn { column });
+    }
+    Ok(out)
+}
+
+/// [`argmax_matching`] that tolerates unmatchable columns: a column with no
+/// finite entry yields the sentinel `usize::MAX` ("no prediction") instead
+/// of an error. This is the matching rule of the `Mask` degradation policy,
+/// where a whole-missing anonymous subject must count as a miss rather than
+/// abort the attack on every other subject.
+pub fn argmax_matching_lenient(similarity: &Matrix) -> Result<Vec<usize>> {
     if similarity.is_empty() {
         return Err(CoreError::InvalidParameter {
             name: "similarity",
@@ -46,12 +61,6 @@ pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
             slot[0] = bi;
         }
     });
-    if out.contains(&usize::MAX) {
-        return Err(CoreError::InvalidParameter {
-            name: "similarity",
-            reason: "a column is all NaN",
-        });
-    }
     Ok(out)
 }
 
@@ -228,8 +237,35 @@ mod tests {
     }
 
     #[test]
+    fn all_nan_column_is_typed_error() {
+        // Regression: this used to surface as a generic invalid-parameter
+        // error (and before that, silently as whatever Vector::argmax did).
+        let mut s = Matrix::from_fn(3, 3, |i, j| ((i + j) % 3) as f64 * 0.1);
+        for i in 0..3 {
+            s[(i, 1)] = f64::NAN;
+        }
+        assert!(matches!(
+            argmax_matching(&s),
+            Err(CoreError::UnmatchableColumn { column: 1 })
+        ));
+        // The lenient variant reports the sentinel instead.
+        let lenient = argmax_matching_lenient(&s).unwrap();
+        assert_eq!(lenient[1], usize::MAX);
+        assert_ne!(lenient[0], usize::MAX);
+        assert_ne!(lenient[2], usize::MAX);
+    }
+
+    #[test]
+    fn argmax_skips_nan_entries() {
+        let mut s = Matrix::from_rows(&[&[0.9, 0.1], &[0.3, 0.8]]).unwrap();
+        s[(0, 0)] = f64::NAN;
+        assert_eq!(argmax_matching(&s).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
     fn validations() {
         assert!(argmax_matching(&Matrix::zeros(0, 0)).is_err());
+        assert!(argmax_matching_lenient(&Matrix::zeros(0, 0)).is_err());
         assert!(hungarian_matching(&Matrix::zeros(2, 3)).is_err());
         let mut s = Matrix::zeros(2, 2);
         s[(0, 0)] = f64::NAN;

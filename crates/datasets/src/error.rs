@@ -23,6 +23,8 @@ pub enum DatasetError {
     Linalg(neurodeanon_linalg::LinalgError),
     /// Error propagated from the connectome layer.
     Connectome(neurodeanon_connectome::ConnectomeError),
+    /// Error propagated from the preprocessing layer (scrubbing).
+    Preprocess(neurodeanon_preprocess::PreprocessError),
 }
 
 impl fmt::Display for DatasetError {
@@ -37,6 +39,7 @@ impl fmt::Display for DatasetError {
             } => write!(f, "subject {subject} out of range (cohort of {n_subjects})"),
             DatasetError::Linalg(e) => write!(f, "linalg error: {e}"),
             DatasetError::Connectome(e) => write!(f, "connectome error: {e}"),
+            DatasetError::Preprocess(e) => write!(f, "preprocess error: {e}"),
         }
     }
 }
@@ -46,6 +49,7 @@ impl std::error::Error for DatasetError {
         match self {
             DatasetError::Linalg(e) => Some(e),
             DatasetError::Connectome(e) => Some(e),
+            DatasetError::Preprocess(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +64,12 @@ impl From<neurodeanon_linalg::LinalgError> for DatasetError {
 impl From<neurodeanon_connectome::ConnectomeError> for DatasetError {
     fn from(e: neurodeanon_connectome::ConnectomeError) -> Self {
         DatasetError::Connectome(e)
+    }
+}
+
+impl From<neurodeanon_preprocess::PreprocessError> for DatasetError {
+    fn from(e: neurodeanon_preprocess::PreprocessError) -> Self {
+        DatasetError::Preprocess(e)
     }
 }
 

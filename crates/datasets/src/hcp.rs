@@ -48,6 +48,15 @@ pub struct HcpCohortConfig {
     pub signature_instability: f64,
     /// Master seed; everything else derives from it.
     pub seed: u64,
+    /// Optional motion-scrubbing threshold applied to every synthesized
+    /// region × time series before connectome construction (the multiplier
+    /// handed to [`neurodeanon_preprocess::scrub::scrub_spikes`]: frames
+    /// whose framewise displacement exceeds `threshold × median` are
+    /// censored and interpolated). `None` (the default) leaves the series
+    /// untouched, bit-identical to pre-scrubbing cohorts; the robustness
+    /// sweep enables it to round-trip injected spike artifacts through the
+    /// censoring path.
+    pub scrub_fd_threshold: Option<f64>,
 }
 
 impl Default for HcpCohortConfig {
@@ -65,6 +74,7 @@ impl Default for HcpCohortConfig {
             signature_gain: 2.2,
             signature_instability: 0.35,
             seed: 0x4c50_2021,
+            scrub_fd_threshold: None,
         }
     }
 }
@@ -122,6 +132,16 @@ impl HcpCohortConfig {
                 name: "noise_std",
                 reason: "must be non-negative and finite",
             });
+        }
+        if let Some(th) = self.scrub_fd_threshold {
+            // Same domain scrub_spikes itself enforces; reject at config
+            // time so a bad threshold cannot fail deep inside a sweep.
+            if !(th > 1.0 && th.is_finite()) {
+                return Err(DatasetError::InvalidConfig {
+                    name: "scrub_fd_threshold",
+                    reason: "scrub threshold must be a finite multiplier > 1",
+                });
+            }
         }
         Ok(())
     }
@@ -447,8 +467,22 @@ impl HcpCohort {
         format!("sub{subject:04}")
     }
 
-    /// Synthesizes the region × time series for one scan.
+    /// Synthesizes the region × time series for one scan, applying the
+    /// configured motion scrubbing (if any) — see
+    /// [`HcpCohortConfig::scrub_fd_threshold`].
     pub fn region_ts(&self, subject: usize, task: Task, session: Session) -> Result<Matrix> {
+        let mut ts = self.region_ts_raw(subject, task, session)?;
+        if let Some(th) = self.config.scrub_fd_threshold {
+            neurodeanon_preprocess::scrub::scrub_spikes(&mut ts, th)?;
+        }
+        Ok(ts)
+    }
+
+    /// The unscrubbed region × time series for one scan — what the scanner
+    /// produced before any censoring. The corruption module injects faults
+    /// here so that scrubbing can then be measured as a *recovery* step
+    /// (inject → scrub → connectome), matching a real pipeline's ordering.
+    pub fn region_ts_raw(&self, subject: usize, task: Task, session: Session) -> Result<Matrix> {
         if subject >= self.config.n_subjects {
             return Err(DatasetError::SubjectOutOfRange {
                 subject,
@@ -518,6 +552,18 @@ impl HcpCohort {
             self.config.noise_std,
             &mut rng,
         )
+    }
+
+    /// A copy of this cohort with motion scrubbing switched on (or off, via
+    /// `None`) for every subsequently synthesized scan. Loadings and
+    /// phenotypes are shared unchanged, so the scrubbed and unscrubbed
+    /// cohorts describe the same subjects — exactly what the robustness
+    /// sweep needs to measure recovered accuracy after spike injection.
+    pub fn with_scrub_threshold(&self, threshold: Option<f64>) -> Result<Self> {
+        let mut out = self.clone();
+        out.config.scrub_fd_threshold = threshold;
+        out.config.validate()?;
+        Ok(out)
     }
 
     /// The functional connectome of one scan.
@@ -709,6 +755,23 @@ mod tests {
         let a = small().performance(2, Task::Language).unwrap();
         let b = small().performance(2, Task::Language).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scrub_threshold_default_is_bit_identical_legacy() {
+        let cohort = small();
+        let with = cohort.with_scrub_threshold(Some(4.0)).unwrap();
+        let none = with.with_scrub_threshold(None).unwrap();
+        let a = cohort.region_ts(1, Task::Rest, Session::One).unwrap();
+        let b = none.region_ts(1, Task::Rest, Session::One).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Raw synthesis ignores scrubbing entirely.
+        let raw = with.region_ts_raw(1, Task::Rest, Session::One).unwrap();
+        assert_eq!(raw.as_slice(), a.as_slice());
+        assert!(cohort.with_scrub_threshold(Some(0.5)).is_err());
+        assert!(cohort.with_scrub_threshold(Some(f64::NAN)).is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 pub mod adhd;
 pub mod blocks;
+pub mod corruption;
 pub mod error;
 pub mod hcp;
 pub mod model;
@@ -44,6 +45,10 @@ pub mod task;
 
 pub use adhd::{AdhdCohort, AdhdCohortConfig, AdhdGroup};
 pub use blocks::{BlockedScan, BLOCK_LEN, N_SUBTYPES};
+pub use corruption::{
+    corrupt_group, corrupt_ts, corrupted_hcp_group, CorruptionKind, CorruptionReport,
+    CorruptionSpec,
+};
 pub use error::DatasetError;
 pub use hcp::{HcpCohort, HcpCohortConfig};
 pub use model::Session;

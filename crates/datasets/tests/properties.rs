@@ -24,6 +24,7 @@ fn tiny_hcp(seed: u64) -> HcpCohort {
         signature_gain: 1.5,
         signature_instability: 0.3,
         seed,
+        scrub_fd_threshold: None,
     })
     .unwrap()
 }

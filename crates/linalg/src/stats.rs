@@ -26,6 +26,11 @@ const CORR_PAR_THRESHOLD: usize = 1 << 20;
 /// Minimum multiply-add count before `cross_correlation` goes parallel.
 const CROSS_PAR_THRESHOLD: usize = 1 << 20;
 
+/// Minimum element count before the masked (NaN-aware) cross-correlation
+/// spreads output rows over threads. The masked kernel does per-pair work,
+/// so the bar matches the dense kernel's.
+const MASKED_PAR_THRESHOLD: usize = 1 << 20;
+
 /// Streaming mean/variance accumulator (Welford's algorithm).
 ///
 /// Used by the preprocessing QC metrics to summarize long voxel time series
@@ -117,6 +122,69 @@ pub fn zscore_in_place(xs: &mut [f64]) {
     for x in xs.iter_mut() {
         *x = (*x - m) * inv;
     }
+}
+
+/// NaN-aware z-scoring: normalizes the *finite* entries of a slice by their
+/// own mean and population standard deviation, leaving non-finite entries
+/// untouched (NaN stays NaN, so downstream masked kernels still see which
+/// observations are missing).
+///
+/// On a fully finite slice this takes exactly the [`zscore_in_place`] code
+/// path, so the masked and dense kernels are bit-identical on clean data —
+/// the contract the `Mask` degradation policy rests on. Degenerate cases
+/// follow the dense conventions: fewer than one finite entry is a no-op, and
+/// a constant finite subset becomes zeros.
+pub fn zscore_masked_in_place(xs: &mut [f64]) {
+    if xs.iter().all(|x| x.is_finite()) {
+        zscore_in_place(xs);
+        return;
+    }
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for &x in xs.iter() {
+        if x.is_finite() {
+            n += 1;
+            sum += x;
+        }
+    }
+    if n == 0 {
+        return;
+    }
+    let m = sum / n as f64;
+    let mut ss = 0.0;
+    for &x in xs.iter() {
+        if x.is_finite() {
+            ss += (x - m) * (x - m);
+        }
+    }
+    let s = (ss / n as f64).sqrt();
+    if s <= f64::EPSILON * m.abs().max(1.0) {
+        for x in xs.iter_mut() {
+            if x.is_finite() {
+                *x = 0.0;
+            }
+        }
+        return;
+    }
+    let inv = 1.0 / s;
+    for x in xs.iter_mut() {
+        if x.is_finite() {
+            *x = (*x - m) * inv;
+        }
+    }
+}
+
+/// Masked analogue of [`zscore_rows`]: every row is z-scored over its finite
+/// entries via [`zscore_masked_in_place`]; non-finite entries survive as NaN
+/// markers. Bit-identical to [`zscore_rows`] on a fully finite matrix.
+pub fn zscore_rows_masked(m: &mut Matrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    par::par_chunks_mut(m.as_mut_slice(), cols, 2, ZSCORE_PAR_THRESHOLD, |_, row| {
+        zscore_masked_in_place(row)
+    });
 }
 
 /// Z-scores every row of a matrix in place (each row treated as one series).
@@ -346,6 +414,160 @@ pub fn cross_correlation_zscored_into(az: &Matrix, bz: &Matrix, out: &mut Matrix
     Ok(())
 }
 
+/// Pairwise-complete Pearson correlation: correlates two equal-length
+/// series over the observations where **both** are finite.
+///
+/// Returns `Ok(None)` when fewer than `min_overlap` complete pairs exist —
+/// the documented fallback for series whose missing-data patterns barely
+/// overlap: no correlation is measurable, and pretending otherwise would
+/// inject an arbitrary number into the similarity matrix. Length mismatch
+/// and empty input error like [`pearson`]. On fully finite input with
+/// `min_overlap <= len` this is exactly [`pearson`] (same kernel).
+pub fn pearson_masked(x: &[f64], y: &[f64], min_overlap: usize) -> Result<Option<f64>> {
+    if x.len() != y.len() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "pearson_masked",
+            lhs: (1, x.len()),
+            rhs: (1, y.len()),
+        });
+    }
+    if x.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "pearson_masked",
+        });
+    }
+    if x.iter().all(|v| v.is_finite()) && y.iter().all(|v| v.is_finite()) {
+        return if x.len() < min_overlap {
+            Ok(None)
+        } else {
+            pearson(x, y).map(Some)
+        };
+    }
+    let mut xs = Vec::with_capacity(x.len());
+    let mut ys = Vec::with_capacity(y.len());
+    for (&a, &b) in x.iter().zip(y) {
+        if a.is_finite() && b.is_finite() {
+            xs.push(a);
+            ys.push(b);
+        }
+    }
+    if xs.len() < min_overlap.max(1) {
+        return Ok(None);
+    }
+    pearson(&xs, &ys).map(Some)
+}
+
+/// NaN-aware analogue of [`cross_correlation`]: Pearson correlation between
+/// every column of `a` and every column of `b` over pairwise-complete
+/// observations (rows where both columns are finite).
+///
+/// Entries whose overlap is below `min_overlap` are `NaN` — "no measurable
+/// similarity" — which the matching layer treats as an unusable candidate
+/// rather than a confident score. Column pairs that are fully finite take
+/// the same z-score + scaled-dot kernel as [`cross_correlation`], so on a
+/// fully finite input the result is **bit-identical** to the dense path;
+/// partially observed pairs are re-centered on their own overlap
+/// (pairwise-complete Pearson, exact, not an approximation from the global
+/// z-scores).
+pub fn cross_correlation_masked(a: &Matrix, b: &Matrix, min_overlap: usize) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation_masked",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if a.is_empty() || b.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation_masked",
+        });
+    }
+    // Operate on transposed copies (rows = subject series): raw for the
+    // pairwise-complete entries, masked-z-scored for the dense fast path.
+    let (at, bt) = par::par_join(|| a.transpose(), || b.transpose());
+    let (az, bz) = par::par_join(
+        || {
+            let mut az = at.clone();
+            zscore_rows_masked(&mut az);
+            az
+        },
+        || {
+            let mut bz = bt.clone();
+            zscore_rows_masked(&mut bz);
+            bz
+        },
+    );
+    let a_finite: Vec<bool> = (0..at.rows())
+        .map(|i| at.row(i).iter().all(|v| v.is_finite()))
+        .collect();
+    let b_finite: Vec<bool> = (0..bt.rows())
+        .map(|j| bt.row(j).iter().all(|v| v.is_finite()))
+        .collect();
+    let t_len = at.cols();
+    let inv = 1.0 / t_len as f64;
+    let bcols = bt.rows();
+    let mut out = Matrix::zeros(at.rows(), bcols);
+    let (at, bt, az, bz) = (&at, &bt, &az, &bz);
+    let (a_finite, b_finite) = (&a_finite, &b_finite);
+    par::par_chunks_mut(
+        out.as_mut_slice(),
+        bcols,
+        t_len,
+        MASKED_PAR_THRESHOLD,
+        |i, orow| {
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = if a_finite[i] && b_finite[j] {
+                    if t_len < min_overlap {
+                        f64::NAN
+                    } else {
+                        (dot(az.row(i), bz.row(j)) * inv).clamp(-1.0, 1.0)
+                    }
+                } else {
+                    // Exact pairwise-complete Pearson on the raw series.
+                    match pearson_masked(at.row(i), bt.row(j), min_overlap) {
+                        Ok(Some(r)) => r,
+                        // Overlap too small (or, unreachably here, a shape
+                        // error): no measurable similarity.
+                        _ => f64::NAN,
+                    }
+                };
+            }
+        },
+    );
+    Ok(out)
+}
+
+/// Replaces every non-finite cell of `m` with the mean of the *finite*
+/// entries in its row (the group-level mean-imputation used by the
+/// `Impute` degradation policy: a missing feature observation is replaced
+/// by that feature's cohort average). Rows with no finite entry at all are
+/// imputed to `0.0`. Returns the number of cells imputed.
+pub fn impute_row_means(m: &mut Matrix) -> usize {
+    let mut imputed = 0usize;
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for &x in row.iter() {
+            if x.is_finite() {
+                n += 1;
+                sum += x;
+            }
+        }
+        if n == row.len() {
+            continue;
+        }
+        let fill = if n == 0 { 0.0 } else { sum / n as f64 };
+        for x in row.iter_mut() {
+            if !x.is_finite() {
+                *x = fill;
+                imputed += 1;
+            }
+        }
+    }
+    imputed
+}
+
 /// Normalized root-mean-squared error, in percent, as used by Table 1.
 ///
 /// `nRMSE = 100 · sqrt(mean((pred − truth)²)) / (max(truth) − min(truth))`.
@@ -552,6 +774,114 @@ mod tests {
         let a = Matrix::zeros(5, 2);
         let b = Matrix::zeros(6, 2);
         assert!(cross_correlation(&a, &b).is_err());
+    }
+
+    #[test]
+    fn zscore_masked_matches_dense_on_finite() {
+        let mut a = vec![0.3, -1.2, 2.5, 0.0, 1.1, 4.4];
+        let mut b = a.clone();
+        zscore_in_place(&mut a);
+        zscore_masked_in_place(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn zscore_masked_ignores_nan() {
+        let mut xs = vec![1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0, 5.0];
+        zscore_masked_in_place(&mut xs);
+        assert!(xs[1].is_nan() && xs[4].is_nan());
+        let finite: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+        assert!(mean(&finite).abs() < 1e-12);
+        assert!((variance(&finite) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zscore_masked_constant_and_empty_support() {
+        let mut xs = vec![7.0, f64::NAN, 7.0, 7.0];
+        zscore_masked_in_place(&mut xs);
+        assert_eq!(&xs[..1], &[0.0]);
+        assert!(xs[1].is_nan());
+        let mut none = vec![f64::NAN, f64::NAN];
+        zscore_masked_in_place(&mut none);
+        assert!(none.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    fn pearson_masked_matches_pearson_on_finite() {
+        let x = [0.3, -1.2, 2.5, 0.0, 1.1];
+        let y = [1.0, 0.2, -0.7, 0.9, 2.2];
+        let dense = pearson(&x, &y).unwrap();
+        let masked = pearson_masked(&x, &y, 4).unwrap().unwrap();
+        assert_eq!(dense.to_bits(), masked.to_bits());
+    }
+
+    #[test]
+    fn pearson_masked_uses_pairwise_complete_overlap() {
+        // NaN in either series drops that observation from both.
+        let x = [1.0, 2.0, f64::NAN, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.0, 1.0, f64::NAN, 8.0, 10.0];
+        let r = pearson_masked(&x, &y, 2).unwrap().unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_masked_small_overlap_is_none() {
+        let x = [1.0, f64::NAN, f64::NAN, 4.0];
+        let y = [f64::NAN, 2.0, 3.0, 8.0];
+        assert_eq!(pearson_masked(&x, &y, 2).unwrap(), None);
+        assert!(pearson_masked(&x, &[1.0], 2).is_err());
+    }
+
+    #[test]
+    fn cross_correlation_masked_bit_identical_on_finite() {
+        let a = Matrix::from_fn(40, 6, |r, c| ((r * 3 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(40, 5, |r, c| ((r * 5 + c * 11) % 9) as f64 - 4.0);
+        let dense = cross_correlation(&a, &b).unwrap();
+        let masked = cross_correlation_masked(&a, &b, 4).unwrap();
+        assert_eq!(dense.shape(), masked.shape());
+        for (x, y) in dense.as_slice().iter().zip(masked.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn cross_correlation_masked_recovers_through_nan() {
+        // Column 0 of `a` has two missing observations; the surviving overlap
+        // still correlates perfectly with column 0 of `b`.
+        let mut a = Matrix::from_fn(10, 2, |r, c| (r * (c + 1)) as f64);
+        let b = a.clone();
+        a[(3, 0)] = f64::NAN;
+        a[(7, 0)] = f64::NAN;
+        let x = cross_correlation_masked(&a, &b, 4).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        // Fully observed pair is untouched.
+        assert!((x[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_correlation_masked_under_overlap_is_nan() {
+        let mut a = Matrix::from_fn(6, 2, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f64);
+        for r in 0..5 {
+            a[(r, 0)] = f64::NAN;
+        }
+        let x = cross_correlation_masked(&a, &b, 4).unwrap();
+        assert!(x[(0, 0)].is_nan() && x[(0, 1)].is_nan());
+        assert!(x[(1, 0)].is_finite());
+    }
+
+    #[test]
+    fn impute_row_means_fills_and_counts() {
+        let mut m =
+            Matrix::from_rows(&[&[1.0, f64::NAN, 3.0], &[f64::NAN, f64::NAN, f64::NAN]]).unwrap();
+        let n = impute_row_means(&mut m);
+        assert_eq!(n, 4);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert!(m.row(1).iter().all(|&x| x == 0.0));
+        // Idempotent on a finite matrix.
+        assert_eq!(impute_row_means(&mut m), 0);
     }
 
     #[test]

@@ -16,12 +16,15 @@
 //!   factors a matrix once and serves every `(t, rank_k)` selection.
 //! * [`sketch`] — error functionals for both guarantees: the additive bound
 //!   of Equation 2 and the relative projection bound of Equation 4.
+//! * [`support`] — feature-support intersection for degraded inputs: which
+//!   rows of a NaN-containing known/anonymous pair the attack can still use.
 
 pub mod distribution;
 pub mod error;
 pub mod principal;
 pub mod row_sample;
 pub mod sketch;
+pub mod support;
 
 pub use distribution::SamplingDistribution;
 pub use error::SamplingError;
@@ -29,6 +32,7 @@ pub use principal::{
     principal_features, principal_features_approx, LeverageBank, PrincipalFeatures,
 };
 pub use row_sample::{row_sample, RowSample};
+pub use support::{finite_rows, intersect_sorted, rows_with_any_finite, shared_support};
 
 /// Result alias for sampling operations.
 pub type Result<T> = std::result::Result<T, SamplingError>;

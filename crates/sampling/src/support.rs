@@ -1,0 +1,108 @@
+//! Feature-support computation for degraded (NaN-containing) group matrices.
+//!
+//! When a query connectome arrives with censored frames or dropped regions,
+//! some of its feature rows are NaN. The attack can still run on the
+//! *intersection* of the features both sides actually observed: the known
+//! matrix contributes the rows its SVD can be trusted on (fully finite), the
+//! anonymous matrix contributes every row with at least one usable subject
+//! entry, and per-pair missingness inside that intersection is handled by
+//! the pairwise-complete correlation kernel downstream.
+
+use neurodeanon_linalg::Matrix;
+
+/// Indices of rows of `m` whose entries are all finite, ascending.
+///
+/// This is the support definition for the *known* (de-anonymized) side: the
+/// leverage-score factorization is only meaningful on rows with no missing
+/// observations.
+pub fn finite_rows(m: &Matrix) -> Vec<usize> {
+    (0..m.rows())
+        .filter(|&r| m.row(r).iter().all(|x| x.is_finite()))
+        .collect()
+}
+
+/// Indices of rows of `m` with at least one finite entry, ascending.
+///
+/// This is the support definition for the *anonymous* side: a row missing
+/// for some subjects still carries signal for the others, and the masked
+/// correlation kernel drops the missing pairs per column. Requiring full
+/// finiteness here would let a single all-NaN subject column (a
+/// whole-missing-subject fault) empty the entire support.
+pub fn rows_with_any_finite(m: &Matrix) -> Vec<usize> {
+    (0..m.rows())
+        .filter(|&r| m.row(r).iter().any(|x| x.is_finite()))
+        .collect()
+}
+
+/// Intersection of two ascending, duplicate-free index lists, ascending.
+pub fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The shared feature support of a known/anonymous matrix pair:
+/// fully-finite rows of `known` ∩ rows of `anon` with any finite entry.
+///
+/// Returns the global (pre-restriction) row indices, ascending, so selected
+/// features can be reported in the original feature space.
+pub fn shared_support(known: &Matrix, anon: &Matrix) -> Vec<usize> {
+    intersect_sorted(&finite_rows(known), &rows_with_any_finite(anon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_rows_drops_any_nan() {
+        let mut m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64);
+        m[(1, 2)] = f64::NAN;
+        m[(3, 0)] = f64::INFINITY;
+        assert_eq!(finite_rows(&m), vec![0, 2]);
+    }
+
+    #[test]
+    fn any_finite_keeps_partial_rows() {
+        let mut m = Matrix::from_fn(3, 2, |_, _| 1.0);
+        m[(1, 0)] = f64::NAN;
+        m[(2, 0)] = f64::NAN;
+        m[(2, 1)] = f64::NAN;
+        assert_eq!(rows_with_any_finite(&m), vec![0, 1]);
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[0, 2, 4, 6], &[1, 2, 3, 6]), vec![2, 6]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[5], &[5]), vec![5]);
+    }
+
+    #[test]
+    fn shared_support_asymmetric_definitions() {
+        // Row 0: clean both sides. Row 1: partial NaN on anon side only
+        // (kept). Row 2: partial NaN on known side (dropped).
+        let mut known = Matrix::from_fn(3, 2, |r, c| (r + c) as f64);
+        let mut anon = known.clone();
+        anon[(1, 0)] = f64::NAN;
+        known[(2, 1)] = f64::NAN;
+        assert_eq!(shared_support(&known, &anon), vec![0, 1]);
+    }
+
+    #[test]
+    fn shared_support_full_on_clean() {
+        let m = Matrix::from_fn(5, 2, |r, c| (r * 2 + c) as f64);
+        assert_eq!(shared_support(&m, &m), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -44,6 +44,7 @@ fn main() {
         signature_gain: 1.8,
         signature_instability: 0.3,
         seed,
+        scrub_fd_threshold: None,
     })
     .expect("valid cohort");
 

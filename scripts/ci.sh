@@ -28,11 +28,26 @@ cargo test -q --offline
 echo "==> cargo check --benches --features criterion-bench --offline"
 cargo check -p neurodeanon-bench --benches --features criterion-bench --offline
 
+# The corruption/degradation property suite promises no panics and
+# bit-identical outcomes at any thread count; pin it explicitly at both
+# counts (the full-suite runs above cover it too, but this is the contract
+# the robustness layer ships on, so name it).
+echo "==> corruption property suite @ NEURODEANON_THREADS=1 and 8"
+NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test robustness_properties
+NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test robustness_properties
+
 # Bench smoke: the sweeps bench at small scale appends its records to the
 # JSON trajectory and asserts plan/direct bit-identity, the one-SVD-per-plan
 # invariant, and that the trajectory parses with testkit::json.
 echo "==> bench smoke: sweeps @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
 NEURODEANON_BENCH_SCALE=small \
   cargo bench -p neurodeanon-bench --bench sweeps --features criterion-bench --offline
+
+# Robustness smoke: the corruption-severity sweep at small scale must emit a
+# parseable JSONL curve whose severity-0 points are bit-identical to the
+# clean baseline and whose curves decay weakly monotonically.
+echo "==> bench smoke: robustness @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
+NEURODEANON_BENCH_SCALE=small \
+  cargo bench -p neurodeanon-bench --bench robustness --features criterion-bench --offline
 
 echo "CI green."

@@ -24,6 +24,7 @@ fn voxel_cohort(seed: u64) -> HcpCohort {
         signature_gain: 1.8,
         signature_instability: 0.3,
         seed,
+        scrub_fd_threshold: None,
     })
     .unwrap()
 }
