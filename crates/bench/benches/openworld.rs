@@ -1,0 +1,165 @@
+//! Open-world evaluation sweep: enrollment-rate × rejection-threshold grid
+//! over the rest/rest release pair, recorded to the bench JSON trajectory
+//! (`NEURODEANON_BENCH_JSON`, default `bench_results.jsonl`) as groups
+//! `openworld_cmc` and `openworld_roc`.
+//!
+//! Invariants asserted here, not just in the unit suites:
+//! - the `enroll_rate = 1.0` row reproduces the closed-world baseline
+//!   accuracy **bit-identically** (the open-world layer's acceptance
+//!   criterion);
+//! - every CMC curve is monotone non-decreasing and ends at the closed-set
+//!   hit rate;
+//! - TPIR and FPIR are weakly decreasing along the threshold sweep;
+//! - the appended JSONL trajectory re-parses with `testkit::json`.
+//!
+//! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
+//! runs the full HCP shape with a denser rate/threshold grid).
+
+use neurodeanon_bench::scale::Scale;
+use neurodeanon_bench::timing::{self, Bench};
+use neurodeanon_core::experiments::openworld::{openworld_sweep, OpenWorldResult};
+use neurodeanon_testkit::json;
+use std::path::PathBuf;
+
+fn bench_json_path() -> PathBuf {
+    std::env::var("NEURODEANON_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results.jsonl"))
+}
+
+fn assert_result_invariants(r: &OpenWorldResult) {
+    assert_eq!(r.cmc.len(), r.n_enrolled, "CMC has one entry per rank");
+    for w in r.cmc.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "rate {}: CMC not monotone ({} then {})",
+            r.enroll_rate,
+            w[0],
+            w[1]
+        );
+    }
+    assert_eq!(
+        *r.cmc.last().unwrap(),
+        1.0,
+        "rate {}: finite-score CMC must end at hit rate 1",
+        r.enroll_rate
+    );
+    for w in r.roc.windows(2) {
+        assert!(
+            w[1].tpir <= w[0].tpir,
+            "rate {}: TPIR rose with threshold",
+            r.enroll_rate
+        );
+        assert!(
+            !(w[1].fpir > w[0].fpir),
+            "rate {}: FPIR rose with threshold",
+            r.enroll_rate
+        );
+    }
+}
+
+fn main() {
+    let scale = match std::env::var("NEURODEANON_BENCH_SCALE") {
+        Ok(v) => Scale::parse(&v).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        Err(_) => Scale::Small,
+    };
+    let (scale_name, rates, thresholds): (&str, &[f64], &[f64]) = match scale {
+        Scale::Small => ("small", &[0.25, 0.5, 1.0], &[0.0, 0.02, 0.05, 0.1, 0.5]),
+        Scale::Paper => (
+            "paper",
+            &[0.1, 0.25, 0.5, 0.75, 0.9, 1.0],
+            &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 1.0],
+        ),
+    };
+    let json_path = bench_json_path();
+    let cohort = scale.hcp(0x09e2_11d0);
+    let b = Bench::new("openworld").iters(1).warmup(0);
+
+    let mut res = None;
+    let sample = b.run(&format!("openworld_sweep_{scale_name}"), || {
+        res = Some(openworld_sweep(&cohort, rates, thresholds, 0x5eed).unwrap());
+    });
+    let res = res.expect("sweep ran");
+
+    assert!(
+        res.baseline_accuracy.is_finite() && res.baseline_accuracy > 0.5,
+        "implausible closed-world baseline {}",
+        res.baseline_accuracy
+    );
+    let full = res
+        .results
+        .iter()
+        .find(|r| r.enroll_rate == 1.0)
+        .expect("the grid includes the closed-world corner");
+    assert_eq!(
+        full.rank1_accuracy.to_bits(),
+        res.baseline_accuracy.to_bits(),
+        "rate 1.0 must collapse onto the closed-world accuracy bit-for-bit"
+    );
+    assert_eq!(full.n_impostors, 0);
+
+    let mut records = 0usize;
+    for r in &res.results {
+        assert_result_invariants(r);
+        let rank5 = r.cmc.get(4).copied().unwrap_or(1.0);
+        let cmc_rec = json!({
+            "group": "openworld_cmc",
+            "scale": scale_name,
+            "enroll_rate": r.enroll_rate,
+            "n_enrolled": r.n_enrolled as f64,
+            "n_impostors": r.n_impostors as f64,
+            "baseline_accuracy": res.baseline_accuracy,
+            "rank1_accuracy": r.rank1_accuracy,
+            "rank5_accuracy": rank5,
+            "cmc": r.cmc.clone(),
+            "sweep_ns": sample.median.as_nanos() as f64,
+        });
+        if let Err(e) = timing::append_jsonl(&json_path, &cmc_rec) {
+            eprintln!("bench json append failed for {}: {e}", json_path.display());
+        }
+        records += 1;
+        for p in &r.roc {
+            // NaN FPIR (no impostors at rate 1.0) serializes as null.
+            let roc_rec = json!({
+                "group": "openworld_roc",
+                "scale": scale_name,
+                "enroll_rate": r.enroll_rate,
+                "threshold": p.threshold,
+                "tpir": p.tpir,
+                "fpir": p.fpir,
+                "fnir": p.fnir,
+            });
+            if let Err(e) = timing::append_jsonl(&json_path, &roc_rec) {
+                eprintln!("bench json append failed for {}: {e}", json_path.display());
+            }
+            records += 1;
+        }
+        println!(
+            "rate {:.2}: gallery {}, impostors {}, rank-1 {:.3}, TPIR@0 {:.3}",
+            r.enroll_rate, r.n_enrolled, r.n_impostors, r.rank1_accuracy, r.roc[0].tpir
+        );
+    }
+
+    // The trajectory must stay machine-readable end to end.
+    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let mut ours = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v = neurodeanon_testkit::json::parse(line).expect("trajectory line parses as JSON");
+        match v.get("group").and_then(|g| g.as_str()) {
+            Some("openworld_cmc") | Some("openworld_roc") => ours += 1,
+            _ => {}
+        }
+    }
+    assert!(
+        ours >= records,
+        "expected {records} openworld records in the trajectory, found {ours}"
+    );
+    println!(
+        "trajectory {} verified: {ours} openworld records (baseline {:.3})",
+        json_path.display(),
+        res.baseline_accuracy
+    );
+}

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! deanon --known archive.csv --anon release.csv [--features 100] [--hungarian]
-//!        [--degraded-policy reject|mask|impute]
+//!        [--degraded-policy reject|mask|impute] [--enroll-rate R] [--reject-margin T]
 //! ```
 //!
 //! Missing observations in the CSVs (empty cells, `NaN`) are handled per
@@ -15,19 +15,31 @@
 //! `impute` mean-fills before attacking. Records the masked attack cannot
 //! place print `unidentifiable` instead of a fabricated identity.
 //!
+//! Open-world evaluation (DESIGN.md §1.4): `--enroll-rate R` enrolls only a
+//! seeded fraction `R` of the known subjects as the gallery, turning the
+//! rest of the anonymous queries into impostors; `--reject-margin T`
+//! demotes predictions whose best-vs-runner-up similarity margin falls
+//! below `T` to `unidentifiable` instead of naming a low-confidence match.
+//!
 //! A `--demo` flag synthesizes the two files from the built-in HCP-like
 //! cohort first, so the tool can be tried without data.
 
 use neurodeanon_connectome::io::{read_group_csv, write_group_csv};
 use neurodeanon_core::attack::{AttackConfig, AttackPlan, DegradedInput, MatchRule};
+use neurodeanon_core::matching::Decision;
+use neurodeanon_core::splits::enrollment_split;
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
 use std::path::PathBuf;
+
+/// Seed for the `--enroll-rate` gallery split: fixed so repeated runs on
+/// the same inputs enroll the same subjects.
+const SPLIT_SEED: u64 = 0x5eed;
 
 fn fail(msg: &str) -> ! {
     eprintln!("deanon: {msg}");
     eprintln!(
         "usage: deanon --known FILE.csv --anon FILE.csv [--features N] [--hungarian] \
-         [--degraded-policy reject|mask|impute] [--demo]"
+         [--degraded-policy reject|mask|impute] [--enroll-rate R] [--reject-margin T] [--demo]"
     );
     std::process::exit(2);
 }
@@ -39,6 +51,8 @@ fn main() {
     let mut n_features = 100usize;
     let mut rule = MatchRule::Argmax;
     let mut degraded = DegradedInput::Reject;
+    let mut enroll_rate: Option<f64> = None;
+    let mut reject_margin: Option<f64> = None;
     let mut demo = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,6 +81,28 @@ fn main() {
                         .unwrap_or_else(|| fail("--degraded-policy needs a value")),
                 )
                 .unwrap_or_else(|_| fail("--degraded-policy must be reject, mask, or impute"));
+            }
+            "--enroll-rate" => {
+                let r: f64 = it
+                    .next()
+                    .unwrap_or_else(|| fail("--enroll-rate needs a fraction"))
+                    .parse()
+                    .unwrap_or_else(|_| fail("--enroll-rate must be a number in [0, 1]"));
+                if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                    fail("--enroll-rate must be a number in [0, 1]");
+                }
+                enroll_rate = Some(r);
+            }
+            "--reject-margin" => {
+                let t: f64 = it
+                    .next()
+                    .unwrap_or_else(|| fail("--reject-margin needs a threshold"))
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reject-margin must be a finite number"));
+                if !t.is_finite() {
+                    fail("--reject-margin must be a finite number");
+                }
+                reject_margin = Some(t);
             }
             "--demo" => demo = true,
             "--help" | "-h" => fail("prints predicted identities for anonymous records"),
@@ -102,7 +138,7 @@ fn main() {
 
     let known_path = known_path.unwrap_or_else(|| fail("missing --known"));
     let anon_path = anon_path.unwrap_or_else(|| fail("missing --anon"));
-    let known = read_group_csv(&known_path)
+    let mut known = read_group_csv(&known_path)
         .unwrap_or_else(|e| fail(&format!("reading {}: {e}", known_path.display())));
     let anon = read_group_csv(&anon_path)
         .unwrap_or_else(|e| fail(&format!("reading {}: {e}", anon_path.display())));
@@ -113,12 +149,26 @@ fn main() {
         anon.n_subjects()
     );
 
+    if let Some(rate) = enroll_rate {
+        let split = enrollment_split(known.n_subjects(), rate, SPLIT_SEED)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        known = split
+            .gallery(&known)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        eprintln!(
+            "open-world gallery: {} of {} subjects enrolled (rate {rate}, seed {SPLIT_SEED:#x})",
+            split.enrolled().len(),
+            split.n_subjects()
+        );
+    }
+
     let mut plan = AttackPlan::prepare(
         known,
         AttackConfig {
             n_features,
             match_rule: rule,
             degraded,
+            reject_margin,
             ..Default::default()
         },
     )
@@ -128,19 +178,23 @@ fn main() {
         .unwrap_or_else(|e| fail(&e.to_string()));
 
     println!("record,predicted_identity,similarity");
-    for (j, &i) in outcome.predicted.iter().enumerate() {
-        // The mask policy marks whole-missing records with the no-prediction
-        // sentinel rather than fabricating a match.
-        if i == usize::MAX {
-            println!("{},unidentifiable,", anon.subject_ids()[j]);
-            continue;
+    for (j, d) in outcome.decisions.iter().enumerate() {
+        // Rejections — the mask policy's no-prediction sentinel and any
+        // below-margin match under `--reject-margin` — print the
+        // `unidentifiable` marker rather than fabricating an identity.
+        match *d {
+            Decision::Reject => println!("{},unidentifiable,", anon.subject_ids()[j]),
+            Decision::Match(i) => println!(
+                "{},{},{:.4}",
+                anon.subject_ids()[j],
+                plan.known().subject_ids()[i],
+                outcome.similarity[(i, j)]
+            ),
         }
-        println!(
-            "{},{},{:.4}",
-            anon.subject_ids()[j],
-            plan.known().subject_ids()[i],
-            outcome.similarity[(i, j)]
-        );
+    }
+    let n_rejected = outcome.n_rejected();
+    if n_rejected > 0 {
+        eprintln!("{n_rejected} record(s) rejected as unidentifiable");
     }
     if outcome.accuracy.is_finite() {
         eprintln!(

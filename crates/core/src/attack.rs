@@ -17,7 +17,7 @@
 
 use crate::error::CoreError;
 use crate::matching::{
-    argmax_matching, argmax_matching_lenient, hungarian_matching, matching_accuracy,
+    argmax_matching, argmax_matching_lenient, hungarian_matching, matching_accuracy, Decision,
 };
 use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
@@ -119,6 +119,13 @@ pub struct AttackConfig {
     /// Policy for NaN/inf cells in either input ([`DegradedInput::Reject`]
     /// by default).
     pub degraded: DegradedInput,
+    /// Open-world rejection threshold on the match margin (best minus
+    /// runner-up similarity): a predicted match whose margin falls below
+    /// this value is demoted to [`Decision::Reject`] instead of naming a
+    /// gallery subject. `None` (the default) disables rejection entirely —
+    /// the historical closed-world behavior, bit-for-bit. See DESIGN.md
+    /// §1.4 for the decision contract.
+    pub reject_margin: Option<f64>,
 }
 
 impl AttackConfig {
@@ -139,6 +146,14 @@ impl AttackConfig {
                 });
             }
         }
+        if let Some(m) = self.reject_margin {
+            if !m.is_finite() {
+                return Err(CoreError::InvalidParameter {
+                    name: "reject_margin",
+                    reason: "rejection threshold must be finite",
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -151,6 +166,7 @@ impl Default for AttackConfig {
             randomized: None,
             match_rule: MatchRule::Argmax,
             degraded: DegradedInput::default(),
+            reject_margin: None,
         }
     }
 }
@@ -164,6 +180,12 @@ pub struct AttackOutcome {
     pub similarity: Matrix,
     /// Predicted known-subject index for each anonymous subject.
     pub predicted: Vec<usize>,
+    /// Thresholded open-world decision per anonymous subject. With
+    /// [`AttackConfig::reject_margin`] unset, this mirrors `predicted`
+    /// (`Match(p)` everywhere, `Reject` only for the `usize::MAX`
+    /// no-prediction sentinel of the mask policy); with a threshold set,
+    /// low-margin predictions are demoted to [`Decision::Reject`].
+    pub decisions: Vec<Decision>,
     /// Ground-truth known index for each anonymous subject (`usize::MAX`
     /// when the anonymous subject has no counterpart in the known group).
     pub truth: Vec<usize>,
@@ -224,6 +246,11 @@ impl AttackOutcome {
                 }
             })
             .collect()
+    }
+
+    /// Number of queries the decision layer rejected as unidentifiable.
+    pub fn n_rejected(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_reject()).count()
     }
 
     /// Mean of the off-diagonal (different-subject) similarities.
@@ -322,6 +349,7 @@ fn clean_attack(
         known.subject_ids(),
         anon.subject_ids(),
         config.match_rule,
+        config.reject_margin,
     )
 }
 
@@ -379,6 +407,7 @@ fn masked_attack(
         predicted,
         known.subject_ids(),
         anon.subject_ids(),
+        config.reject_margin,
     )
 }
 
@@ -428,6 +457,7 @@ fn outcome_from_similarity(
     known_ids: &[String],
     anon_ids: &[String],
     match_rule: MatchRule,
+    reject_margin: Option<f64>,
 ) -> Result<AttackOutcome> {
     let predicted = match match_rule {
         MatchRule::Argmax => argmax_matching(&similarity)?,
@@ -439,6 +469,7 @@ fn outcome_from_similarity(
         predicted,
         known_ids,
         anon_ids,
+        reject_margin,
     )
 }
 
@@ -446,12 +477,19 @@ fn outcome_from_similarity(
 /// of `usize::MAX` ("unmatchable", from the lenient matcher) scores as a
 /// miss for subjects that do have a counterpart, so degraded runs report a
 /// real accuracy instead of NaN or an abort.
+///
+/// `accuracy` is always the *closed-world* score of the raw predictions —
+/// the decision layer never changes it, so enabling `reject_margin` leaves
+/// every historical accuracy number bit-identical. Open-world rates
+/// (TPIR/FPIR) are derived from `decisions` by the callers that need them
+/// (`experiments::openworld`).
 fn score_predictions(
     similarity: Matrix,
     selected_features: Vec<usize>,
     predicted: Vec<usize>,
     known_ids: &[String],
     anon_ids: &[String],
+    reject_margin: Option<f64>,
 ) -> Result<AttackOutcome> {
     let truth = ground_truth(known_ids, anon_ids);
     let scored: Vec<(usize, usize)> = predicted
@@ -465,13 +503,78 @@ fn score_predictions(
     } else {
         scored.iter().filter(|(p, t)| p == t).count() as f64 / scored.len() as f64
     };
+    let decisions = decisions_from(&similarity, &predicted, reject_margin);
     Ok(AttackOutcome {
         similarity,
         predicted,
+        decisions,
         truth,
         accuracy,
         selected_features,
     })
+}
+
+/// The decision layer over a prediction vector: each predicted index is
+/// accepted unless its margin over the best *other* gallery candidate falls
+/// below the threshold. For the argmax rule this is exactly
+/// [`crate::matching::decide_matching`] (best minus second-best); for the
+/// Hungarian rule the margin is measured around the *assigned* subject, so
+/// an assignment that is not even its column's argmax carries a negative
+/// margin and rejects first.
+fn decisions_from(
+    similarity: &Matrix,
+    predicted: &[usize],
+    reject_margin: Option<f64>,
+) -> Vec<Decision> {
+    let Some(threshold) = reject_margin else {
+        // Rejection disabled: only the no-prediction sentinel rejects.
+        return predicted
+            .iter()
+            .map(|&p| {
+                if p == usize::MAX {
+                    Decision::Reject
+                } else {
+                    Decision::Match(p)
+                }
+            })
+            .collect();
+    };
+    let rows = similarity.rows();
+    predicted
+        .iter()
+        .enumerate()
+        .map(|(j, &p)| {
+            if p == usize::MAX {
+                return Decision::Reject;
+            }
+            let score = similarity[(p, j)];
+            if score.is_nan() {
+                return Decision::Reject;
+            }
+            let mut runner_up = f64::NEG_INFINITY;
+            for i in 0..rows {
+                if i == p {
+                    continue;
+                }
+                let v = similarity[(i, j)];
+                if v > runner_up {
+                    runner_up = v;
+                }
+            }
+            // No finite runner-up ⇒ undefined margin ⇒ accept (NaN < t is
+            // false), mirroring `matching::decide`.
+            let margin = if runner_up.is_finite() {
+                score - runner_up
+            } else {
+                f64::NAN
+            };
+            if margin < threshold {
+                Decision::Reject
+            } else {
+                Decision::Match(p)
+            }
+        })
+        .collect()
 }
 
 /// The feature selector a plan memoizes: either the exact thin-SVD leverage
@@ -672,6 +775,7 @@ impl AttackPlan {
             self.known.subject_ids(),
             anon.subject_ids(),
             match_rule,
+            self.config.reject_margin,
         )
     }
 
@@ -905,6 +1009,141 @@ mod tests {
     }
 
     #[test]
+    fn rejection_disabled_mirrors_predictions() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let out = DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        assert_eq!(out.decisions.len(), out.predicted.len());
+        for (d, &p) in out.decisions.iter().zip(&out.predicted) {
+            assert_eq!(*d, Decision::Match(p));
+        }
+        assert_eq!(out.n_rejected(), 0);
+    }
+
+    #[test]
+    fn zero_margin_threshold_rejects_nothing_and_changes_no_bits() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let baseline = DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        let thresholded = DeanonAttack::new(AttackConfig {
+            reject_margin: Some(0.0),
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+        outcomes_bit_identical(&baseline, &thresholded);
+    }
+
+    #[test]
+    fn absurd_margin_threshold_rejects_everyone_but_keeps_accuracy() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let baseline = DeanonAttack::new(AttackConfig::default())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        let out = DeanonAttack::new(AttackConfig {
+            reject_margin: Some(10.0),
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+        assert_eq!(out.n_rejected(), 10);
+        assert!(out.decisions.iter().all(|d| d.is_reject()));
+        // The closed-world accuracy is a property of the raw predictions
+        // and must not move when the decision layer rejects.
+        assert_eq!(out.accuracy.to_bits(), baseline.accuracy.to_bits());
+        assert_eq!(out.predicted, baseline.predicted);
+    }
+
+    #[test]
+    fn plan_and_direct_agree_under_rejection() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Language, Session::Two).unwrap();
+        let config = AttackConfig {
+            reject_margin: Some(0.05),
+            ..Default::default()
+        };
+        let direct = DeanonAttack::new(config.clone())
+            .unwrap()
+            .run(&known, &anon)
+            .unwrap();
+        let mut plan = AttackPlan::prepare(known, config).unwrap();
+        outcomes_bit_identical(&direct, &plan.run_against(&anon).unwrap());
+    }
+
+    #[test]
+    fn argmax_decisions_match_the_matching_layer() {
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let threshold = 0.08;
+        let out = DeanonAttack::new(AttackConfig {
+            reject_margin: Some(threshold),
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &anon)
+        .unwrap();
+        let reference = crate::matching::decide_matching(&out.similarity, threshold).unwrap();
+        assert_eq!(out.decisions, reference);
+    }
+
+    #[test]
+    fn non_finite_reject_margin_is_invalid() {
+        assert!(DeanonAttack::new(AttackConfig {
+            reject_margin: Some(f64::NAN),
+            ..Default::default()
+        })
+        .is_err());
+        assert!(DeanonAttack::new(AttackConfig {
+            reject_margin: Some(f64::INFINITY),
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn mask_sentinel_becomes_a_first_class_rejection() {
+        // The robustness PR printed `unidentifiable` off the usize::MAX
+        // sentinel; the decision layer now carries that as Decision::Reject
+        // even with no threshold configured.
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let spec = CorruptionSpec {
+            kind: CorruptionKind::DropSubjects,
+            severity: 0.6,
+            seed: 3,
+        };
+        let (bad_anon, report) = corrupt_group(&anon, &spec).unwrap();
+        assert!(report.affected > 0);
+        let out = DeanonAttack::new(AttackConfig {
+            degraded: DegradedInput::Mask,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&known, &bad_anon)
+        .unwrap();
+        assert_eq!(out.n_rejected(), report.affected);
+        for (d, &p) in out.decisions.iter().zip(&out.predicted) {
+            assert_eq!(d.is_reject(), p == usize::MAX);
+        }
+    }
+
+    #[test]
     fn subject_key_parsing() {
         assert_eq!(subject_key("sub0042/REST/LR"), "sub0042");
         assert_eq!(subject_key("plain"), "plain");
@@ -934,6 +1173,7 @@ mod tests {
 
     fn outcomes_bit_identical(a: &AttackOutcome, b: &AttackOutcome) {
         assert_eq!(a.predicted, b.predicted);
+        assert_eq!(a.decisions, b.decisions);
         assert_eq!(a.truth, b.truth);
         assert_eq!(a.selected_features, b.selected_features);
         assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());

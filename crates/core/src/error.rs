@@ -20,9 +20,11 @@ pub enum CoreError {
         reason: &'static str,
     },
     /// An input matrix contained NaN/inf under the
-    /// [`Reject`](crate::attack::DegradedInput::Reject) degradation policy.
+    /// [`Reject`](crate::attack::DegradedInput::Reject) degradation policy,
+    /// or a similarity matrix handed to the Hungarian assignment was
+    /// partially degraded.
     NonFiniteInput {
-        /// Which operand (`"known"` or `"anon"`).
+        /// Which operand (`"known"`, `"anon"`, or `"similarity"`).
         side: &'static str,
         /// How many cells were non-finite.
         n_non_finite: usize,
@@ -76,11 +78,17 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            CoreError::NonFiniteInput { side, n_non_finite } => write!(
-                f,
-                "{side} matrix has {n_non_finite} non-finite cells (policy: reject; \
-                 use the mask or impute degradation policy to attack anyway)"
-            ),
+            CoreError::NonFiniteInput { side, n_non_finite } => {
+                write!(f, "{side} matrix has {n_non_finite} non-finite cells")?;
+                if *side != "similarity" {
+                    write!(
+                        f,
+                        " (policy: reject; use the mask or impute degradation \
+                         policy to attack anyway)"
+                    )?;
+                }
+                Ok(())
+            }
             CoreError::InsufficientSupport {
                 known_valid,
                 anon_valid,

@@ -12,6 +12,7 @@ pub mod cross_task;
 pub mod defense_sweep;
 pub mod localization;
 pub mod multi_site;
+pub mod openworld;
 pub mod perf_table;
 pub mod preprocess_ablation;
 pub mod robustness;
@@ -28,6 +29,9 @@ pub use cross_task::{cross_task_matrix, CrossTaskResult};
 pub use defense_sweep::{defense_sweep, DefenseSweepResult};
 pub use localization::{signature_localization, LocalizationResult};
 pub use multi_site::{multi_site_sweep, MultiSiteResult};
+pub use openworld::{
+    cmc_curve, openworld_sweep, roc_curve, OpenWorldResult, OpenWorldSweep, RocPoint,
+};
 pub use perf_table::{performance_table, PerformanceTableRow};
 pub use preprocess_ablation::{preprocess_ablation, PreprocessAblationRow};
 pub use robustness::{robustness_sweep, RobustnessPoint, RobustnessResult};

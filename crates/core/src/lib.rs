@@ -10,8 +10,13 @@
 //!   matrix and an anonymous one, select the principal-features subspace by
 //!   leverage scores of the de-anonymized matrix, correlate subjects across
 //!   the reduced matrices, and match (Figure 3's workflow).
-//! * [`matching`] — greedy argmax matching (the paper's rule) and an
-//!   optimal Hungarian assignment for the ablation.
+//! * [`matching`] — greedy argmax matching (the paper's rule), an optimal
+//!   Hungarian assignment for the ablation, and the open-world
+//!   score/decision layer ([`matching::match_scores`],
+//!   [`matching::Decision`]).
+//! * [`splits`] — deterministic seeded enrollment splits for open-world
+//!   evaluation: only a fraction of query subjects are enrolled in the
+//!   gallery, the rest query as impostors.
 //! * [`task_id`] — the t-SNE task-identification attack (§3.3.2): stack all
 //!   conditions, embed to 2-D, transfer labels by 1-NN.
 //! * [`performance`] — task-performance prediction (§3.3.3): leverage
@@ -41,6 +46,7 @@ pub mod error;
 pub mod experiments;
 pub mod matching;
 pub mod performance;
+pub mod splits;
 pub mod task_id;
 
 pub use attack::{
@@ -48,6 +54,8 @@ pub use attack::{
     MASKED_MIN_OVERLAP,
 };
 pub use error::CoreError;
+pub use matching::{Decision, MatchScore};
+pub use splits::{enrollment_split, EnrollmentSplit};
 
 /// Result alias for attack operations.
 pub type Result<T> = std::result::Result<T, CoreError>;

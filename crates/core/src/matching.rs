@@ -5,6 +5,13 @@
 //! the highest correlation ([`argmax_matching`]). The ablation additionally
 //! evaluates the globally optimal one-to-one assignment
 //! ([`hungarian_matching`], Kuhn–Munkres on the negated similarity).
+//!
+//! The closed-world rules above always name *some* gallery subject. The
+//! open-world layer (DESIGN.md §1.4) is built from two additions:
+//! [`match_scores`], the score-returning variant exposing each column's
+//! best candidate plus its margin over the runner-up, and [`decide`] /
+//! [`decide_matching`], the margin-thresholded decision rule mapping every
+//! query to [`Decision::Match`] or [`Decision::Reject`].
 
 use crate::error::CoreError;
 use crate::Result;
@@ -64,6 +71,129 @@ pub fn argmax_matching_lenient(similarity: &Matrix) -> Result<Vec<usize>> {
     Ok(out)
 }
 
+/// Verdict of the open-world decision layer for one anonymous query.
+///
+/// `Reject` is the first-class form of the CLI's historical
+/// `unidentifiable` sentinel: a cautious attacker (or an honest evaluator
+/// facing impostor queries) declines to name anyone rather than fabricate
+/// a low-confidence identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Accepted: the predicted known-subject (gallery) index.
+    Match(usize),
+    /// Rejected as unidentifiable — the margin fell below the threshold or
+    /// the query had no usable candidate at all.
+    Reject,
+}
+
+impl Decision {
+    /// The accepted gallery index, `None` on rejection.
+    pub fn matched(self) -> Option<usize> {
+        match self {
+            Decision::Match(i) => Some(i),
+            Decision::Reject => None,
+        }
+    }
+
+    /// Whether this query was rejected.
+    pub fn is_reject(self) -> bool {
+        self == Decision::Reject
+    }
+}
+
+/// Best candidate of one similarity column, with the evidence the decision
+/// layer thresholds on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchScore {
+    /// Row index of the best finite entry (first-max-wins, bit-identical
+    /// to [`argmax_matching_lenient`]).
+    pub best: usize,
+    /// The best similarity itself.
+    pub score: f64,
+    /// Gap to the runner-up (`best − second`). `NaN` when no finite
+    /// runner-up exists (single-row gallery): the margin is *undefined*,
+    /// not infinitely confident — mirroring
+    /// [`AttackOutcome::match_margins`](crate::AttackOutcome::match_margins).
+    pub margin: f64,
+}
+
+/// Per-column best scores: `result[j]` describes the strongest known-subject
+/// candidate for anonymous subject `j`, or `None` when the column has no
+/// finite entry. The `best` indices are exactly
+/// [`argmax_matching_lenient`]'s predictions (same first-max-wins scan,
+/// same NaN skipping), so score-based and index-based call sites agree
+/// bit-for-bit at any thread count.
+pub fn match_scores(similarity: &Matrix) -> Result<Vec<Option<MatchScore>>> {
+    if similarity.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "similarity",
+            reason: "empty similarity matrix",
+        });
+    }
+    let rows = similarity.rows();
+    let mut out: Vec<Option<MatchScore>> = vec![None; similarity.cols()];
+    par::par_chunks_mut(&mut out, 1, rows, MATCH_PAR_THRESHOLD, |j, slot| {
+        let mut best: Option<(usize, f64)> = None;
+        let mut second = f64::NEG_INFINITY;
+        for i in 0..rows {
+            let v = similarity[(i, j)];
+            if v.is_nan() {
+                continue;
+            }
+            match best {
+                Some((_, bv)) if bv >= v => {
+                    if v > second {
+                        second = v;
+                    }
+                }
+                Some((_, bv)) => {
+                    second = second.max(bv);
+                    best = Some((i, v));
+                }
+                None => best = Some((i, v)),
+            }
+        }
+        slot[0] = best.map(|(bi, bv)| MatchScore {
+            best: bi,
+            score: bv,
+            margin: if second.is_finite() {
+                bv - second
+            } else {
+                f64::NAN
+            },
+        });
+    });
+    Ok(out)
+}
+
+/// The margin-thresholded decision rule: a query matches its best candidate
+/// when its margin is at least `margin_threshold`, and is rejected
+/// otherwise (or when it has no candidate at all).
+///
+/// Contract details:
+/// * A threshold of `0.0` (or anything non-positive) never rejects a
+///   query with a genuine argmax — margins are non-negative by
+///   construction, so thresholding only begins to bite above zero.
+/// * An *undefined* margin (`NaN`, single-row gallery) never rejects: with
+///   no runner-up there is no evidence of ambiguity to threshold on.
+pub fn decide(scores: &[Option<MatchScore>], margin_threshold: f64) -> Vec<Decision> {
+    scores
+        .iter()
+        .map(|s| match s {
+            None => Decision::Reject,
+            // NaN < t is false, so undefined margins always accept.
+            Some(ms) if ms.margin < margin_threshold => Decision::Reject,
+            Some(ms) => Decision::Match(ms.best),
+        })
+        .collect()
+}
+
+/// [`match_scores`] composed with [`decide`]: one call from a similarity
+/// matrix to open-world decisions.
+pub fn decide_matching(similarity: &Matrix, margin_threshold: f64) -> Result<Vec<Decision>> {
+    Ok(decide(&match_scores(similarity)?, margin_threshold))
+}
+
 /// Optimal one-to-one assignment maximizing total similarity (Kuhn–Munkres,
 /// a.k.a. Hungarian algorithm, O(n³)). Requires a square matrix; `result[j]`
 /// = the known subject assigned to anonymous subject `j`.
@@ -76,9 +206,23 @@ pub fn hungarian_matching(similarity: &Matrix) -> Result<Vec<usize>> {
         });
     }
     if !similarity.is_finite() {
-        return Err(CoreError::InvalidParameter {
-            name: "similarity",
-            reason: "similarity contains NaN/inf",
+        // Same typed-error contract as `argmax_matching`: a whole-missing
+        // column names the unmatchable subject; any other non-finite cell
+        // is a degraded similarity the assignment cannot rank (previously a
+        // generic invalid-parameter error).
+        for j in 0..n {
+            if (0..n).all(|i| !similarity[(i, j)].is_finite()) {
+                return Err(CoreError::UnmatchableColumn { column: j });
+            }
+        }
+        let n_non_finite = similarity
+            .as_slice()
+            .iter()
+            .filter(|v| !v.is_finite())
+            .count();
+        return Err(CoreError::NonFiniteInput {
+            side: "similarity",
+            n_non_finite,
         });
     }
     // Minimize cost = -similarity. Classic O(n³) potentials formulation
@@ -253,6 +397,133 @@ mod tests {
         assert_eq!(lenient[1], usize::MAX);
         assert_ne!(lenient[0], usize::MAX);
         assert_ne!(lenient[2], usize::MAX);
+    }
+
+    #[test]
+    fn hungarian_one_by_one_assigns_the_only_pair() {
+        let s = Matrix::from_rows(&[&[0.3]]).unwrap();
+        assert_eq!(hungarian_matching(&s).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn hungarian_non_square_is_rejected() {
+        assert!(matches!(
+            hungarian_matching(&Matrix::zeros(2, 3)),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            hungarian_matching(&Matrix::zeros(3, 2)),
+            Err(CoreError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn hungarian_all_nan_column_is_typed_error() {
+        // Parity with `argmax_matching`'s all_nan_column_is_typed_error:
+        // the unmatchable subject is named, not folded into a generic
+        // parameter error.
+        let mut s = Matrix::from_fn(3, 3, |i, j| ((i + j) % 3) as f64 * 0.1);
+        for i in 0..3 {
+            s[(i, 2)] = f64::NAN;
+        }
+        assert!(matches!(
+            hungarian_matching(&s),
+            Err(CoreError::UnmatchableColumn { column: 2 })
+        ));
+    }
+
+    #[test]
+    fn hungarian_partially_degraded_similarity_is_typed_error() {
+        let mut s = Matrix::from_fn(3, 3, |i, j| ((i * 3 + j) % 5) as f64 * 0.1);
+        s[(0, 1)] = f64::NAN;
+        s[(2, 0)] = f64::INFINITY;
+        match hungarian_matching(&s) {
+            Err(CoreError::NonFiniteInput {
+                side: "similarity",
+                n_non_finite,
+            }) => assert_eq!(n_non_finite, 2),
+            other => panic!("expected NonFiniteInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_scores_agree_with_lenient_argmax() {
+        let mut s =
+            Matrix::from_rows(&[&[0.9, 0.1, 0.2], &[0.3, 0.8, 0.1], &[0.2, 0.4, 0.7]]).unwrap();
+        s[(0, 1)] = f64::NAN;
+        let scores = match_scores(&s).unwrap();
+        let lenient = argmax_matching_lenient(&s).unwrap();
+        for (j, sc) in scores.iter().enumerate() {
+            assert_eq!(sc.unwrap().best, lenient[j]);
+        }
+        // Column 0: best 0.9 over runner-up 0.3.
+        let ms = scores[0].unwrap();
+        assert_eq!(ms.best, 0);
+        assert_eq!(ms.score, 0.9);
+        assert!((ms.margin - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn match_scores_margin_undefined_with_single_row() {
+        let s = Matrix::from_rows(&[&[0.5, -0.2]]).unwrap();
+        let scores = match_scores(&s).unwrap();
+        for sc in &scores {
+            let ms = sc.unwrap();
+            assert_eq!(ms.best, 0);
+            assert!(ms.margin.is_nan());
+        }
+        // Undefined margins never reject, at any threshold.
+        let d = decide(&scores, 10.0);
+        assert_eq!(d, vec![Decision::Match(0), Decision::Match(0)]);
+    }
+
+    #[test]
+    fn match_scores_none_for_all_nan_column() {
+        let mut s = Matrix::from_fn(2, 2, |_, _| 0.1);
+        s[(0, 1)] = f64::NAN;
+        s[(1, 1)] = f64::NAN;
+        let scores = match_scores(&s).unwrap();
+        assert!(scores[0].is_some());
+        assert!(scores[1].is_none());
+        assert_eq!(
+            decide(&scores, f64::NEG_INFINITY),
+            vec![Decision::Match(0), Decision::Reject]
+        );
+    }
+
+    #[test]
+    fn zero_threshold_never_rejects_a_genuine_argmax() {
+        let s = Matrix::from_fn(4, 5, |i, j| (((i * 7 + j * 3) % 11) as f64) / 11.0);
+        let decisions = decide_matching(&s, 0.0).unwrap();
+        let argmax = argmax_matching(&s).unwrap();
+        for (d, &p) in decisions.iter().zip(&argmax) {
+            assert_eq!(*d, Decision::Match(p));
+        }
+        // Ties produce margin 0, which a zero threshold still accepts.
+        let tied = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.1]]).unwrap();
+        let d = decide_matching(&tied, 0.0).unwrap();
+        assert_eq!(d, vec![Decision::Match(0), Decision::Match(0)]);
+    }
+
+    #[test]
+    fn rejections_grow_monotonically_with_the_threshold() {
+        let s = Matrix::from_fn(6, 8, |i, j| (((i * 13 + j * 5) % 17) as f64) / 17.0);
+        let scores = match_scores(&s).unwrap();
+        let mut last = 0usize;
+        for t in [0.0, 0.05, 0.1, 0.3, 0.8, 2.0] {
+            let n_rej = decide(&scores, t).iter().filter(|d| d.is_reject()).count();
+            assert!(n_rej >= last, "rejections shrank at threshold {t}");
+            last = n_rej;
+        }
+        assert_eq!(last, 8, "a threshold above any margin rejects everyone");
+    }
+
+    #[test]
+    fn decision_accessors() {
+        assert_eq!(Decision::Match(3).matched(), Some(3));
+        assert_eq!(Decision::Reject.matched(), None);
+        assert!(Decision::Reject.is_reject());
+        assert!(!Decision::Match(0).is_reject());
     }
 
     #[test]

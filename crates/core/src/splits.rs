@@ -1,0 +1,176 @@
+//! Deterministic open-world enrollment splits.
+//!
+//! The paper's protocol is closed-world: every anonymous query subject is
+//! guaranteed to be enrolled in the de-anonymized gallery. Real linkage
+//! (e.g. cross-dataset ADNI-style attacks) is open-world — most queries
+//! have no gallery counterpart and a credible attack must *reject* them.
+//! This module produces the split an open-world evaluation needs: a seeded
+//! partition of a cohort's subjects into **enrolled** (present in the
+//! gallery) and **impostors** (queried but never enrolled), modeled on the
+//! `enroll` / `anon_test` split scheme of the seba evaluation pipeline
+//! (SNIPPETS.md §3).
+//!
+//! Determinism contract (DESIGN.md §1.4): a split is a pure function of
+//! `(n_subjects, enroll_rate, seed)` — no thread count, no global state —
+//! and both index lists are returned **sorted ascending**, so an enrollment
+//! rate of `1.0` yields the identity subject selection and the downstream
+//! attack collapses bit-for-bit onto the historical closed-world path.
+
+use crate::error::CoreError;
+use crate::Result;
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_linalg::Rng64;
+
+/// A seeded open-world partition of `n_subjects` query subjects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnrollmentSplit {
+    /// Subject indices enrolled in the gallery, sorted ascending.
+    enrolled: Vec<usize>,
+    /// Subject indices absent from the gallery (impostor queries), sorted
+    /// ascending. Disjoint from `enrolled`; the union is `0..n_subjects`.
+    impostors: Vec<usize>,
+    /// The requested enrollment rate.
+    pub enroll_rate: f64,
+    /// The seed the partition was drawn from.
+    pub seed: u64,
+}
+
+impl EnrollmentSplit {
+    /// Gallery-side subject indices (sorted ascending).
+    pub fn enrolled(&self) -> &[usize] {
+        &self.enrolled
+    }
+
+    /// Impostor subject indices (sorted ascending).
+    pub fn impostors(&self) -> &[usize] {
+        &self.impostors
+    }
+
+    /// Total subjects the split partitions.
+    pub fn n_subjects(&self) -> usize {
+        self.enrolled.len() + self.impostors.len()
+    }
+
+    /// Whether the given subject index is enrolled.
+    pub fn is_enrolled(&self, subject: usize) -> bool {
+        self.enrolled.binary_search(&subject).is_ok()
+    }
+
+    /// The gallery: the known-side group restricted to the enrolled
+    /// subjects. Because the enrolled list is sorted, a rate-1.0 split
+    /// returns a column-order-preserving copy — bit-identical input to the
+    /// closed-world attack.
+    pub fn gallery(&self, known: &GroupMatrix) -> Result<GroupMatrix> {
+        if known.n_subjects() != self.n_subjects() {
+            return Err(CoreError::InvalidParameter {
+                name: "known",
+                reason: "group subject count differs from the split's",
+            });
+        }
+        Ok(known.select_subjects(&self.enrolled)?)
+    }
+}
+
+/// Draws the enrollment split: `round(enroll_rate · n_subjects)` subjects
+/// (clamped to at least one — an empty gallery cannot be attacked) are
+/// enrolled uniformly at random from a seeded shuffle; the rest become
+/// impostor queries.
+///
+/// Deterministic and thread-count-independent: the only randomness is the
+/// sequential [`Rng64`] stream of `seed`, so the same arguments reproduce
+/// the same split bit-for-bit anywhere.
+pub fn enrollment_split(n_subjects: usize, enroll_rate: f64, seed: u64) -> Result<EnrollmentSplit> {
+    if n_subjects == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "n_subjects",
+            reason: "cannot split an empty cohort",
+        });
+    }
+    if !enroll_rate.is_finite() || !(0.0..=1.0).contains(&enroll_rate) {
+        return Err(CoreError::InvalidParameter {
+            name: "enroll_rate",
+            reason: "must be a finite fraction in [0, 1]",
+        });
+    }
+    let n_enrolled = ((enroll_rate * n_subjects as f64).round() as usize).clamp(1, n_subjects);
+    let mut order: Vec<usize> = (0..n_subjects).collect();
+    Rng64::new(seed).shuffle(&mut order);
+    let mut enrolled = order[..n_enrolled].to_vec();
+    let mut impostors = order[n_enrolled..].to_vec();
+    enrolled.sort_unstable();
+    impostors.sort_unstable();
+    Ok(EnrollmentSplit {
+        enrolled,
+        impostors,
+        enroll_rate,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_the_cohort() {
+        let s = enrollment_split(20, 0.4, 7).unwrap();
+        assert_eq!(s.enrolled().len(), 8);
+        assert_eq!(s.impostors().len(), 12);
+        let mut all: Vec<usize> = s.enrolled().iter().chain(s.impostors()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).collect::<Vec<_>>());
+        // Sorted and disjoint by construction.
+        assert!(s.enrolled().windows(2).all(|w| w[0] < w[1]));
+        assert!(s.impostors().windows(2).all(|w| w[0] < w[1]));
+        assert!(s.impostors().iter().all(|&i| !s.is_enrolled(i)));
+        assert!(s.enrolled().iter().all(|&i| s.is_enrolled(i)));
+    }
+
+    #[test]
+    fn full_enrollment_is_the_identity_selection() {
+        let s = enrollment_split(9, 1.0, 123).unwrap();
+        assert_eq!(s.enrolled(), (0..9).collect::<Vec<_>>());
+        assert!(s.impostors().is_empty());
+    }
+
+    #[test]
+    fn rate_zero_still_enrolls_one_subject() {
+        let s = enrollment_split(5, 0.0, 3).unwrap();
+        assert_eq!(s.enrolled().len(), 1);
+        assert_eq!(s.impostors().len(), 4);
+    }
+
+    #[test]
+    fn split_is_seed_replayable_and_seed_sensitive() {
+        let a = enrollment_split(30, 0.5, 42).unwrap();
+        let b = enrollment_split(30, 0.5, 42).unwrap();
+        assert_eq!(a, b);
+        // Different seeds must (at this size) disagree on membership.
+        let c = enrollment_split(30, 0.5, 43).unwrap();
+        assert_ne!(a.enrolled(), c.enrolled());
+    }
+
+    #[test]
+    fn validations() {
+        assert!(enrollment_split(0, 0.5, 1).is_err());
+        assert!(enrollment_split(10, -0.1, 1).is_err());
+        assert!(enrollment_split(10, 1.5, 1).is_err());
+        assert!(enrollment_split(10, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn gallery_selects_enrolled_columns() {
+        use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+        let c = HcpCohort::generate(HcpCohortConfig::small(6, 5)).unwrap();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let s = enrollment_split(6, 0.5, 9).unwrap();
+        let gallery = s.gallery(&known).unwrap();
+        assert_eq!(gallery.n_subjects(), 3);
+        for (col, &subj) in s.enrolled().iter().enumerate() {
+            assert_eq!(gallery.subject_ids()[col], known.subject_ids()[subj]);
+        }
+        // Subject-count mismatch is a typed error.
+        let other = enrollment_split(7, 0.5, 9).unwrap();
+        assert!(other.gallery(&known).is_err());
+    }
+}

@@ -1,0 +1,249 @@
+//! Property suite for the open-world evaluation layer (DESIGN.md §1.4):
+//! enrollment splits, the margin-thresholded decision layer, and the
+//! CMC/ROC metrics. Run directly by `scripts/ci.sh` at both
+//! `NEURODEANON_THREADS=1` and `=8` — every number here must be
+//! bit-identical across thread counts.
+//!
+//! The suites draw their parameters through the testkit's `weighted` /
+//! `one_of_enum` generators and replay a small regression corpus of seeds
+//! before the random cases, so past failures stay pinned.
+
+use neurodeanon_core::attack::{AttackConfig, AttackPlan};
+use neurodeanon_core::experiments::{cmc_curve, roc_curve};
+use neurodeanon_core::matching::{
+    argmax_matching, decide, match_scores, matching_accuracy, Decision,
+};
+use neurodeanon_core::{enrollment_split, CoreError};
+use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_linalg::par::with_thread_count;
+use neurodeanon_linalg::Matrix;
+use neurodeanon_testkit::gen::{f64_in, matrix_in, one_of_enum, u64_in, weighted};
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
+
+/// Seeds that once exposed (or nearly exposed) boundary behavior —
+/// replayed verbatim before the random cases of every suite below.
+const CORPUS: &[u64] = &[0, 1, 41, 97, 1337];
+
+fn cohort(seed: u64) -> HcpCohort {
+    HcpCohort::generate(HcpCohortConfig::small(8, seed)).unwrap()
+}
+
+/// An enrollment split is a valid partition: enrolled ∪ impostors is a
+/// permutation of `0..n`, both halves sorted, disjoint, and the enrolled
+/// count follows the documented round-then-clamp rule.
+#[test]
+fn split_is_a_sorted_partition() {
+    // Weighted toward boundary rates: the interesting arithmetic lives at
+    // the clamp edges, not mid-range.
+    let rate_gen = weighted(vec![
+        (1.0, f64_in(0.0..0.011)),
+        (2.0, f64_in(0.05..0.95)),
+        (1.0, f64_in(0.99..1.0)),
+    ]);
+    forall!(Config::cases(30).with_corpus(CORPUS),
+            (n in one_of_enum(&[1usize, 2, 3, 7, 20, 64]), rate in rate_gen, seed in u64_in(..)) => {
+        let s = enrollment_split(n, rate, seed).unwrap();
+        let expected = ((rate * n as f64).round() as usize).clamp(1, n);
+        tk_assert_eq!(s.enrolled().len(), expected, "n={n} rate={rate}");
+        tk_assert_eq!(s.n_subjects(), n);
+        let mut all: Vec<usize> = s.enrolled().iter().chain(s.impostors()).copied().collect();
+        all.sort_unstable();
+        tk_assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a partition");
+        tk_assert!(s.enrolled().windows(2).all(|w| w[0] < w[1]), "enrolled unsorted/dup");
+        tk_assert!(s.impostors().windows(2).all(|w| w[0] < w[1]), "impostors unsorted/dup");
+        tk_assert!(s.impostors().iter().all(|&i| !s.is_enrolled(i)), "overlap");
+    });
+}
+
+/// Splits are a pure function of `(n, rate, seed)`: replayable, and
+/// indifferent to the thread count (they never touch `linalg::par`, and
+/// this pins that).
+#[test]
+fn split_is_seed_replayable_and_thread_count_free() {
+    forall!(Config::cases(20).with_corpus(CORPUS),
+            (n in one_of_enum(&[3usize, 9, 33]), rate in f64_in(0.1..0.9), seed in u64_in(..)) => {
+        let a = enrollment_split(n, rate, seed).unwrap();
+        let b = enrollment_split(n, rate, seed).unwrap();
+        tk_assert_eq!(a, b, "replay");
+        let t1 = with_thread_count(1, || enrollment_split(n, rate, seed).unwrap());
+        let t8 = with_thread_count(8, || enrollment_split(n, rate, seed).unwrap());
+        tk_assert_eq!(t1, t8, "thread count leaked into the split");
+    });
+}
+
+/// A rate-1.0 split's gallery is the identity selection, and the attack
+/// over it reproduces the closed-world outcome bit-for-bit — similarity,
+/// predictions, accuracy, everything.
+#[test]
+fn full_enrollment_collapses_to_closed_world_bitwise() {
+    forall!(Config::cases(4).with_corpus(&[41]), (seed in u64_in(0..1000)) => {
+        let c = cohort(seed);
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+        let baseline = AttackPlan::prepare(known.clone(), AttackConfig::default())
+            .unwrap()
+            .run_against(&anon)
+            .unwrap();
+        let split = enrollment_split(known.n_subjects(), 1.0, seed).unwrap();
+        tk_assert!(split.impostors().is_empty());
+        let gallery = split.gallery(&known).unwrap();
+        let open = AttackPlan::prepare(gallery, AttackConfig::default())
+            .unwrap()
+            .run_against(&anon)
+            .unwrap();
+        tk_assert_eq!(baseline.predicted, open.predicted);
+        tk_assert_eq!(baseline.truth, open.truth);
+        tk_assert_eq!(baseline.decisions, open.decisions);
+        tk_assert_eq!(baseline.accuracy.to_bits(), open.accuracy.to_bits());
+        for (x, y) in baseline.similarity.as_slice().iter().zip(open.similarity.as_slice()) {
+            tk_assert_eq!(x.to_bits(), y.to_bits(), "similarity diverged");
+        }
+    });
+}
+
+/// The open-world attack path (split gallery + impostor queries + margin
+/// rejection + metrics) is bit-identical at 1 and 8 threads.
+#[test]
+fn openworld_attack_bit_identical_across_thread_counts() {
+    forall!(Config::cases(4).with_corpus(&[97]),
+            (seed in u64_in(0..1000), rate in one_of_enum(&[0.25f64, 0.5, 0.75])) => {
+        let run = || {
+            let c = cohort(seed);
+            let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+            let anon = c.group_matrix(Task::Rest, Session::Two).unwrap();
+            let split = enrollment_split(known.n_subjects(), rate, seed).unwrap();
+            let gallery = split.gallery(&known).unwrap();
+            let config = AttackConfig { reject_margin: Some(0.05), ..Default::default() };
+            let out = AttackPlan::prepare(gallery, config)
+                .unwrap()
+                .run_against(&anon)
+                .unwrap();
+            let cmc = cmc_curve(&out.similarity, &out.truth).unwrap();
+            let roc = roc_curve(&out.similarity, &out.truth, &[0.0, 0.05, 0.2]).unwrap();
+            (out, cmc, roc)
+        };
+        let (out1, cmc1, roc1) = with_thread_count(1, run);
+        let (out8, cmc8, roc8) = with_thread_count(8, run);
+        tk_assert_eq!(out1.predicted, out8.predicted, "rate={rate}");
+        tk_assert_eq!(out1.decisions, out8.decisions, "rate={rate}");
+        for (x, y) in out1.similarity.as_slice().iter().zip(out8.similarity.as_slice()) {
+            tk_assert_eq!(x.to_bits(), y.to_bits(), "similarity diverged");
+        }
+        for (x, y) in cmc1.iter().zip(&cmc8) {
+            tk_assert_eq!(x.to_bits(), y.to_bits(), "CMC diverged");
+        }
+        for (a, b) in roc1.iter().zip(&roc8) {
+            tk_assert_eq!(a.tpir.to_bits(), b.tpir.to_bits(), "TPIR diverged");
+            tk_assert_eq!(a.fpir.to_bits(), b.fpir.to_bits(), "FPIR diverged");
+        }
+    });
+}
+
+/// CMC is monotone non-decreasing, bounded in [0, 1], its rank-1 entry
+/// equals the closed-world argmax accuracy bit-for-bit, and on all-finite
+/// scores the curve ends at 1 (the closed-set hit rate).
+#[test]
+fn cmc_is_monotone_and_anchored_to_argmax_accuracy() {
+    forall!(Config::cases(25).with_corpus(CORPUS), (s in matrix_in(6, 10, -1.0, 1.0)) => {
+        let truth: Vec<usize> = (0..10).map(|j| j % 6).collect();
+        let cmc = cmc_curve(&s, &truth).unwrap();
+        tk_assert_eq!(cmc.len(), 6);
+        tk_assert!(cmc.iter().all(|&v| (0.0..=1.0).contains(&v)), "out of [0,1]");
+        for w in cmc.windows(2) {
+            tk_assert!(w[1] >= w[0], "CMC not monotone: {} then {}", w[0], w[1]);
+        }
+        tk_assert_eq!(cmc[5], 1.0, "finite scores must end at hit rate 1");
+        let acc = matching_accuracy(&argmax_matching(&s).unwrap(), &truth).unwrap();
+        tk_assert_eq!(cmc[0].to_bits(), acc.to_bits(), "rank-1 != argmax accuracy");
+    });
+}
+
+/// ROC sanity over random similarity: TPIR/FPIR weakly decreasing in the
+/// threshold, FNIR complements TPIR, all rates in [0, 1].
+#[test]
+fn roc_is_monotone_in_threshold() {
+    forall!(Config::cases(25).with_corpus(CORPUS),
+            (s in matrix_in(5, 12, -1.0, 1.0), imp_stride in one_of_enum(&[2usize, 3, 4])) => {
+        let truth: Vec<usize> = (0..12)
+            .map(|j| if j % imp_stride == 0 { usize::MAX } else { j % 5 })
+            .collect();
+        let thresholds = [0.0, 0.01, 0.05, 0.1, 0.3, 1.0, 3.0];
+        let roc = roc_curve(&s, &truth, &thresholds).unwrap();
+        tk_assert_eq!(roc.len(), thresholds.len());
+        for p in &roc {
+            tk_assert!((0.0..=1.0).contains(&p.tpir), "tpir {}", p.tpir);
+            tk_assert!((0.0..=1.0).contains(&p.fpir), "fpir {}", p.fpir);
+            tk_assert!((p.fnir - (1.0 - p.tpir)).abs() < 1e-15, "fnir mismatch");
+        }
+        for w in roc.windows(2) {
+            tk_assert!(w[1].tpir <= w[0].tpir, "TPIR increased with threshold");
+            tk_assert!(w[1].fpir <= w[0].fpir, "FPIR increased with threshold");
+        }
+        // A 2-row-gap threshold on scores bounded by [-1, 1] rejects all.
+        tk_assert_eq!(roc.last().unwrap().tpir, 0.0);
+    });
+}
+
+/// A zero margin threshold never rejects a genuine argmax prediction:
+/// margins are non-negative by construction, so `decide(scores, 0.0)`
+/// matches the raw argmax wherever a score exists.
+#[test]
+fn zero_threshold_never_rejects_a_genuine_argmax() {
+    forall!(Config::cases(25).with_corpus(CORPUS), (s in matrix_in(7, 9, -1.0, 1.0)) => {
+        let scores = match_scores(&s).unwrap();
+        let decisions = decide(&scores, 0.0);
+        let predicted = argmax_matching(&s).unwrap();
+        for (j, d) in decisions.iter().enumerate() {
+            tk_assert_eq!(*d, Decision::Match(predicted[j]), "column {j} rejected at zero threshold");
+        }
+        // And rejections are monotone: each raised threshold only ever
+        // converts matches to rejects, never the reverse.
+        let mut prev_rejects = 0usize;
+        for t in [0.0, 0.02, 0.1, 0.5, 2.5] {
+            let n_rejects = decide(&scores, t).iter().filter(|d| d.is_reject()).count();
+            tk_assert!(n_rejects >= prev_rejects, "rejections not monotone at t={t}");
+            prev_rejects = n_rejects;
+        }
+    });
+}
+
+/// Degenerate similarity inputs surface as typed errors from the decision
+/// layer, never panics: an all-NaN column is unmatchable.
+#[test]
+fn all_nan_column_is_a_typed_error_path() {
+    forall!(Config::cases(10).with_corpus(&[0, 1]),
+            (s in matrix_in(4, 4, -1.0, 1.0), col in one_of_enum(&[0usize, 1, 2, 3])) => {
+        let mut s = s;
+        for i in 0..4 {
+            s[(i, col)] = f64::NAN;
+        }
+        let scores = match_scores(&s).unwrap();
+        tk_assert!(scores[col].is_none(), "all-NaN column produced a score");
+        tk_assert_eq!(decide(&scores, 0.0)[col], Decision::Reject);
+        // The Hungarian path refuses the same matrix with a typed error.
+        match neurodeanon_core::matching::hungarian_matching(&s) {
+            Err(CoreError::UnmatchableColumn { column }) => tk_assert_eq!(column, col),
+            other => tk_assert!(false, "expected UnmatchableColumn, got {other:?}"),
+        }
+    });
+}
+
+/// Smoke-level shape check that `Matrix`-generator suites shrink toward
+/// reportable cases: an intentionally trivial truth-length mismatch is a
+/// typed error, not a panic.
+#[test]
+fn metric_validations_are_typed_errors() {
+    let s = Matrix::from_fn(3, 3, |i, j| (i + j) as f64 * 0.1);
+    assert!(matches!(
+        cmc_curve(&s, &[0, 1]),
+        Err(CoreError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        roc_curve(&s, &[0, 1], &[0.0]),
+        Err(CoreError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        cmc_curve(&s, &[usize::MAX; 3]),
+        Err(CoreError::InvalidParameter { .. })
+    ));
+}

@@ -270,6 +270,81 @@ impl Gen for MatrixIn {
     }
 }
 
+/// Uniform choice from a fixed list of values — the generator for closed
+/// enumerations (`one_of_enum(&[Decision::Reject, …])`, policy/rule
+/// variants, severity presets). Shrinks toward earlier entries, so list
+/// variants in "simplest first" order.
+pub fn one_of_enum<T: Clone + Debug + PartialEq>(items: &[T]) -> OneOfEnum<T> {
+    assert!(!items.is_empty(), "one_of_enum needs at least one variant");
+    OneOfEnum {
+        items: items.to_vec(),
+    }
+}
+
+/// Generator for [`one_of_enum`].
+#[derive(Debug, Clone)]
+pub struct OneOfEnum<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Debug + PartialEq> Gen for OneOfEnum<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng64) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // Everything listed before the value's first occurrence is simpler.
+        match self.items.iter().position(|v| v == value) {
+            Some(i) => self.items[..i].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Weighted choice over generators of a common value type: branch `i` is
+/// drawn with probability `wᵢ / Σw`. This is how a property suite biases
+/// sampling toward the interesting corners (e.g. mostly mid-range
+/// enrollment rates with occasional exact-0/exact-1 boundary draws)
+/// without losing coverage of the rest.
+pub fn weighted<G: Gen>(branches: Vec<(f64, G)>) -> Weighted<G> {
+    assert!(!branches.is_empty(), "weighted needs at least one branch");
+    assert!(
+        branches.iter().all(|(w, _)| w.is_finite() && *w >= 0.0)
+            && branches.iter().map(|(w, _)| w).sum::<f64>() > 0.0,
+        "weights must be finite, non-negative, and not all zero"
+    );
+    Weighted { branches }
+}
+
+/// Generator for [`weighted`].
+#[derive(Debug, Clone)]
+pub struct Weighted<G> {
+    branches: Vec<(f64, G)>,
+}
+
+impl<G: Gen> Gen for Weighted<G> {
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut Rng64) -> G::Value {
+        let weights: Vec<f64> = self.branches.iter().map(|(w, _)| *w).collect();
+        let i = rng
+            .weighted_index(&weights)
+            .expect("validated at construction");
+        self.branches[i].1.generate(rng)
+    }
+
+    fn shrink(&self, value: &G::Value) -> Vec<G::Value> {
+        // The originating branch is unknown; offer each branch's shrinks of
+        // the value and let the runner keep whichever still fails.
+        self.branches
+            .iter()
+            .flat_map(|(_, g)| g.shrink(value).into_iter().take(2))
+            .collect()
+    }
+}
+
 /// Arbitrary generator from a closure over the RNG; no shrinking. This is
 /// the escape hatch for dependent shapes (e.g. "a tall matrix whose row
 /// count exceeds its sampled column count").
@@ -414,6 +489,66 @@ mod tests {
             // Exactly one component changed.
             assert!((ca == 9) != (cb == 0.75));
         }
+    }
+
+    #[test]
+    fn one_of_enum_covers_all_variants_and_shrinks_earlier() {
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        enum Tri {
+            A,
+            B,
+            C,
+        }
+        let g = one_of_enum(&[Tri::A, Tri::B, Tri::C]);
+        let mut rng = Rng64::new(6);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match g.generate(&mut rng) {
+                Tri::A => seen[0] = true,
+                Tri::B => seen[1] = true,
+                Tri::C => seen[2] = true,
+            }
+        }
+        assert_eq!(seen, [true; 3]);
+        assert_eq!(g.shrink(&Tri::C), vec![Tri::A, Tri::B]);
+        assert_eq!(g.shrink(&Tri::A), Vec::<Tri>::new());
+    }
+
+    #[test]
+    fn weighted_respects_weights_and_zero_branches() {
+        // A zero-weight branch must never be drawn; the heavy branch should
+        // dominate the light one.
+        let g = weighted(vec![
+            (0.0, usize_in(100..=100)),
+            (9.0, usize_in(0..=0)),
+            (1.0, usize_in(1..=1)),
+        ]);
+        let mut rng = Rng64::new(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            match g.generate(&mut rng) {
+                100 => counts[0] += 1,
+                0 => counts[1] += 1,
+                1 => counts[2] += 1,
+                other => panic!("impossible draw {other}"),
+            }
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > counts[2] * 4, "{counts:?}");
+        assert!(counts[2] > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_shrinks_through_branch_generators() {
+        let g = weighted(vec![(1.0, usize_in(0..50)), (1.0, usize_in(0..500))]);
+        let cands = g.shrink(&400);
+        assert!(cands.contains(&0), "{cands:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite")]
+    fn weighted_rejects_all_zero_weights() {
+        let _ = weighted(vec![(0.0, usize_in(0..2))]);
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub const DEFAULT_SEED: u64 = 0x6e64_7465_7374; // "ndtest"
 /// 2⁶⁴, so case seeds never collide).
 const CASE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// Runner configuration: case count, base seed, shrink budget.
+/// Runner configuration: case count, base seed, shrink budget, regression
+/// corpus.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Number of randomized cases to run.
@@ -29,6 +30,11 @@ pub struct Config {
     pub seed: u64,
     /// Maximum number of candidate evaluations during shrinking.
     pub max_shrink_steps: u32,
+    /// Regression corpus: seeds of past counterexamples, replayed verbatim
+    /// before (and in addition to) the `cases` randomized cases. When a
+    /// failure report names a `TESTKIT_SEED`, appending that seed here pins
+    /// the property against regressing — every future run replays it first.
+    pub corpus: Vec<u64>,
 }
 
 impl Config {
@@ -49,6 +55,7 @@ impl Config {
             cases,
             seed,
             max_shrink_steps: 256,
+            corpus: Vec::new(),
         }
     }
 
@@ -56,6 +63,15 @@ impl Config {
     /// useful for pinning a suite to a known-good stream.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same config with a regression corpus: each seed is replayed as a
+    /// deterministic case before the randomized ones, so once a
+    /// counterexample's reported seed is added here the property can never
+    /// silently regress on that input.
+    pub fn with_corpus(mut self, seeds: &[u64]) -> Self {
+        self.corpus = seeds.to_vec();
         self
     }
 }
@@ -137,15 +153,24 @@ where
     }
 }
 
-/// Runs the property over `cfg.cases` random cases. Returns the first
-/// failure (shrunk where possible) or `Ok(())`.
+/// Runs the property over the regression corpus (first) and then
+/// `cfg.cases` random cases. Returns the first failure (shrunk where
+/// possible) or `Ok(())`.
 pub fn run<G, F>(name: &str, cfg: &Config, gen: &G, prop: F) -> Result<(), Failure>
 where
     G: Gen,
     F: Fn(&G::Value) -> Result<(), String>,
 {
-    for case in 0..cfg.cases {
-        let case_seed = cfg.seed.wrapping_add(case.wrapping_mul(CASE_STRIDE));
+    let n_corpus = cfg.corpus.len() as u64;
+    for case in 0..n_corpus + cfg.cases {
+        // Corpus seeds replay verbatim; randomized case `i` derives its
+        // seed as before, so corpus entries never shift the random stream.
+        let case_seed = match cfg.corpus.get(case as usize) {
+            Some(&seed) => seed,
+            None => cfg
+                .seed
+                .wrapping_add((case - n_corpus).wrapping_mul(CASE_STRIDE)),
+        };
         let mut rng = Rng64::new(case_seed);
         let value = gen.generate(&mut rng);
         let (mut message, was_panic) = match run_case(&prop, &value) {
@@ -216,6 +241,7 @@ mod tests {
             cases,
             seed: DEFAULT_SEED,
             max_shrink_steps: 256,
+            corpus: Vec::new(),
         }
     }
 
@@ -247,6 +273,7 @@ mod tests {
             cases: 1,
             seed: failure.case_seed,
             max_shrink_steps: 256,
+            corpus: Vec::new(),
         };
         let again = run("t", &replay, &usize_in(0..1000), |&v| {
             if v < 500 {
@@ -325,6 +352,55 @@ mod tests {
     #[should_panic(expected = "TESTKIT_SEED")]
     fn check_panics_with_replay_instructions() {
         check("t", &cfg(10), &usize_in(0..10), |_| Err("always".into()));
+    }
+
+    #[test]
+    fn corpus_seeds_replay_before_random_cases() {
+        // A corpus seed that regenerates a failing input must fail as one
+        // of the leading cases, with its own seed in the report — even when
+        // every randomized case would pass (cases drawn below 500 here).
+        let gen = usize_in(0..1000);
+        let failing_seed = (0..)
+            .map(|s| (s, gen.generate(&mut Rng64::new(s))))
+            .find(|&(_, v)| v >= 500)
+            .map(|(s, _)| s)
+            .unwrap();
+        let cfg = Config {
+            cases: 0,
+            seed: DEFAULT_SEED,
+            max_shrink_steps: 0,
+            corpus: vec![failing_seed],
+        };
+        let failure = run("t", &cfg, &gen, |&v| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err("too big".into())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(failure.case, 0);
+        assert_eq!(failure.case_seed, failing_seed);
+    }
+
+    #[test]
+    fn corpus_does_not_perturb_the_random_stream() {
+        // Record each case's input with and without a (passing) corpus
+        // entry: the randomized sequence must be identical.
+        let gen = usize_in(0..1000);
+        let collect = |cfg: &Config| {
+            let seen = std::cell::RefCell::new(Vec::new());
+            run("t", cfg, &gen, |&v| {
+                seen.borrow_mut().push(v);
+                Ok(())
+            })
+            .unwrap();
+            seen.into_inner()
+        };
+        let plain = collect(&cfg(20));
+        let with_corpus = collect(&cfg(20).with_corpus(&[12345]));
+        assert_eq!(with_corpus.len(), plain.len() + 1);
+        assert_eq!(&with_corpus[1..], &plain[..]);
     }
 
     #[test]

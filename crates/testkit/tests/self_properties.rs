@@ -55,6 +55,7 @@ fn forced_failure_is_replayable_from_the_reported_seed() {
         cases: 50,
         seed: runner::DEFAULT_SEED,
         max_shrink_steps: 64,
+        corpus: Vec::new(),
     };
     let gen = vec_of(f64_in(-100.0..100.0), 1..30);
     let prop = |v: &Vec<f64>| -> Result<(), String> {
@@ -75,6 +76,7 @@ fn forced_failure_is_replayable_from_the_reported_seed() {
         cases: 1,
         seed: failure.case_seed,
         max_shrink_steps: 64,
+        corpus: Vec::new(),
     };
     let again = runner::run("forced", &replay, &gen, prop).expect_err("must fail again");
     assert_eq!(again.original, failure.original);

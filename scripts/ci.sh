@@ -36,6 +36,13 @@ echo "==> corruption property suite @ NEURODEANON_THREADS=1 and 8"
 NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test robustness_properties
 NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test robustness_properties
 
+# The open-world layer promises splits/metrics that are pure functions of
+# their seeds and a rate-1.0 split that collapses bitwise onto the
+# closed-world path; pin the suite at both thread counts like the others.
+echo "==> open-world property suite @ NEURODEANON_THREADS=1 and 8"
+NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test openworld_properties
+NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test openworld_properties
+
 # Bench smoke: the sweeps bench at small scale appends its records to the
 # JSON trajectory and asserts plan/direct bit-identity, the one-SVD-per-plan
 # invariant, and that the trajectory parses with testkit::json.
@@ -49,5 +56,12 @@ NEURODEANON_BENCH_SCALE=small \
 echo "==> bench smoke: robustness @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
 NEURODEANON_BENCH_SCALE=small \
   cargo bench -p neurodeanon-bench --bench robustness --features criterion-bench --offline
+
+# Open-world smoke: the enrollment-rate × threshold sweep at small scale
+# must append parseable CMC/ROC JSONL, with the rate-1.0 row bit-identical
+# to the closed-world baseline and monotone CMC/ROC curves.
+echo "==> bench smoke: openworld @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
+NEURODEANON_BENCH_SCALE=small \
+  cargo bench -p neurodeanon-bench --bench openworld --features criterion-bench --offline
 
 echo "CI green."
