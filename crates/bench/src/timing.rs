@@ -103,12 +103,43 @@ impl Sample {
 }
 
 /// Appends one JSON record as a line to a JSONL file, creating it if needed.
+///
+/// Object records are stamped with host metadata before writing (existing
+/// keys are never overwritten), so every `bench::timing` trajectory line
+/// carries the context needed to compare runs across machines and configs:
+///
+/// * `threads` — the effective `linalg::par` worker count;
+/// * `threads_env` — the raw `NEURODEANON_THREADS` value (absent when the
+///   variable is unset), which may exceed `threads` on small hosts because
+///   the pool clamps to the core count;
+/// * `profile` — `"debug"` or `"release"` build profile.
 pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
+    let mut stamped = record.clone();
+    if let Value::Object(fields) = &mut stamped {
+        let mut put = |key: &str, value: Value| {
+            if !fields.iter().any(|(k, _)| k == key) {
+                fields.push((key.to_string(), value));
+            }
+        };
+        put(
+            "threads",
+            Value::Number(neurodeanon_linalg::par::num_threads() as f64),
+        );
+        if let Ok(env) = std::env::var("NEURODEANON_THREADS") {
+            put("threads_env", Value::String(env));
+        }
+        let profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        put("profile", Value::String(profile.to_string()));
+    }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(f, "{record}")
+    writeln!(f, "{stamped}")
 }
 
 /// Formats a duration with an adaptive unit (ns / µs / ms / s).
@@ -164,6 +195,33 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let parsed = neurodeanon_testkit::json::parse(text.lines().next().unwrap()).unwrap();
         assert_eq!(parsed.get("min_ns").and_then(Value::as_f64), Some(5.0));
+        // Host metadata is stamped on write.
+        assert_eq!(
+            parsed.get("threads").and_then(Value::as_f64),
+            Some(neurodeanon_linalg::par::num_threads() as f64)
+        );
+        let profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        assert_eq!(parsed.get("profile").and_then(Value::as_str), Some(profile));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_jsonl_never_overwrites_caller_fields() {
+        let v = json!({ "group": "g", "threads": 99.0, "profile": "custom" });
+        let path = std::env::temp_dir().join(format!("nd_meta_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_jsonl(&path, &v).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = neurodeanon_testkit::json::parse(text.trim()).unwrap();
+        assert_eq!(parsed.get("threads").and_then(Value::as_f64), Some(99.0));
+        assert_eq!(
+            parsed.get("profile").and_then(Value::as_str),
+            Some("custom")
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

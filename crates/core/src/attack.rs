@@ -23,13 +23,13 @@ use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_linalg::rsvd::RsvdConfig;
 use neurodeanon_linalg::stats::{
-    cross_correlation, cross_correlation_masked, cross_correlation_zscored_into, impute_row_means,
-    zscored_cols_into,
+    cross_correlation, cross_correlation_fused_f32_into, cross_correlation_fused_into,
+    cross_correlation_masked, impute_row_means, zscored_cols_into,
 };
 use neurodeanon_linalg::Matrix;
 use neurodeanon_sampling::{
     finite_rows, intersect_sorted, principal_features, principal_features_approx,
-    rows_with_any_finite, LeverageBank, PrincipalFeatures,
+    rows_with_any_finite, LeverageBank,
 };
 
 /// Minimum pairwise-complete observations the masked correlation requires
@@ -92,6 +92,57 @@ impl std::fmt::Display for DegradedInput {
     }
 }
 
+/// Storage precision for a plan's prepared (serve-side) gallery.
+///
+/// The default `F64` path is the historical one: every artifact stays in
+/// double precision and outcomes are bit-identical to [`DeanonAttack::run`].
+/// `F32` stores the z-scored reduced known matrix as `f32` — half the
+/// steady-state memory traffic on the query hot loop — converted **once** at
+/// selection-refresh time; queries and all accumulation stay `f64`, so the
+/// only precision loss is the one-time rounding of the stored gallery
+/// (relative similarity perturbation on the order of `t · 2⁻²⁴`).
+///
+/// Determinism contract (DESIGN.md §1.5): results are bit-identical at any
+/// thread count *per dtype*; `F32`-vs-`F64` argmax agreement is bounded by
+/// the property suite, not exact. Only [`AttackPlan`] honors the dtype —
+/// the one-shot [`DeanonAttack::run`] always computes in f64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dtype {
+    /// Double-precision gallery (the historical bit-exact path).
+    #[default]
+    F64,
+    /// Single-precision gallery storage with f64 accumulation.
+    F32,
+}
+
+impl Dtype {
+    /// Parses a CLI flag value (`f64` | `f32`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "f64" => Ok(Dtype::F64),
+            "f32" => Ok(Dtype::F32),
+            _ => Err(CoreError::InvalidParameter {
+                name: "dtype",
+                reason: "expected one of: f64, f32",
+            }),
+        }
+    }
+
+    /// Stable lowercase name (CLI/JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            Dtype::F64 => "f64",
+            Dtype::F32 => "f32",
+        }
+    }
+}
+
+impl std::fmt::Display for Dtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How predicted matches are derived from the similarity matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MatchRule {
@@ -126,6 +177,9 @@ pub struct AttackConfig {
     /// the historical closed-world behavior, bit-for-bit. See DESIGN.md
     /// §1.4 for the decision contract.
     pub reject_margin: Option<f64>,
+    /// Storage precision for the plan's prepared gallery ([`Dtype::F64`] by
+    /// default — the historical bit-exact path).
+    pub dtype: Dtype,
 }
 
 impl AttackConfig {
@@ -167,6 +221,7 @@ impl Default for AttackConfig {
             match_rule: MatchRule::Argmax,
             degraded: DegradedInput::default(),
             reject_margin: None,
+            dtype: Dtype::default(),
         }
     }
 }
@@ -578,12 +633,17 @@ fn decisions_from(
 }
 
 /// The feature selector a plan memoizes: either the exact thin-SVD leverage
-/// bank (the paper's deterministic selection) or the full randomized
-/// leverage ordering (reusable because [`RsvdConfig`] carries a fixed seed).
+/// bank (the paper's deterministic selection) or a subspace-iteration bank
+/// ([`LeverageBank::new_subspace`], reusable because [`RsvdConfig`] carries
+/// a fixed seed). The subspace bank's full descending ordering is
+/// bit-identical to the direct [`principal_features_approx`] selection —
+/// both score the rows of the same seeded `randomized_svd` factor.
 #[derive(Debug, Clone)]
 enum Selector {
     Exact(LeverageBank),
-    Approx(PrincipalFeatures),
+    /// `rank_k` is deliberately ignored on this variant so the plan keeps
+    /// matching the direct randomized path, which also ignores it.
+    Subspace(LeverageBank),
 }
 
 /// A prepared, memoized attack: the expensive artifacts of the *known*
@@ -597,7 +657,7 @@ enum Selector {
 /// one known matrix under many noise draws — so the known-side work is
 /// identical across calls. A plan caches:
 ///
-/// * the [`LeverageBank`] (or the seeded randomized leverage ordering), so a
+/// * the [`LeverageBank`] (exact, or the seeded subspace-iteration bank), so a
 ///   whole sweep performs exactly **one** factorization of the known matrix;
 /// * per `(t, rank_k)`: the selected indices and the z-scored reduced known
 ///   columns, so repeated attacks at the same feature count skip straight to
@@ -626,6 +686,9 @@ pub struct AttackPlan {
     indices: Vec<usize>,
     known_red: Matrix,
     known_z: Matrix,
+    /// The f32 gallery: `known_z` rounded to single precision, refreshed
+    /// whenever the selection changes. Empty under [`Dtype::F64`].
+    known_z32: Vec<f32>,
     anon_red: Matrix,
     anon_z: Matrix,
 }
@@ -659,12 +722,11 @@ impl AttackPlan {
         let selector = if known.as_matrix().is_finite() {
             Some(match &config.randomized {
                 None => Selector::Exact(LeverageBank::new(known.as_matrix())?),
-                // Ask for every row: the full descending ordering serves any `t`.
-                Some(cfg) => Selector::Approx(principal_features_approx(
-                    known.as_matrix(),
-                    known.n_features(),
-                    cfg,
-                )?),
+                // The subspace bank's full descending ordering serves any
+                // `t`, bit-identical to `principal_features_approx`.
+                Some(cfg) => {
+                    Selector::Subspace(LeverageBank::new_subspace(known.as_matrix(), cfg)?)
+                }
             })
         } else {
             None
@@ -677,6 +739,7 @@ impl AttackPlan {
             indices: Vec::new(),
             known_red: Matrix::zeros(0, 0),
             known_z: Matrix::zeros(0, 0),
+            known_z32: Vec::new(),
             anon_red: Matrix::zeros(0, 0),
             anon_z: Matrix::zeros(0, 0),
         })
@@ -763,12 +826,28 @@ impl AttackPlan {
         match_rule: MatchRule,
     ) -> Result<AttackOutcome> {
         self.ensure_selection(t)?;
-        // Anonymous side: reduce + z-score into the reusable scratches.
+        // Anonymous side: reduce into the reusable scratch, then one fused
+        // z-score + correlate pass (bit-identical to the split kernels, see
+        // `cross_correlation_fused_into`); `anon_z` keeps receiving the
+        // z-scored queries so the scratch-reuse shape is unchanged.
         anon.as_matrix()
             .select_rows_into(&self.indices, &mut self.anon_red)?;
-        zscored_cols_into(&self.anon_red, &mut self.anon_z);
         let mut similarity = Matrix::zeros(0, 0);
-        cross_correlation_zscored_into(&self.known_z, &self.anon_z, &mut similarity)?;
+        match self.config.dtype {
+            Dtype::F64 => cross_correlation_fused_into(
+                &self.known_z,
+                &self.anon_red,
+                &mut self.anon_z,
+                &mut similarity,
+            )?,
+            Dtype::F32 => cross_correlation_fused_f32_into(
+                &self.known_z32,
+                self.known_z.rows(),
+                &self.anon_red,
+                &mut self.anon_z,
+                &mut similarity,
+            )?,
+        }
         outcome_from_similarity(
             similarity,
             self.indices.clone(),
@@ -794,12 +873,19 @@ impl AttackPlan {
         })?;
         self.indices = match selector {
             Selector::Exact(bank) => bank.select_indices(t, self.config.rank_k)?,
-            Selector::Approx(pf) => pf.indices[..t].to_vec(),
+            Selector::Subspace(bank) => bank.select_indices(t, None)?,
         };
         self.known
             .as_matrix()
             .select_rows_into(&self.indices, &mut self.known_red)?;
         zscored_cols_into(&self.known_red, &mut self.known_z);
+        if self.config.dtype == Dtype::F32 {
+            // Convert once per selection refresh; steady-state queries then
+            // stream half the gallery bytes.
+            self.known_z32.clear();
+            self.known_z32
+                .extend(self.known_z.as_slice().iter().map(|&v| v as f32));
+        }
         self.selection = Some(key);
         Ok(())
     }
@@ -1140,6 +1226,49 @@ mod tests {
         assert_eq!(out.n_rejected(), report.affected);
         for (d, &p) in out.decisions.iter().zip(&out.predicted) {
             assert_eq!(d.is_reject(), p == usize::MAX);
+        }
+    }
+
+    #[test]
+    fn dtype_parsing() {
+        assert_eq!(Dtype::parse("f32").unwrap(), Dtype::F32);
+        assert_eq!(Dtype::parse("F64").unwrap(), Dtype::F64);
+        assert!(Dtype::parse("f16").is_err());
+        assert_eq!(Dtype::default(), Dtype::F64);
+        assert_eq!(Dtype::F32.name(), "f32");
+    }
+
+    #[test]
+    fn f32_gallery_matches_f64_predictions_on_cohort() {
+        // The f32 gallery perturbs similarities by ~t·2⁻²⁴ — orders of
+        // magnitude below the same-subject margins — so predictions,
+        // accuracy, and selected features must agree with the f64 plan.
+        let c = cohort();
+        let known = c.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = c.group_matrix(Task::Language, Session::Two).unwrap();
+        let mut plan64 = AttackPlan::prepare(known.clone(), AttackConfig::default()).unwrap();
+        let mut plan32 = AttackPlan::prepare(
+            known,
+            AttackConfig {
+                dtype: Dtype::F32,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for t in [30usize, 100] {
+            let o64 = plan64.run_with(&anon, t, MatchRule::Argmax).unwrap();
+            let o32 = plan32.run_with(&anon, t, MatchRule::Argmax).unwrap();
+            assert_eq!(o64.predicted, o32.predicted);
+            assert_eq!(o64.selected_features, o32.selected_features);
+            assert_eq!(o64.accuracy.to_bits(), o32.accuracy.to_bits());
+            for (x, y) in o64
+                .similarity
+                .as_slice()
+                .iter()
+                .zip(o32.similarity.as_slice())
+            {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
         }
     }
 

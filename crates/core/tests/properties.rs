@@ -153,6 +153,106 @@ fn attack_plan_is_bitwise_equal_to_direct_attack() {
     });
 }
 
+/// The f32-gallery determinism contract (DESIGN.md §1.5): per dtype, the
+/// plan is bit-identical at any thread count; across dtypes, the f32 storage
+/// rounding perturbs similarities by ~t·2⁻²⁴ — far below the same-subject
+/// margins — so argmax predictions may disagree on at most a small fraction
+/// of subjects and accuracy moves by well under the 0.5pp ablation budget.
+#[test]
+fn f32_gallery_thread_deterministic_and_close_to_f64() {
+    use neurodeanon_core::attack::Dtype;
+    forall!(Config::cases(6), (seed in u64_in(0..1000), t in usize_in(20..120)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(8, seed)).unwrap();
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = cohort.group_matrix(Task::Motor, Session::Two).unwrap();
+        let run = |dtype: Dtype, threads: usize| {
+            with_thread_count(threads, || {
+                let config = AttackConfig { n_features: t, dtype, ..Default::default() };
+                let mut plan = AttackPlan::prepare(known.clone(), config).unwrap();
+                plan.run_with(&anon, t, MatchRule::Argmax).unwrap()
+            })
+        };
+        let f32_1 = run(Dtype::F32, 1);
+        let f32_8 = run(Dtype::F32, 8);
+        // Per-dtype bit-identity at any thread count.
+        tk_assert_eq!(f32_1.predicted, f32_8.predicted);
+        for (x, y) in f32_1.similarity.as_slice().iter().zip(f32_8.similarity.as_slice()) {
+            tk_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Cross-dtype agreement: bounded, not exact.
+        let f64_out = run(Dtype::F64, 1);
+        let n = f64_out.predicted.len();
+        let disagreements = f64_out
+            .predicted
+            .iter()
+            .zip(&f32_1.predicted)
+            .filter(|(a, b)| a != b)
+            .count();
+        tk_assert!(
+            disagreements * 8 <= n,
+            "f32 gallery flipped {disagreements}/{n} argmax predictions"
+        );
+        tk_assert!(
+            (f64_out.accuracy - f32_1.accuracy).abs() < 0.005 + disagreements as f64 / n as f64,
+            "accuracy drifted: f64 {} vs f32 {}",
+            f64_out.accuracy,
+            f32_1.accuracy
+        );
+        for (x, y) in f64_out.similarity.as_slice().iter().zip(f32_1.similarity.as_slice()) {
+            tk_assert!((x - y).abs() < 1e-5, "similarity drifted: {x} vs {y}");
+        }
+    });
+}
+
+/// The subspace-iteration bank (`LeverageBank::new_subspace`, reached via
+/// `AttackConfig::randomized`) must track the exact thin-SVD path through
+/// the feature-count ablation. On a small cohort accuracy is quantized in
+/// units of one matched subject, so the ISSUE's 0.5pp budget is asserted
+/// at paper scale in the `kernels` bench; here the bound is the quantized
+/// analogue — the subspace path may *degrade* the exact accuracy by at
+/// most one flipped match per `t`, at most one net flip across the whole
+/// sweep — and selections must overlap the exact top-`t` substantially.
+#[test]
+fn subspace_bank_ablation_tracks_exact_accuracy() {
+    use neurodeanon_linalg::rsvd::RsvdConfig;
+    forall!(Config::cases(4), (seed in u64_in(0..500)) => {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(10, seed)).unwrap();
+        let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+        let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+        let n = known.n_subjects() as f64;
+        let exact_cfg = AttackConfig::default();
+        let sub_cfg = AttackConfig {
+            randomized: Some(RsvdConfig { rank: 8, power_iters: 2, ..Default::default() }),
+            ..Default::default()
+        };
+        let mut exact = AttackPlan::prepare(known.clone(), exact_cfg).unwrap();
+        let mut subspace = AttackPlan::prepare(known.clone(), sub_cfg).unwrap();
+        let mut degradation = 0.0f64;
+        for t in [20usize, 60, 120, 240] {
+            let e = exact.run_with(&anon, t, MatchRule::Argmax).unwrap();
+            let s = subspace.run_with(&anon, t, MatchRule::Argmax).unwrap();
+            tk_assert!(
+                e.accuracy - s.accuracy < 1.0 / n + 1e-9,
+                "t={t}: subspace lost more than one match: exact {} vs {}",
+                e.accuracy,
+                s.accuracy
+            );
+            degradation += (e.accuracy - s.accuracy).max(0.0);
+            let es: std::collections::HashSet<usize> =
+                e.selected_features.iter().copied().collect();
+            let overlap = s.selected_features.iter().filter(|i| es.contains(i)).count();
+            tk_assert!(
+                overlap * 2 >= t,
+                "t={t}: only {overlap}/{t} selected features overlap exact"
+            );
+        }
+        tk_assert!(
+            degradation < 1.0 / n + 1e-9,
+            "subspace lost {degradation} accuracy across the sweep"
+        );
+    });
+}
+
 /// `linalg::par` determinism contract at the matching layer: the per-column
 /// argmax scan must return the identical prediction vector at any thread
 /// count, and must agree with the scalar per-column reference.

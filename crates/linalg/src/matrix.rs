@@ -10,12 +10,27 @@
 use crate::error::LinalgError;
 use crate::{par, Result};
 
-/// Default cache block edge for the blocked matmul kernel.
+/// Default cache block edge for the blocked matmul kernel (the `k`
+/// dimension) and the tiled transpose.
 ///
 /// 64 × 64 f64 tiles are 32 KiB — three tiles fit comfortably in a typical
 /// 256 KiB L2 slice, which the Rust Performance Book's blocking guidance
-/// targets.
-const BLOCK: usize = 64;
+/// targets. Public so the ragged-edge kernel property tests can probe
+/// `BLOCK ± 1` without hardcoding the value.
+pub const BLOCK: usize = 64;
+
+/// Rows of the register-tiled matmul microkernel: each invocation keeps an
+/// `MR × NR` block of the output in registers across a full `k`-block.
+pub const MATMUL_MR: usize = 4;
+
+/// Columns of the register-tiled matmul microkernel.
+pub const MATMUL_NR: usize = 8;
+
+/// Rows of `self` folded per pass of the blocked Gram kernel. Eight rows per
+/// pass cuts the read/write traffic on the `n × n` partial by 8× while
+/// keeping the per-element accumulation order r-ascending (bit-identical to
+/// the row-at-a-time rank-1 formulation).
+pub const GRAM_ROW_BLOCK: usize = 8;
 
 /// Minimum number of scalar multiply-adds before `matmul` tiles across
 /// threads; below this the spawn overhead dominates.
@@ -31,7 +46,10 @@ const MATMUL_COL_TILE: usize = 256;
 
 /// Rows of `self` per Gram partial panel. Each panel accumulates a private
 /// upper-triangle `n × n` partial; partials merge in fixed panel order.
-const GRAM_ROW_PANEL: usize = 512;
+/// Public for the same reason as [`BLOCK`]: the panel merge order is part of
+/// the bit pattern, so reference implementations in tests must mimic it for
+/// inputs taller than one panel.
+pub const GRAM_ROW_PANEL: usize = 512;
 
 /// Minimum `m · n² / 2` work before `gram` goes parallel. Lower than the
 /// matmul threshold because the panel partials are cheap to merge when `n`
@@ -399,7 +417,17 @@ impl Matrix {
             vec![0.0f64; n * n],
             |tile| {
                 let mut part = vec![0.0f64; n * n];
-                for r in tile.range() {
+                let range = tile.range();
+                // Fold GRAM_ROW_BLOCK rows per pass over the partial: the
+                // per-element additions stay r-ascending (bit-identical to
+                // one rank-1 update per row) while the n² partial is read
+                // and written once per 8 rows instead of once per row.
+                let mut r0 = range.start;
+                while r0 + GRAM_ROW_BLOCK <= range.end {
+                    gram_block(a, &mut part, r0, n);
+                    r0 += GRAM_ROW_BLOCK;
+                }
+                for r in r0..range.end {
                     let row = &a[r * n..(r + 1) * n];
                     for i in 0..n {
                         let ri = row[i];
@@ -638,25 +666,132 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
 /// Serial blocked kernel computing `out += a * b` for a row panel of `a`.
 ///
 /// `a` is `(out.len()/n) × k`, `b` is `k × n`, `out` is the destination panel.
-/// Loop order (i, kk-block, j) streams `b` rows and accumulates into `out`
-/// rows, the classic ikj order that vectorizes well.
+/// The panel is walked in `MATMUL_MR × MATMUL_NR` register tiles: each tile
+/// loads its output block into a local accumulator array, folds a whole
+/// `k`-block into it, and stores it back, so the output sees one load and one
+/// store per `k`-block instead of one per `k` step. Row/column remainders go
+/// through [`matmul_edge`], which keeps the identical per-element order.
+///
+/// Determinism: every output element is a single accumulator updated in
+/// k-ascending order (register spill/reload of an f64 is exact), so the
+/// result is bit-identical to the unblocked ikj kernel and unchanged by how
+/// [`Matrix::matmul`] distributes panels over threads. The dense-hostile
+/// `aik == 0.0` skip of the pre-blocked kernel is gone (same rationale as
+/// `gram`: BOLD-derived matrices are dense, the branch is a misprediction
+/// per element); on finite inputs adding the skipped `±0.0` products leaves
+/// every bit unchanged unless an accumulator is exactly `-0.0`.
 fn matmul_panel(a: &[f64], b: &[f64], out: &mut [f64], k: usize, n: usize) {
     let m = a.len().checked_div(k).unwrap_or(0);
     for kb in (0..k).step_by(BLOCK) {
         let kend = (kb + BLOCK).min(k);
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for kk in kb..kend {
-                let aik = arow[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aik * bv;
-                }
+        let mut i = 0;
+        while i + MATMUL_MR <= m {
+            let mut j = 0;
+            while j + MATMUL_NR <= n {
+                matmul_micro(a, b, out, i, j, kb, kend, k, n);
+                j += MATMUL_NR;
             }
+            if j < n {
+                matmul_edge(a, b, out, i, MATMUL_MR, j, n - j, kb, kend, k, n);
+            }
+            i += MATMUL_MR;
+        }
+        if i < m {
+            matmul_edge(a, b, out, i, m - i, 0, n, kb, kend, k, n);
+        }
+    }
+}
+
+/// Register-tiled `MATMUL_MR × MATMUL_NR` microkernel: folds `a[i0.., kb..kend]
+/// · b[kb..kend, j0..]` into the output block held entirely in registers.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn matmul_micro(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i0: usize,
+    j0: usize,
+    kb: usize,
+    kend: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f64; MATMUL_NR]; MATMUL_MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        let o0 = (i0 + r) * n + j0;
+        accr.copy_from_slice(&out[o0..o0 + MATMUL_NR]);
+    }
+    for kk in kb..kend {
+        let mut brow = [0.0f64; MATMUL_NR];
+        brow.copy_from_slice(&b[kk * n + j0..kk * n + j0 + MATMUL_NR]);
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let aik = a[(i0 + r) * k + kk];
+            for (av, &bv) in accr.iter_mut().zip(&brow) {
+                *av += aik * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let o0 = (i0 + r) * n + j0;
+        out[o0..o0 + MATMUL_NR].copy_from_slice(accr);
+    }
+}
+
+/// Generic edge kernel for the `m % MATMUL_MR` / `n % MATMUL_NR` remainders
+/// of [`matmul_panel`]. Same per-element k-ascending accumulation as the
+/// register microkernel, just without the fixed-size tiles.
+#[allow(clippy::too_many_arguments)]
+fn matmul_edge(
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    i0: usize,
+    mr: usize,
+    j0: usize,
+    nr: usize,
+    kb: usize,
+    kend: usize,
+    k: usize,
+    n: usize,
+) {
+    for r in 0..mr {
+        let arow = &a[(i0 + r) * k..(i0 + r + 1) * k];
+        let o0 = (i0 + r) * n + j0;
+        let orow = &mut out[o0..o0 + nr];
+        for kk in kb..kend {
+            let aik = arow[kk];
+            let brow = &b[kk * n + j0..kk * n + j0 + nr];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aik * bv;
+            }
+        }
+    }
+}
+
+/// Folds [`GRAM_ROW_BLOCK`] consecutive rows of `a` (starting at `r0`) into
+/// the upper triangle of the `n × n` Gram partial.
+///
+/// For every element `(i, j)` the additions run r-ascending over the block —
+/// the same order as `GRAM_ROW_BLOCK` successive rank-1 updates — and the
+/// load/update/store of the f64 partial element is exact, so this is
+/// bit-identical to the row-at-a-time formulation while touching the partial
+/// once per block instead of once per row.
+#[inline]
+fn gram_block(a: &[f64], part: &mut [f64], r0: usize, n: usize) {
+    let rows = &a[r0 * n..(r0 + GRAM_ROW_BLOCK) * n];
+    for i in 0..n {
+        let mut ri = [0.0f64; GRAM_ROW_BLOCK];
+        for (r, v) in ri.iter_mut().enumerate() {
+            *v = rows[r * n + i];
+        }
+        let grow = &mut part[i * n..(i + 1) * n];
+        for j in i..n {
+            let mut acc = grow[j];
+            for (r, &rv) in ri.iter().enumerate() {
+                acc += rv * rows[r * n + j];
+            }
+            grow[j] = acc;
         }
     }
 }

@@ -8,7 +8,7 @@
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
 use crate::par::{self, DisjointMut};
-use crate::vector::dot;
+use crate::vector::{dot, dot_f32_f64};
 use crate::Result;
 
 /// Minimum element count before `zscore_rows` spreads rows over threads;
@@ -414,6 +414,119 @@ pub fn cross_correlation_zscored_into(az: &Matrix, bz: &Matrix, out: &mut Matrix
     Ok(())
 }
 
+/// Fused query-path kernel: transposes + z-scores the columns of `b` and
+/// correlates them against the pre-z-scored rows of `az`, in one pass per
+/// query column.
+///
+/// Semantically `zscored_cols_into(b, bz)` followed by
+/// [`cross_correlation_zscored_into`]`(az, bz, out)` — and **bit-identical**
+/// to that composition: the transpose is an exact copy, each query row is
+/// normalized by the same sequential [`zscore_in_place`] kernel, and every
+/// output element is the same `(dot · 1/t).clamp(±1)` expression in the same
+/// order. The fusion changes *when* the work happens, not what it computes:
+/// a query column is z-scored and immediately consumed for its `az.rows()`
+/// dot products while still cache-hot, instead of being written out in a
+/// z-scoring pass and re-read in a correlation pass. `bz` still receives the
+/// z-scored queries (it is the steady-state scratch the attack plan reuses).
+///
+/// Parallelism is over query columns (each owns one column of `out`, written
+/// through [`DisjointMut`]); the determinism contract holds because each
+/// element's value depends only on its own row/column operands.
+pub fn cross_correlation_fused_into(
+    az: &Matrix,
+    b: &Matrix,
+    bz: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
+    if az.cols() != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation",
+            lhs: az.shape(),
+            rhs: (b.cols(), b.rows()),
+        });
+    }
+    if az.is_empty() || b.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation",
+        });
+    }
+    let n_a = az.rows();
+    let t_len = az.cols();
+    let q = b.cols();
+    let inv = 1.0 / t_len as f64;
+    b.transpose_into(bz);
+    out.reshape_for_overwrite(n_a, q);
+    let odata = DisjointMut::new(out.as_mut_slice());
+    par::par_chunks_mut(
+        bz.as_mut_slice(),
+        t_len,
+        n_a.max(2),
+        CROSS_PAR_THRESHOLD,
+        |j, brow| {
+            zscore_in_place(brow);
+            for i in 0..n_a {
+                let v = (dot(az.row(i), brow) * inv).clamp(-1.0, 1.0);
+                // SAFETY: query j exclusively owns output column j.
+                unsafe { *odata.get(i * q + j) = v };
+            }
+        },
+    );
+    Ok(())
+}
+
+/// The f32-gallery variant of [`cross_correlation_fused_into`]: the prepared
+/// known side is stored as an `a_rows × t` row-major `f32` slice (converted
+/// once at plan-preparation time), queries stay `f64`, and every dot product
+/// **accumulates in f64** (each `f32` gallery element is widened exactly, so
+/// the only precision loss is the one-time `f64 → f32` rounding of the
+/// stored gallery).
+///
+/// Determinism: bit-identical at any thread count for the same reasons as
+/// the f64 kernel — per-dtype bit-identity is the contract; f32-vs-f64
+/// *agreement* is bounded statistically by the property suite, not exactly.
+pub fn cross_correlation_fused_f32_into(
+    az: &[f32],
+    a_rows: usize,
+    b: &Matrix,
+    bz: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
+    let t_len = az.len().checked_div(a_rows).unwrap_or(0);
+    if a_rows == 0 || az.len() != a_rows * t_len || t_len != b.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation",
+            lhs: (a_rows, t_len),
+            rhs: (b.cols(), b.rows()),
+        });
+    }
+    if az.is_empty() || b.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation",
+        });
+    }
+    let q = b.cols();
+    let inv = 1.0 / t_len as f64;
+    b.transpose_into(bz);
+    out.reshape_for_overwrite(a_rows, q);
+    let odata = DisjointMut::new(out.as_mut_slice());
+    par::par_chunks_mut(
+        bz.as_mut_slice(),
+        t_len,
+        a_rows.max(2),
+        CROSS_PAR_THRESHOLD,
+        |j, brow| {
+            zscore_in_place(brow);
+            for i in 0..a_rows {
+                let ai = &az[i * t_len..(i + 1) * t_len];
+                let v = (dot_f32_f64(ai, brow) * inv).clamp(-1.0, 1.0);
+                // SAFETY: query j exclusively owns output column j.
+                unsafe { *odata.get(i * q + j) = v };
+            }
+        },
+    );
+    Ok(())
+}
+
 /// Pairwise-complete Pearson correlation: correlates two equal-length
 /// series over the observations where **both** are finite.
 ///
@@ -757,6 +870,69 @@ mod tests {
         for (x, y) in out.as_slice().iter().zip(direct.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn fused_cross_correlation_is_bit_identical_to_split() {
+        // The fused query kernel must reproduce the split path (transpose +
+        // z-score, then correlate) exactly — this is the contract that lets
+        // the attack plan's steady-state path fuse without changing a bit.
+        let a = Matrix::from_fn(43, 7, |r, c| ((r * 3 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(43, 5, |r, c| ((r * 5 + c * 11) % 9) as f64 - 4.0);
+        let mut az = Matrix::zeros(0, 0);
+        zscored_cols_into(&a, &mut az);
+        let mut bz_split = Matrix::zeros(0, 0);
+        let mut split = Matrix::zeros(0, 0);
+        zscored_cols_into(&b, &mut bz_split);
+        cross_correlation_zscored_into(&az, &bz_split, &mut split).unwrap();
+        let mut bz_fused = Matrix::filled(2, 9, 3.0); // dirty scratch
+        let mut fused = Matrix::filled(1, 4, -5.0);
+        cross_correlation_fused_into(&az, &b, &mut bz_fused, &mut fused).unwrap();
+        assert_eq!(fused.shape(), split.shape());
+        for (x, y) in fused.as_slice().iter().zip(split.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The scratch receives the same z-scored queries as the split path.
+        assert_eq!(bz_fused.shape(), bz_split.shape());
+        for (x, y) in bz_fused.as_slice().iter().zip(bz_split.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_cross_correlation_rejects_mismatch_and_empty() {
+        let az = Matrix::zeros(3, 10);
+        let b = Matrix::zeros(9, 4);
+        let mut bz = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        assert!(cross_correlation_fused_into(&az, &b, &mut bz, &mut out).is_err());
+        let empty = Matrix::zeros(0, 0);
+        assert!(cross_correlation_fused_into(&empty, &b, &mut bz, &mut out).is_err());
+    }
+
+    #[test]
+    fn fused_f32_close_to_f64_and_deterministic() {
+        let a = Matrix::from_fn(60, 6, |r, c| ((r * 3 + c * 7) % 13) as f64 * 0.17 - 1.0);
+        let b = Matrix::from_fn(60, 4, |r, c| ((r * 5 + c * 11) % 9) as f64 * 0.31 - 1.2);
+        let mut az = Matrix::zeros(0, 0);
+        zscored_cols_into(&a, &mut az);
+        let az32: Vec<f32> = az.as_slice().iter().map(|&v| v as f32).collect();
+        let mut bz = Matrix::zeros(0, 0);
+        let mut out64 = Matrix::zeros(0, 0);
+        cross_correlation_fused_into(&az, &b, &mut bz, &mut out64).unwrap();
+        let mut out32 = Matrix::zeros(0, 0);
+        cross_correlation_fused_f32_into(&az32, az.rows(), &b, &mut bz, &mut out32).unwrap();
+        assert_eq!(out32.shape(), out64.shape());
+        for (x, y) in out32.as_slice().iter().zip(out64.as_slice()) {
+            // Correlations are O(1); f32 storage rounding perturbs them by
+            // at most ~len·2⁻²⁴ relative noise.
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+        // Bad gallery geometry is a typed error, not a panic.
+        assert!(
+            cross_correlation_fused_f32_into(&az32, 7, &b, &mut bz, &mut out32).is_err()
+                || az.rows() == 7
+        );
     }
 
     #[test]

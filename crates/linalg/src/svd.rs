@@ -50,7 +50,8 @@ const JACOBI_PAR_THRESHOLD: usize = 1 << 16;
 ///
 /// The Gram route squares the condition number, so noise on a zero singular
 /// value is O(sqrt(eps)·σ_max) ≈ 1.5e-8·σ_max; the tolerance sits above that.
-const RANK_TOL: f64 = 1e-7;
+/// Shared with `rsvd::subspace_svd`, which recovers `U` the same way.
+pub(crate) const RANK_TOL: f64 = 1e-7;
 
 /// Thin SVD `A = U Σ Vᵀ` with `U ∈ R^{m×n}`, `Σ` diagonal (descending),
 /// `V ∈ R^{n×n}`, for `m ≥ n`.
@@ -199,7 +200,11 @@ fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
 /// contiguous row `c` of `wt`) and visits pairs in [`round_robin_rounds`]
 /// order: each round's pairs touch disjoint columns, so the round runs in
 /// parallel with bit-identical results at any thread count.
-fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+///
+/// Public so benches can time this route directly against [`thin_svd`]'s
+/// shape dispatch and the randomized subspace path; library code should call
+/// [`thin_svd`], which picks the cheaper Gram route for tall inputs.
+pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
     let (m, n) = a.shape();
     let mut wt = a.transpose();
     let mut vt = Matrix::identity(n);

@@ -1,0 +1,145 @@
+//! Bitwise contracts of the cache-blocked kernels at ragged shapes.
+//!
+//! The register-tiled `matmul` microkernel (`MATMUL_MR × MATMUL_NR` tiles,
+//! `BLOCK`-sized k panels) and the `GRAM_ROW_BLOCK`-folded `gram` kernel
+//! both promise **bit-identical** results to a naive single-accumulator
+//! loop: every output element is one f64 accumulator updated in ascending
+//! reduction order, and storing/reloading an f64 between k-blocks is exact.
+//! Tiling only pays off — and only hides bugs — at the block boundaries, so
+//! these properties sweep the ragged edges: dimension 1, `BLOCK ± 1`,
+//! exact multiples of the tile sizes, and primes that leave remainders in
+//! every loop.
+//!
+//! Inputs avoid exact zeros: the single-row matmul path keeps a historical
+//! `aik == 0.0` skip whose only observable effect is on signed zeros and
+//! non-finite operands, neither of which group matrices contain.
+
+use neurodeanon_linalg::matrix::{Matrix, BLOCK, GRAM_ROW_BLOCK, MATMUL_MR, MATMUL_NR};
+use neurodeanon_testkit::gen::u64_in;
+use neurodeanon_testkit::{forall, tk_assert, tk_assert_eq, Config};
+
+/// Naive matmul: one k-ascending accumulator per output element — the
+/// reference semantics the blocked kernel must reproduce bit-for-bit.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for kk in 0..k {
+                acc += a[(i, kk)] * b[(kk, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Naive Gram: r-ascending accumulation per upper-triangle element, then
+/// mirror — valid as a bitwise reference for `m <= GRAM_ROW_PANEL` (one
+/// row panel, so no partial-merge additions reorder anything).
+fn naive_gram(a: &Matrix) -> Matrix {
+    let (m, n) = a.shape();
+    let mut g = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0f64;
+            for r in 0..m {
+                acc += a[(r, i)] * a[(r, j)];
+            }
+            g[(i, j)] = acc;
+            g[(j, i)] = acc;
+        }
+    }
+    g
+}
+
+fn assert_bits_equal(got: &Matrix, want: &Matrix, ctx: &str) -> Result<(), String> {
+    tk_assert_eq!(got.shape(), want.shape(), "{ctx}");
+    for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+        tk_assert!(
+            x.to_bits() == y.to_bits(),
+            "{ctx}: {x} != {y} ({:#x} vs {:#x})",
+            x.to_bits(),
+            y.to_bits()
+        );
+    }
+    Ok(())
+}
+
+/// Dense nonzero test matrix: uniform in ±[0.25, 4.25], never exactly zero.
+fn nonzero_matrix(rng: &mut neurodeanon_linalg::Rng64, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| {
+        let mag = 0.25 + rng.uniform_range(0.0, 4.0);
+        if rng.below(2) == 0 {
+            mag
+        } else {
+            -mag
+        }
+    })
+}
+
+#[test]
+fn blocked_matmul_is_bitwise_naive_at_ragged_shapes() {
+    // Every loop in the kernel has a boundary here: m covers the MR stripe
+    // remainder, n the NR tile remainder, k the BLOCK panel remainder.
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, BLOCK - 1, MATMUL_NR + 1),
+        (MATMUL_MR - 1, BLOCK + 1, MATMUL_NR - 1),
+        (MATMUL_MR, BLOCK, MATMUL_NR),
+        (MATMUL_MR + 1, 1, 2 * MATMUL_NR + 3),
+        (2 * MATMUL_MR + 1, BLOCK + 1, MATMUL_NR + 1),
+        (7, 67, 11),
+        (13, 129, 5),
+        (31, 63, 17),
+    ];
+    forall!(Config::cases(4), (seed in u64_in(0..10_000)) => {
+        let mut rng = neurodeanon_linalg::Rng64::new(seed);
+        for &(m, k, n) in shapes {
+            let a = nonzero_matrix(&mut rng, m, k);
+            let b = nonzero_matrix(&mut rng, k, n);
+            let got = a.matmul(&b).unwrap();
+            let want = naive_matmul(&a, &b);
+            assert_bits_equal(&got, &want, &format!("matmul {m}x{k}x{n}"))?;
+        }
+    });
+}
+
+#[test]
+fn blocked_gram_is_bitwise_naive_at_ragged_shapes() {
+    // m sweeps the GRAM_ROW_BLOCK fold boundary (all < GRAM_ROW_PANEL so
+    // the naive flat accumulation is the exact merge order); n sweeps tiny
+    // and prime column counts.
+    let shapes: &[(usize, usize)] = &[
+        (1, 1),
+        (GRAM_ROW_BLOCK - 1, 3),
+        (GRAM_ROW_BLOCK, 8),
+        (GRAM_ROW_BLOCK + 1, 9),
+        (BLOCK - 1, 5),
+        (BLOCK + 1, 17),
+        (127, 7),
+        (251, 13),
+    ];
+    forall!(Config::cases(4), (seed in u64_in(0..10_000)) => {
+        let mut rng = neurodeanon_linalg::Rng64::new(seed);
+        for &(m, n) in shapes {
+            let a = nonzero_matrix(&mut rng, m, n);
+            let got = a.gram();
+            let want = naive_gram(&a);
+            assert_bits_equal(&got, &want, &format!("gram {m}x{n}"))?;
+        }
+    });
+}
+
+/// The microkernel consts the shape lists above are built from must keep
+/// the relationships the kernels assume; a change here is a determinism-
+/// contract change and needs the DESIGN.md §1.5 story updated with it.
+#[test]
+fn kernel_block_consts_are_as_documented() {
+    assert_eq!(BLOCK, 64);
+    assert_eq!(MATMUL_MR, 4);
+    assert_eq!(MATMUL_NR, 8);
+    assert_eq!(GRAM_ROW_BLOCK, 8);
+}

@@ -43,6 +43,15 @@ echo "==> open-world property suite @ NEURODEANON_THREADS=1 and 8"
 NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 
+# Kernel smoke: the kernels bench at small scale emits kernel_bench GFLOP/s
+# records and gates them against crates/bench/benches/kernel_baseline.jsonl —
+# >25% below the best committed baseline is a soft warning while a label has
+# one baseline record and a hard failure once two exist. It also checks the
+# f32-gallery argmax agreement and the subspace-bank ablation tracking.
+echo "==> bench smoke: kernels @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
+NEURODEANON_BENCH_SCALE=small \
+  cargo bench -p neurodeanon-bench --bench kernels --features criterion-bench --offline
+
 # Bench smoke: the sweeps bench at small scale appends its records to the
 # JSON trajectory and asserts plan/direct bit-identity, the one-SVD-per-plan
 # invariant, and that the trajectory parses with testkit::json.
