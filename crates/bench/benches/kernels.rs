@@ -105,6 +105,13 @@ fn load_baseline(path: &Path) -> Vec<Value> {
 }
 
 fn main() {
+    // `--trace` turns on the obs span recorder for the whole bench run and
+    // prints the aggregated tree at the end; results are unaffected by
+    // contract (DESIGN.md §1.6), so the GFLOP/s gate still applies.
+    let traced = std::env::args().skip(1).any(|a| a == "--trace");
+    if traced {
+        neurodeanon_obs::enable();
+    }
     let scale = match std::env::var("NEURODEANON_BENCH_SCALE") {
         Ok(v) => Scale::parse(&v).unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -334,4 +341,12 @@ fn main() {
         "trajectory {} verified: {ours} kernel_bench records",
         json_path.display()
     );
+
+    if traced {
+        let snap = neurodeanon_obs::snapshot();
+        eprintln!("--- trace ---");
+        eprint!("{}", snap.render_tree());
+        neurodeanon_bench::trace::export_jsonl(&snap, "kernels", &json_path)
+            .expect("trace export writes");
+    }
 }

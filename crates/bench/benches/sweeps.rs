@@ -81,6 +81,11 @@ fn assert_bit_identical(direct: &AttackOutcome, planned: &AttackOutcome, what: &
 }
 
 fn main() {
+    // Same contract as the kernels bench: `--trace` only adds reporting.
+    let traced = std::env::args().skip(1).any(|a| a == "--trace");
+    if traced {
+        neurodeanon_obs::enable();
+    }
     let scale = match std::env::var("NEURODEANON_BENCH_SCALE") {
         Ok(v) => Scale::parse(&v).unwrap_or_else(|e| {
             eprintln!("{e}");
@@ -221,4 +226,12 @@ fn main() {
         "trajectory {} verified: {ours} attack_plan_sweeps records",
         json_path.display()
     );
+
+    if traced {
+        let snap = neurodeanon_obs::snapshot();
+        eprintln!("--- trace ---");
+        eprint!("{}", snap.render_tree());
+        neurodeanon_bench::trace::export_jsonl(&snap, "sweeps", &json_path)
+            .expect("trace export writes");
+    }
 }

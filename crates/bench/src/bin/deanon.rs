@@ -7,6 +7,7 @@
 //! ```text
 //! deanon --known archive.csv --anon release.csv [--features 100] [--hungarian]
 //!        [--degraded-policy reject|mask|impute] [--enroll-rate R] [--reject-margin T]
+//!        [--trace] [--metrics-out FILE.jsonl]
 //! ```
 //!
 //! Missing observations in the CSVs (empty cells, `NaN`) are handled per
@@ -23,12 +24,22 @@
 //!
 //! A `--demo` flag synthesizes the two files from the built-in HCP-like
 //! cohort first, so the tool can be tried without data.
+//!
+//! Observability (DESIGN.md §1.6): `--trace` enables the in-repo span
+//! recorder and prints the aggregated stage tree (prepare → select →
+//! correlate → match) plus counters and gauges to stderr after the run;
+//! `--metrics-out FILE.jsonl` additionally appends one `obs_span` /
+//! `obs_counter` / `obs_gauge` JSON record per node to `FILE.jsonl`
+//! (implies `--trace`). Tracing never changes results: the predictions of
+//! a traced run are bitwise identical to an untraced one.
 
+use neurodeanon_bench::trace::export_jsonl;
 use neurodeanon_connectome::io::{read_group_csv, write_group_csv};
 use neurodeanon_core::attack::{AttackConfig, AttackPlan, DegradedInput, MatchRule};
 use neurodeanon_core::matching::Decision;
 use neurodeanon_core::splits::enrollment_split;
 use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_obs as obs;
 use std::path::PathBuf;
 
 /// Seed for the `--enroll-rate` gallery split: fixed so repeated runs on
@@ -39,7 +50,8 @@ fn fail(msg: &str) -> ! {
     eprintln!("deanon: {msg}");
     eprintln!(
         "usage: deanon --known FILE.csv --anon FILE.csv [--features N] [--hungarian] \
-         [--degraded-policy reject|mask|impute] [--enroll-rate R] [--reject-margin T] [--demo]"
+         [--degraded-policy reject|mask|impute] [--enroll-rate R] [--reject-margin T] \
+         [--trace] [--metrics-out FILE.jsonl] [--demo]"
     );
     std::process::exit(2);
 }
@@ -54,6 +66,8 @@ fn main() {
     let mut enroll_rate: Option<f64> = None;
     let mut reject_margin: Option<f64> = None;
     let mut demo = false;
+    let mut traced = false;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -104,13 +118,27 @@ fn main() {
                 }
                 reject_margin = Some(t);
             }
+            "--trace" => traced = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| fail("--metrics-out needs a path")),
+                ));
+                traced = true;
+            }
             "--demo" => demo = true,
             "--help" | "-h" => fail("prints predicted identities for anonymous records"),
             other => fail(&format!("unknown argument `{other}`")),
         }
     }
 
+    if traced {
+        obs::enable();
+    }
+    let _root_span = obs::span("deanon.run");
+
     if demo {
+        let _span = obs::span("cli.demo_synth");
         let dir = std::env::temp_dir().join("deanon_demo");
         std::fs::create_dir_all(&dir)
             .unwrap_or_else(|e| fail(&format!("creating demo dir {}: {e}", dir.display())));
@@ -138,10 +166,12 @@ fn main() {
 
     let known_path = known_path.unwrap_or_else(|| fail("missing --known"));
     let anon_path = anon_path.unwrap_or_else(|| fail("missing --anon"));
+    let load_span = obs::span("cli.load");
     let mut known = read_group_csv(&known_path)
         .unwrap_or_else(|e| fail(&format!("reading {}: {e}", known_path.display())));
     let anon = read_group_csv(&anon_path)
         .unwrap_or_else(|e| fail(&format!("reading {}: {e}", anon_path.display())));
+    drop(load_span);
     eprintln!(
         "known: {} subjects × {} features | anonymous: {} subjects",
         known.n_subjects(),
@@ -177,6 +207,7 @@ fn main() {
         .run_against(&anon)
         .unwrap_or_else(|e| fail(&e.to_string()));
 
+    let emit_span = obs::span("cli.emit");
     println!("record,predicted_identity,similarity");
     for (j, d) in outcome.decisions.iter().enumerate() {
         // Rejections — the mask policy's no-prediction sentinel and any
@@ -201,5 +232,23 @@ fn main() {
             "ground-truth overlap detected: accuracy {:.1}%",
             outcome.accuracy * 100.0
         );
+    }
+    drop(emit_span);
+
+    if traced {
+        drop(_root_span);
+        #[cfg(feature = "alloc-stats")]
+        obs::alloc::publish_gauges();
+        let snap = obs::snapshot();
+        eprintln!("--- trace ---");
+        eprint!("{}", snap.render_tree());
+        if let Some(frac) = snap.child_fraction("deanon.run") {
+            eprintln!("stage coverage: {:.1}% of deanon.run", frac * 100.0);
+        }
+        if let Some(path) = metrics_out {
+            export_jsonl(&snap, "deanon", &path)
+                .unwrap_or_else(|e| fail(&format!("writing {}: {e}", path.display())));
+            eprintln!("metrics written to {}", path.display());
+        }
     }
 }

@@ -11,6 +11,7 @@
 pub mod report;
 pub mod scale;
 pub mod timing;
+pub mod trace;
 
 pub use report::Report;
 pub use scale::Scale;

@@ -7,8 +7,10 @@
 //! use the medians for coarse comparisons, not for microbenchmark claims.
 
 use neurodeanon_testkit::{json, Value};
+use std::collections::HashSet;
 use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// A group of named timings sharing warm-up and iteration settings.
@@ -25,10 +27,23 @@ pub struct Sample {
     pub label: String,
     /// Fastest observed iteration.
     pub min: Duration,
-    /// Median iteration.
+    /// Median iteration (the 50th percentile).
     pub median: Duration,
     /// Mean iteration.
     pub mean: Duration,
+    /// 95th-percentile iteration (nearest rank).
+    pub p95: Duration,
+    /// 99th-percentile iteration (nearest rank).
+    pub p99: Duration,
+    /// Number of timed iterations behind the statistics.
+    pub iters: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 impl Bench {
@@ -68,13 +83,16 @@ impl Bench {
         }
         times.sort_unstable();
         let min = times[0];
-        let median = times[times.len() / 2];
+        let median = percentile(&times, 50.0);
         let mean = times.iter().sum::<Duration>() / times.len() as u32;
         let s = Sample {
             label: label.to_string(),
             min,
             median,
             mean,
+            p95: percentile(&times, 95.0),
+            p99: percentile(&times, 99.0),
+            iters: times.len(),
         };
         println!(
             "{}/{label:<40} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
@@ -98,16 +116,28 @@ impl Sample {
             "min_ns": self.min.as_nanos() as f64,
             "median_ns": self.median.as_nanos() as f64,
             "mean_ns": self.mean.as_nanos() as f64,
+            "p50_ns": self.median.as_nanos() as f64,
+            "p95_ns": self.p95.as_nanos() as f64,
+            "p99_ns": self.p99.as_nanos() as f64,
+            "iters": self.iters as f64,
         })
     }
 }
 
+/// Process-wide ordinal for [`append_jsonl`] records: interleaved writers
+/// (bench groups, trace exports) stay totally ordered within one run even
+/// when wall-clock resolution cannot separate them.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
 /// Appends one JSON record as a line to a JSONL file, creating it if needed.
 ///
 /// Object records are stamped with host metadata before writing (existing
-/// keys are never overwritten), so every `bench::timing` trajectory line
-/// carries the context needed to compare runs across machines and configs:
+/// keys are never overwritten — membership is checked against one
+/// `HashSet` of the record's keys rather than a scan per field), so every
+/// `bench::timing` trajectory line carries the context needed to compare
+/// runs across machines and configs:
 ///
+/// * `seq` — a process-wide monotonic record ordinal;
 /// * `threads` — the effective `linalg::par` worker count;
 /// * `threads_env` — the raw `NEURODEANON_THREADS` value (absent when the
 ///   variable is unset), which may exceed `threads` on small hosts because
@@ -116,11 +146,17 @@ impl Sample {
 pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
     let mut stamped = record.clone();
     if let Value::Object(fields) = &mut stamped {
+        let present: HashSet<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        let mut missing: Vec<(String, Value)> = Vec::new();
         let mut put = |key: &str, value: Value| {
-            if !fields.iter().any(|(k, _)| k == key) {
-                fields.push((key.to_string(), value));
+            if !present.contains(key) {
+                missing.push((key.to_string(), value));
             }
         };
+        put(
+            "seq",
+            Value::Number(SEQ.fetch_add(1, Ordering::Relaxed) as f64),
+        );
         put(
             "threads",
             Value::Number(neurodeanon_linalg::par::num_threads() as f64),
@@ -134,6 +170,7 @@ pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
             "release"
         };
         put("profile", Value::String(profile.to_string()));
+        fields.extend(missing);
     }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
@@ -182,10 +219,17 @@ mod tests {
             min: Duration::from_nanos(5),
             median: Duration::from_nanos(7),
             mean: Duration::from_nanos(6),
+            p95: Duration::from_nanos(9),
+            p99: Duration::from_nanos(11),
+            iters: 10,
         };
         let v = s.to_json("thread_sweep");
         assert_eq!(v.get("group").and_then(Value::as_str), Some("thread_sweep"));
         assert_eq!(v.get("median_ns").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("p50_ns").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("p95_ns").and_then(Value::as_f64), Some(9.0));
+        assert_eq!(v.get("p99_ns").and_then(Value::as_f64), Some(11.0));
+        assert_eq!(v.get("iters").and_then(Value::as_f64), Some(10.0));
 
         let path = std::env::temp_dir().join(format!("nd_timing_{}.jsonl", std::process::id()));
         let _ = std::fs::remove_file(&path);
@@ -195,6 +239,11 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         let parsed = neurodeanon_testkit::json::parse(text.lines().next().unwrap()).unwrap();
         assert_eq!(parsed.get("min_ns").and_then(Value::as_f64), Some(5.0));
+        // Consecutive records carry strictly increasing sequence numbers.
+        let second = neurodeanon_testkit::json::parse(text.lines().nth(1).unwrap()).unwrap();
+        let s0 = parsed.get("seq").and_then(Value::as_f64).unwrap();
+        let s1 = second.get("seq").and_then(Value::as_f64).unwrap();
+        assert!(s1 > s0, "seq must be monotonic: {s0} then {s1}");
         // Host metadata is stamped on write.
         assert_eq!(
             parsed.get("threads").and_then(Value::as_f64),
@@ -231,5 +280,31 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
         assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn duration_formatting_unit_boundaries() {
+        // The last value of each unit and the first of the next.
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_000)), "1.00 µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(999_999)), "1000.00 µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_000_000)), "1.00 ms");
+        assert_eq!(
+            fmt_duration(Duration::from_nanos(999_999_999)),
+            "1000.00 ms"
+        );
+        assert_eq!(fmt_duration(Duration::from_nanos(1_000_000_000)), "1.00 s");
+        assert_eq!(fmt_duration(Duration::ZERO), "0 ns");
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let times: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
+        assert_eq!(percentile(&times, 50.0), Duration::from_nanos(51));
+        assert_eq!(percentile(&times, 95.0), Duration::from_nanos(95));
+        assert_eq!(percentile(&times, 99.0), Duration::from_nanos(99));
+        assert_eq!(percentile(&times, 100.0), Duration::from_nanos(100));
+        let one = [Duration::from_nanos(7)];
+        assert_eq!(percentile(&one, 99.0), Duration::from_nanos(7));
     }
 }

@@ -1,0 +1,109 @@
+//! End-to-end smoke of `deanon --trace --metrics-out` (DESIGN.md §1.6):
+//! tracing must not change a single output byte — across thread counts too
+//! — and the exported JSONL must self-parse via `testkit::json` into a span
+//! tree that covers the pipeline stages and attributes ≥ 90% of the
+//! end-to-end wall time to named stages.
+
+use neurodeanon_testkit::{json, Value};
+use std::path::Path;
+use std::process::Command;
+
+/// Runs the `deanon` binary in demo mode and returns `(stdout, stderr)`.
+fn run_deanon(threads: usize, extra: &[&str]) -> (String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_deanon"));
+    cmd.arg("--demo")
+        .env("NEURODEANON_THREADS", threads.to_string());
+    for arg in extra {
+        cmd.arg(arg);
+    }
+    let out = cmd.output().expect("deanon runs");
+    assert!(
+        out.status.success(),
+        "deanon exited with {:?}: {}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+fn parse_jsonl(path: &Path) -> Vec<Value> {
+    std::fs::read_to_string(path)
+        .expect("metrics file readable")
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| json::parse(l).expect("metrics line parses as JSON"))
+        .collect()
+}
+
+#[test]
+fn traced_cli_output_is_bitwise_identical_and_covers_the_pipeline() {
+    let dir = std::env::temp_dir().join(format!("nd_trace_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.jsonl");
+
+    // Predictions must be byte-identical untraced vs traced, and at 1 vs 8
+    // threads under tracing.
+    let (plain, _) = run_deanon(8, &[]);
+    let metrics_arg = metrics.to_str().unwrap().to_string();
+    let (traced8, stderr8) = run_deanon(8, &["--trace", "--metrics-out", &metrics_arg]);
+    let (traced1, _) = run_deanon(1, &["--trace"]);
+    assert_eq!(plain, traced8, "tracing changed the CLI predictions");
+    assert_eq!(traced8, traced1, "thread count changed traced predictions");
+    assert!(
+        stderr8.contains("--- trace ---"),
+        "traced run must print the span tree:\n{stderr8}"
+    );
+
+    // The exported JSONL self-parses and contains the full stage tree.
+    let records = parse_jsonl(&metrics);
+    let span = |path: &str| {
+        records
+            .iter()
+            .find(|r| {
+                r.get("record").and_then(Value::as_str) == Some("obs_span")
+                    && r.get("path").and_then(Value::as_str) == Some(path)
+            })
+            .unwrap_or_else(|| panic!("no obs_span record for {path}"))
+    };
+    let root = span("deanon.run");
+    for stage in [
+        "deanon.run/plan.prepare",
+        "deanon.run/plan.run",
+        "deanon.run/plan.run/plan.select",
+        "deanon.run/plan.run/plan.correlate",
+        "deanon.run/plan.run/plan.match",
+        "deanon.run/cli.load",
+    ] {
+        span(stage);
+    }
+    assert!(records.iter().any(
+        |r| r.get("record").and_then(Value::as_str) == Some("obs_counter")
+            && r.get("name").and_then(Value::as_str) == Some("svd.thin_calls")
+    ));
+
+    // Stage attribution: the named direct children of `deanon.run` account
+    // for ≥ 90% of the end-to-end wall time.
+    let total = root.get("total_ns").and_then(Value::as_f64).unwrap();
+    let child_total: f64 = records
+        .iter()
+        .filter(|r| {
+            r.get("record").and_then(Value::as_str) == Some("obs_span")
+                && r.get("depth").and_then(Value::as_f64) == Some(1.0)
+                && r.get("path")
+                    .and_then(Value::as_str)
+                    .is_some_and(|p| p.starts_with("deanon.run/"))
+        })
+        .filter_map(|r| r.get("total_ns").and_then(Value::as_f64))
+        .sum();
+    let coverage = child_total / total;
+    assert!(
+        coverage >= 0.9,
+        "stages cover only {:.1}% of deanon.run ({child_total} of {total} ns)",
+        coverage * 100.0
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -16,6 +16,7 @@ use std::path::Path;
 
 /// Writes a group matrix to `path` in the documented CSV format.
 pub fn write_group_csv(group: &GroupMatrix, path: &Path) -> std::io::Result<()> {
+    let _span = neurodeanon_obs::span("io.write_csv");
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
     writeln!(w, "# regions={}", group.n_regions())?;
@@ -38,6 +39,7 @@ pub fn write_group_csv(group: &GroupMatrix, path: &Path) -> std::io::Result<()> 
 /// attack path to mask or impute) rather than an error; any other
 /// non-numeric cell is rejected.
 pub fn read_group_csv(path: &Path) -> Result<GroupMatrix, ConnectomeError> {
+    let _span = neurodeanon_obs::span("io.read_csv");
     let io_err = |context: String, e: std::io::Error| ConnectomeError::Io {
         context,
         reason: e.to_string(),

@@ -354,6 +354,7 @@ impl DeanonAttack {
     /// [`DegradedInput`] policy; on fully finite inputs every policy is
     /// bit-identical to the historical clean path.
     pub fn run(&self, known: &GroupMatrix, anon: &GroupMatrix) -> Result<AttackOutcome> {
+        let _span = neurodeanon_obs::span("attack.run");
         if known.n_features() != anon.n_features() {
             return Err(CoreError::IncompatibleGroups {
                 known: known.n_features(),
@@ -389,15 +390,21 @@ fn clean_attack(
 ) -> Result<AttackOutcome> {
     let t = config.n_features.min(known.n_features());
     // Step 1-2: principal features from the *known* group only.
+    let select_span = neurodeanon_obs::span("attack.select");
     let pf = match &config.randomized {
         None => principal_features(known.as_matrix(), t, config.rank_k)?,
         Some(cfg) => principal_features_approx(known.as_matrix(), t, cfg)?,
     };
     let known_red = known.select_features(&pf.indices)?;
     let anon_red = anon.select_features(&pf.indices)?;
+    drop(select_span);
     // Step 3: subject-by-subject Pearson in the reduced space.
-    let similarity = cross_correlation(known_red.as_matrix(), anon_red.as_matrix())?;
+    let similarity = {
+        let _corr = neurodeanon_obs::span("attack.correlate");
+        cross_correlation(known_red.as_matrix(), anon_red.as_matrix())?
+    };
     // Step 4: matching + scoring.
+    let _match_span = neurodeanon_obs::span("attack.match");
     outcome_from_similarity(
         similarity,
         pf.indices,
@@ -703,6 +710,7 @@ impl AttackPlan {
     /// mean-imputed matrix (one imputation serves every query), and `Mask`
     /// stores the matrix as-is and runs every query on the masked path.
     pub fn prepare(known: GroupMatrix, config: AttackConfig) -> Result<Self> {
+        let _span = neurodeanon_obs::span("plan.prepare");
         config.validate()?;
         let known = if known.as_matrix().is_finite() {
             known
@@ -777,6 +785,7 @@ impl AttackPlan {
         n_features: usize,
         match_rule: MatchRule,
     ) -> Result<AttackOutcome> {
+        let _span = neurodeanon_obs::span("plan.run");
         if n_features == 0 {
             return Err(CoreError::InvalidParameter {
                 name: "n_features",
@@ -830,6 +839,7 @@ impl AttackPlan {
         // z-score + correlate pass (bit-identical to the split kernels, see
         // `cross_correlation_fused_into`); `anon_z` keeps receiving the
         // z-scored queries so the scratch-reuse shape is unchanged.
+        let corr_span = neurodeanon_obs::span("plan.correlate");
         anon.as_matrix()
             .select_rows_into(&self.indices, &mut self.anon_red)?;
         let mut similarity = Matrix::zeros(0, 0);
@@ -848,6 +858,8 @@ impl AttackPlan {
                 &mut similarity,
             )?,
         }
+        drop(corr_span);
+        let _match_span = neurodeanon_obs::span("plan.match");
         outcome_from_similarity(
             similarity,
             self.indices.clone(),
@@ -865,6 +877,7 @@ impl AttackPlan {
         if self.selection == Some(key) {
             return Ok(());
         }
+        let _span = neurodeanon_obs::span("plan.select");
         // Invalidate first so a failed refresh can't leave a stale key.
         self.selection = None;
         let selector = self.selector.as_ref().ok_or(CoreError::InvalidParameter {
@@ -887,8 +900,22 @@ impl AttackPlan {
                 .extend(self.known_z.as_slice().iter().map(|&v| v as f32));
         }
         self.selection = Some(key);
+        gallery_bytes_gauge().set(
+            (std::mem::size_of_val(self.known_z.as_slice())
+                + std::mem::size_of_val(self.known_z32.as_slice())) as f64,
+        );
         Ok(())
     }
+}
+
+/// Cached handle of the `plan.gallery_bytes` gauge: resident bytes of the
+/// prepared gallery (f64 z-scored buffer plus the optional f32 copy) as of
+/// the latest selection refresh. Deterministic — a pure function of the
+/// plan shape — so it participates in the observability fingerprint.
+fn gallery_bytes_gauge() -> &'static neurodeanon_obs::Gauge {
+    static HANDLE: std::sync::OnceLock<&'static neurodeanon_obs::Gauge> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| neurodeanon_obs::gauge("plan.gallery_bytes"))
 }
 
 /// Shared tail of the per-experiment "restrict both groups to a feature

@@ -44,6 +44,7 @@ pub fn argmax_matching(similarity: &Matrix) -> Result<Vec<usize>> {
 /// where a whole-missing anonymous subject must count as a miss rather than
 /// abort the attack on every other subject.
 pub fn argmax_matching_lenient(similarity: &Matrix) -> Result<Vec<usize>> {
+    let _span = neurodeanon_obs::span("match.argmax");
     if similarity.is_empty() {
         return Err(CoreError::InvalidParameter {
             name: "similarity",
@@ -198,6 +199,7 @@ pub fn decide_matching(similarity: &Matrix, margin_threshold: f64) -> Result<Vec
 /// a.k.a. Hungarian algorithm, O(n³)). Requires a square matrix; `result[j]`
 /// = the known subject assigned to anonymous subject `j`.
 pub fn hungarian_matching(similarity: &Matrix) -> Result<Vec<usize>> {
+    let _span = neurodeanon_obs::span("match.hungarian");
     let n = similarity.rows();
     if n == 0 || similarity.cols() != n {
         return Err(CoreError::InvalidParameter {

@@ -33,6 +33,8 @@
 
 use std::cell::Cell;
 use std::marker::PhantomData;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Default minimum number of scalar operations before a kernel spawns
 /// threads; below this the spawn overhead dominates. Kernels with lower
@@ -53,6 +55,53 @@ const MAX_THREAD_OVERRIDE: usize = 64;
 thread_local! {
     /// 0 = no override; otherwise the forced thread count for this thread.
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+// Every dispatched closure — inline, calling-thread, or worker — runs under
+// `obs::span::detached`, so spans a kernel opens inside a parallel region
+// always root at top level. That keeps the recorded span-tree *shape* a pure
+// function of the workload, never of the thread count or of which thread
+// happened to execute a tile.
+
+/// Cached handles of the scheduler's observability metrics.
+///
+/// `par.calls` / `par.tiles` count dispatches and tiles — both are pure
+/// functions of the problem shapes, so they are part of the determinism
+/// fingerprint and must match at any thread count. `rt.par.busy_ns`
+/// (cumulative per-worker busy wall time) and `rt.par.imbalance`
+/// (slowest-worker / mean-worker busy ratio of the latest parallel
+/// dispatch) are runtime telemetry, only sampled while tracing is enabled.
+struct ParMetrics {
+    calls: &'static neurodeanon_obs::Counter,
+    tiles: &'static neurodeanon_obs::Counter,
+    busy_ns: &'static neurodeanon_obs::Counter,
+    imbalance: &'static neurodeanon_obs::Gauge,
+}
+
+fn metrics() -> &'static ParMetrics {
+    static HANDLES: OnceLock<ParMetrics> = OnceLock::new();
+    HANDLES.get_or_init(|| ParMetrics {
+        calls: neurodeanon_obs::counter("par.calls"),
+        tiles: neurodeanon_obs::counter("par.tiles"),
+        busy_ns: neurodeanon_obs::counter("rt.par.busy_ns"),
+        imbalance: neurodeanon_obs::gauge("rt.par.imbalance"),
+    })
+}
+
+/// Folds one parallel dispatch's per-worker busy nanoseconds into the
+/// runtime telemetry (no-op on an empty sample, i.e. untraced dispatches).
+fn record_busy(busy: &[u64]) {
+    if busy.is_empty() {
+        return;
+    }
+    let m = metrics();
+    let total: u64 = busy.iter().sum();
+    m.busy_ns.add(total);
+    let max = busy.iter().copied().max().unwrap_or(0);
+    let mean = total as f64 / busy.len() as f64;
+    if mean > 0.0 {
+        m.imbalance.set(max as f64 / mean);
+    }
 }
 
 /// Number of logical cores reported by the OS (at least 1).
@@ -169,30 +218,53 @@ where
     }
     let tile_len = tile_len.max(1);
     let tiles = n_items.div_ceil(tile_len);
+    let m = metrics();
+    m.calls.incr();
+    m.tiles.add(tiles as u64);
     let threads = num_threads().min(tiles);
     if threads <= 1 || n_items.saturating_mul(work_per_item) < threshold {
-        for t in 0..tiles {
-            f(make_tile(t, tile_len, n_items));
-        }
+        neurodeanon_obs::span::detached(|| {
+            for t in 0..tiles {
+                f(make_tile(t, tile_len, n_items));
+            }
+        });
         return;
     }
-    std::thread::scope(|s| {
-        let f = &f;
-        for w in 1..threads {
-            s.spawn(move || {
-                let mut t = w;
+    let traced = neurodeanon_obs::enabled();
+    let mut busy = vec![0u64; if traced { threads } else { 0 }];
+    {
+        let bshare = DisjointMut::new(&mut busy);
+        std::thread::scope(|s| {
+            let f = &f;
+            for w in 1..threads {
+                s.spawn(move || {
+                    let t0 = traced.then(Instant::now);
+                    let mut t = w;
+                    while t < tiles {
+                        f(make_tile(t, tile_len, n_items));
+                        t += threads;
+                    }
+                    if let Some(t0) = t0 {
+                        // SAFETY: worker `w` is the only writer of slot `w`.
+                        unsafe { *bshare.get(w) = t0.elapsed().as_nanos() as u64 };
+                    }
+                });
+            }
+            let t0 = traced.then(Instant::now);
+            neurodeanon_obs::span::detached(|| {
+                let mut t = 0;
                 while t < tiles {
                     f(make_tile(t, tile_len, n_items));
                     t += threads;
                 }
             });
-        }
-        let mut t = 0;
-        while t < tiles {
-            f(make_tile(t, tile_len, n_items));
-            t += threads;
-        }
-    });
+            if let Some(t0) = t0 {
+                // SAFETY: slot 0 belongs to the calling thread.
+                unsafe { *bshare.get(0) = t0.elapsed().as_nanos() as u64 };
+            }
+        });
+    }
+    record_busy(&busy);
 }
 
 /// Splits `data` into fixed `chunk_len`-element chunks and runs
@@ -218,11 +290,16 @@ pub fn par_chunks_mut<T, F>(
     }
     let chunk_len = chunk_len.max(1);
     let n_chunks = data.len().div_ceil(chunk_len);
+    let m = metrics();
+    m.calls.incr();
+    m.tiles.add(n_chunks as u64);
     let threads = num_threads().min(n_chunks);
     if threads <= 1 || data.len().saturating_mul(work_per_item) < threshold {
-        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(i, chunk);
-        }
+        neurodeanon_obs::span::detached(|| {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(i, chunk);
+            }
+        });
         return;
     }
     // Deal chunks round-robin so long inputs stay balanced without any
@@ -231,21 +308,39 @@ pub fn par_chunks_mut<T, F>(
     for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
         batches[i % threads].push((i, chunk));
     }
-    std::thread::scope(|s| {
-        let f = &f;
-        let mut batches = batches.into_iter();
-        let own = batches.next().expect("threads >= 1");
-        for batch in batches {
-            s.spawn(move || {
-                for (i, chunk) in batch {
+    let traced = neurodeanon_obs::enabled();
+    let mut busy = vec![0u64; if traced { threads } else { 0 }];
+    {
+        let bshare = DisjointMut::new(&mut busy);
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut batches = batches.into_iter();
+            let own = batches.next().expect("threads >= 1");
+            for (w, batch) in batches.enumerate() {
+                s.spawn(move || {
+                    let t0 = traced.then(Instant::now);
+                    for (i, chunk) in batch {
+                        f(i, chunk);
+                    }
+                    if let Some(t0) = t0 {
+                        // SAFETY: worker `w + 1` is the only writer of its slot.
+                        unsafe { *bshare.get(w + 1) = t0.elapsed().as_nanos() as u64 };
+                    }
+                });
+            }
+            let t0 = traced.then(Instant::now);
+            neurodeanon_obs::span::detached(|| {
+                for (i, chunk) in own {
                     f(i, chunk);
                 }
             });
-        }
-        for (i, chunk) in own {
-            f(i, chunk);
-        }
-    });
+            if let Some(t0) = t0 {
+                // SAFETY: slot 0 belongs to the calling thread.
+                unsafe { *bshare.get(0) = t0.elapsed().as_nanos() as u64 };
+            }
+        });
+    }
+    record_busy(&busy);
 }
 
 /// Deterministic tiled reduction.
@@ -275,18 +370,27 @@ where
     }
     let tile_len = tile_len.max(1);
     let tiles = n_items.div_ceil(tile_len);
+    let m = metrics();
+    m.calls.incr();
+    m.tiles.add(tiles as u64);
     let threads = num_threads().min(tiles);
     let mut partials: Vec<Option<R>> = (0..tiles).map(|_| None).collect();
     if threads <= 1 || n_items.saturating_mul(work_per_item) < threshold {
-        for (t, slot) in partials.iter_mut().enumerate() {
-            *slot = Some(tile_fn(make_tile(t, tile_len, n_items)));
-        }
+        neurodeanon_obs::span::detached(|| {
+            for (t, slot) in partials.iter_mut().enumerate() {
+                *slot = Some(tile_fn(make_tile(t, tile_len, n_items)));
+            }
+        });
     } else {
+        let traced = neurodeanon_obs::enabled();
+        let mut busy = vec![0u64; if traced { threads } else { 0 }];
+        let bshare = DisjointMut::new(&mut busy);
         let slots = DisjointMut::new(&mut partials);
         std::thread::scope(|s| {
             let tile_fn = &tile_fn;
             for w in 1..threads {
                 s.spawn(move || {
+                    let t0 = traced.then(Instant::now);
                     let mut t = w;
                     while t < tiles {
                         // SAFETY: each tile index is visited by exactly one
@@ -294,15 +398,27 @@ where
                         unsafe { *slots.get(t) = Some(tile_fn(make_tile(t, tile_len, n_items))) };
                         t += threads;
                     }
+                    if let Some(t0) = t0 {
+                        // SAFETY: worker `w` is the only writer of slot `w`.
+                        unsafe { *bshare.get(w) = t0.elapsed().as_nanos() as u64 };
+                    }
                 });
             }
-            let mut t = 0;
-            while t < tiles {
-                // SAFETY: as above — stride-disjoint tile indices.
-                unsafe { *slots.get(t) = Some(tile_fn(make_tile(t, tile_len, n_items))) };
-                t += threads;
+            let t0 = traced.then(Instant::now);
+            neurodeanon_obs::span::detached(|| {
+                let mut t = 0;
+                while t < tiles {
+                    // SAFETY: as above — stride-disjoint tile indices.
+                    unsafe { *slots.get(t) = Some(tile_fn(make_tile(t, tile_len, n_items))) };
+                    t += threads;
+                }
+            });
+            if let Some(t0) = t0 {
+                // SAFETY: slot 0 belongs to the calling thread.
+                unsafe { *bshare.get(0) = t0.elapsed().as_nanos() as u64 };
             }
         });
+        record_busy(&busy);
     }
     partials
         .into_iter()
@@ -321,14 +437,15 @@ where
     B: FnOnce() -> RB + Send,
     RB: Send,
 {
+    metrics().calls.incr();
     if num_threads() <= 1 {
-        let ra = a();
-        let rb = b();
+        let ra = neurodeanon_obs::span::detached(a);
+        let rb = neurodeanon_obs::span::detached(b);
         return (ra, rb);
     }
     std::thread::scope(|s| {
         let hb = s.spawn(b);
-        let ra = a();
+        let ra = neurodeanon_obs::span::detached(a);
         let rb = hb.join().expect("par_join worker panicked");
         (ra, rb)
     })

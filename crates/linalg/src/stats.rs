@@ -243,6 +243,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
 /// rows and taking a scaled Gram product, so the heavy lifting is one
 /// matmul rather than `n²/2` pair scans.
 pub fn correlation_matrix(m: &Matrix) -> Result<Matrix> {
+    let _span = neurodeanon_obs::span("stats.corr_matrix");
     if m.is_empty() {
         return Err(LinalgError::EmptyMatrix {
             op: "correlation_matrix",
@@ -329,6 +330,7 @@ pub fn correlation_matrix(m: &Matrix) -> Result<Matrix> {
 /// `a[:, i]` with `b[:, j]`. This is the attack's cross-dataset similarity
 /// matrix (Figure 1/2): columns are subjects, rows are the retained features.
 pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    let _span = neurodeanon_obs::span("stats.xcorr");
     if a.rows() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             op: "cross_correlation",
@@ -367,6 +369,7 @@ pub fn cross_correlation(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 /// sweep can z-score its de-anonymized operand once and hold the result
 /// while many anonymous operands stream through the other side.
 pub fn zscored_cols_into(a: &Matrix, out: &mut Matrix) {
+    let _span = neurodeanon_obs::span("stats.zscore_cols");
     a.transpose_into(out);
     zscore_rows(out);
 }
@@ -380,6 +383,7 @@ pub fn zscored_cols_into(a: &Matrix, out: &mut Matrix) {
 /// bit-identical to [`cross_correlation`] — same kernels, same order — so
 /// caching the prepared side of a sweep cannot change a single result.
 pub fn cross_correlation_zscored_into(az: &Matrix, bz: &Matrix, out: &mut Matrix) -> Result<()> {
+    let _span = neurodeanon_obs::span("stats.xcorr_zscored");
     if az.cols() != bz.cols() {
         return Err(LinalgError::DimensionMismatch {
             op: "cross_correlation",
@@ -438,6 +442,7 @@ pub fn cross_correlation_fused_into(
     bz: &mut Matrix,
     out: &mut Matrix,
 ) -> Result<()> {
+    let _span = neurodeanon_obs::span("stats.xcorr_fused");
     if az.cols() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             op: "cross_correlation",
@@ -491,6 +496,7 @@ pub fn cross_correlation_fused_f32_into(
     bz: &mut Matrix,
     out: &mut Matrix,
 ) -> Result<()> {
+    let _span = neurodeanon_obs::span("stats.xcorr_fused_f32");
     let t_len = az.len().checked_div(a_rows).unwrap_or(0);
     if a_rows == 0 || az.len() != a_rows * t_len || t_len != b.rows() {
         return Err(LinalgError::DimensionMismatch {
@@ -583,6 +589,7 @@ pub fn pearson_masked(x: &[f64], y: &[f64], min_overlap: usize) -> Result<Option
 /// (pairwise-complete Pearson, exact, not an approximation from the global
 /// z-scores).
 pub fn cross_correlation_masked(a: &Matrix, b: &Matrix, min_overlap: usize) -> Result<Matrix> {
+    let _span = neurodeanon_obs::span("stats.xcorr_masked");
     if a.rows() != b.rows() {
         return Err(LinalgError::DimensionMismatch {
             op: "cross_correlation_masked",

@@ -24,19 +24,26 @@ use crate::Result;
 /// Maximum one-sided Jacobi sweeps.
 const MAX_SWEEPS: usize = 60;
 
-/// Process-wide count of [`thin_svd`] factorizations, for benches and
-/// diagnostics that assert how many SVDs a code path actually performed
-/// (e.g. the attack-plan sweep benches, which require a whole feature-count
-/// ablation to cost exactly one factorization). Monotonic; read deltas.
-static THIN_SVD_CALLS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+/// Cached handle of the `svd.thin_calls` observability counter: process-wide
+/// count of [`thin_svd`] factorizations, for benches and diagnostics that
+/// assert how many SVDs a code path actually performed (e.g. the attack-plan
+/// sweep benches, which require a whole feature-count ablation to cost
+/// exactly one factorization).
+fn thin_calls_counter() -> &'static neurodeanon_obs::Counter {
+    static HANDLE: std::sync::OnceLock<&'static neurodeanon_obs::Counter> =
+        std::sync::OnceLock::new();
+    HANDLE.get_or_init(|| neurodeanon_obs::counter("svd.thin_calls"))
+}
 
-/// Number of [`thin_svd`] factorizations performed by this process so far.
+/// Number of [`thin_svd`] factorizations performed by this process so far —
+/// a thin shim over the `svd.thin_calls` observability counter (kept so the
+/// sweep benches' 1-SVD-per-plan invariant reads unchanged).
 ///
 /// Intended for single-threaded benches and binaries; under a parallel test
 /// runner concurrent tests share the counter, so only same-thread deltas
-/// around a known workload are meaningful.
+/// around a known workload are meaningful. `obs::reset()` zeroes it.
 pub fn thin_svd_calls() -> u64 {
-    THIN_SVD_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+    thin_calls_counter().get()
 }
 
 /// Minimum per-round work (pairs × 8·column length) before one Jacobi round
@@ -111,7 +118,8 @@ impl Svd {
 /// Computes the thin SVD of `a` (`m ≥ n` required; transpose wide inputs at
 /// the call site — the group matrices of the attack are always tall).
 pub fn thin_svd(a: &Matrix) -> Result<Svd> {
-    THIN_SVD_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    thin_calls_counter().incr();
+    let _span = neurodeanon_obs::span("svd.thin");
     let (m, n) = a.shape();
     if a.is_empty() {
         return Err(LinalgError::EmptyMatrix { op: "thin_svd" });
@@ -205,6 +213,7 @@ fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
 /// shape dispatch and the randomized subspace path; library code should call
 /// [`thin_svd`], which picks the cheaper Gram route for tall inputs.
 pub fn jacobi_svd(a: &Matrix) -> Result<Svd> {
+    let _span = neurodeanon_obs::span("svd.jacobi");
     let (m, n) = a.shape();
     let mut wt = a.transpose();
     let mut vt = Matrix::identity(n);

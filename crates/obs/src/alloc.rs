@@ -1,0 +1,106 @@
+//! Byte/alloc-count accounting allocator (`alloc-stats` feature).
+//!
+//! Wraps [`std::alloc::System`] with relaxed atomic accounting: allocation
+//! count, bytes currently live, and the high-water mark — a portable
+//! peak-RSS-style figure for the heap. Installed as the process
+//! `#[global_allocator]` whenever the feature is enabled, so the numbers
+//! cover every crate in the build, not just instrumented ones.
+//!
+//! The accountant never touches the span/metric registries from inside the
+//! allocator (those paths allocate); instead [`publish_gauges`] copies the
+//! raw atomics into `rt.alloc.*` gauges on demand, typically right before a
+//! snapshot/export. All `rt.`-prefixed, so the determinism fingerprint
+//! ignores them (allocation counts vary with thread scheduling).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+static BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// The accounting allocator; see the module docs.
+pub struct CountingAlloc;
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn on_alloc(size: usize) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    let live = BYTES_LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    let mut peak = BYTES_PEAK.load(Ordering::Relaxed);
+    while live > peak {
+        match BYTES_PEAK.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(seen) => peak = seen,
+        }
+    }
+}
+
+fn on_dealloc(size: usize) {
+    BYTES_LIVE.fetch_sub(size as u64, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation to `System`, only adding relaxed
+// counter updates, so `System`'s contract carries over unchanged.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            on_dealloc(layout.size());
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+/// Point-in-time allocator statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Number of successful allocation calls since process start.
+    pub calls: u64,
+    /// Bytes currently live on the heap.
+    pub bytes_live: u64,
+    /// High-water mark of live heap bytes.
+    pub bytes_peak: u64,
+}
+
+/// Reads the raw accounting atomics.
+pub fn stats() -> AllocStats {
+    AllocStats {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes_live: BYTES_LIVE.load(Ordering::Relaxed),
+        bytes_peak: BYTES_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+/// Copies the current allocator statistics into the `rt.alloc.calls`,
+/// `rt.alloc.bytes_live`, and `rt.alloc.bytes_peak` gauges so they ride
+/// along in snapshots and JSONL exports.
+pub fn publish_gauges() {
+    let s = stats();
+    crate::gauge("rt.alloc.calls").set(s.calls as f64);
+    crate::gauge("rt.alloc.bytes_live").set(s.bytes_live as f64);
+    crate::gauge("rt.alloc.bytes_peak").set(s.bytes_peak as f64);
+}

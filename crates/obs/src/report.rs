@@ -1,0 +1,185 @@
+//! Snapshots of the observability state: the span tree, counters, and
+//! gauges, plus a human-readable indented tree rendering and the
+//! determinism fingerprint the property suites compare across thread counts.
+
+use crate::span::{registry_snapshot, SpanStats};
+use std::fmt::Write as _;
+
+/// One aggregated span node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Full `/`-joined path (`plan.run/plan.correlate`).
+    pub path: String,
+    /// Leaf name (last path segment).
+    pub name: String,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Aggregated timing statistics.
+    pub stats: SpanStats,
+}
+
+/// A consistent copy of spans, counters, and gauges.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Span nodes sorted by path, so parents precede their descendants.
+    pub spans: Vec<SpanNode>,
+    /// `(name, value)` for every registered counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last, max)` for every registered gauge, sorted by name.
+    pub gauges: Vec<(String, f64, f64)>,
+}
+
+/// Takes a snapshot of the current span registry, counters, and gauges.
+pub fn snapshot() -> Snapshot {
+    let spans = registry_snapshot()
+        .into_iter()
+        .map(|(path, stats)| {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(&path).to_string();
+            SpanNode {
+                path,
+                name,
+                depth,
+                stats,
+            }
+        })
+        .collect();
+    Snapshot {
+        spans,
+        counters: crate::metrics::counters_snapshot(),
+        gauges: crate::metrics::gauges_snapshot(),
+    }
+}
+
+impl Snapshot {
+    /// The span node at `path`, if recorded.
+    pub fn span(&self, path: &str) -> Option<&SpanNode> {
+        self.spans.iter().find(|n| n.path == path)
+    }
+
+    /// Value of the counter `name` (0 when unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Fraction of the span at `path` covered by its *direct* children
+    /// (`Σ child total / parent total`). `None` when the parent is missing
+    /// or never accumulated time. This is the stage-attribution figure the
+    /// acceptance gate checks: a well-instrumented pipeline accounts for
+    /// ≥ 90% of its root span inside named stages.
+    pub fn child_fraction(&self, path: &str) -> Option<f64> {
+        let parent = self.span(path)?;
+        if parent.stats.total_ns == 0 {
+            return None;
+        }
+        let prefix = format!("{path}/");
+        let child_depth = parent.depth + 1;
+        let child_total: u128 = self
+            .spans
+            .iter()
+            .filter(|n| n.depth == child_depth && n.path.starts_with(&prefix))
+            .map(|n| n.stats.total_ns)
+            .sum();
+        Some(child_total as f64 / parent.stats.total_ns as f64)
+    }
+
+    /// Deterministic digest of the snapshot: span paths with hit counts and
+    /// every counter/gauge outside the `rt.` runtime namespace. Two runs of
+    /// the same workload must produce equal fingerprints at any thread
+    /// count — timings (and `rt.*` telemetry) are deliberately excluded.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for node in &self.spans {
+            let _ = writeln!(out, "span {} ×{}", node.path, node.stats.count);
+        }
+        for (name, value) in &self.counters {
+            if !crate::is_runtime_metric(name) {
+                let _ = writeln!(out, "counter {name} = {value}");
+            }
+        }
+        for (name, last, max) in &self.gauges {
+            if !crate::is_runtime_metric(name) {
+                let _ = writeln!(out, "gauge {name} = {last} max {max}");
+            }
+        }
+        out
+    }
+
+    /// Renders the span tree (indented by depth) followed by counters and
+    /// gauges — the `--trace` terminal report.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+        }
+        for node in &self.spans {
+            let avg_ns = node.stats.total_ns / u128::from(node.stats.count.max(1));
+            let _ = writeln!(
+                out,
+                "{:indent$}{:<32} ×{:<6} total {:>10}  avg {:>10}  min {:>10}  max {:>10}",
+                "",
+                node.name,
+                node.stats.count,
+                fmt_ns(node.stats.total_ns),
+                fmt_ns(avg_ns),
+                fmt_ns(node.stats.min_ns),
+                fmt_ns(node.stats.max_ns),
+                indent = 2 * node.depth,
+            );
+        }
+        let live_counters: Vec<_> = self.counters.iter().filter(|&&(_, v)| v != 0).collect();
+        if !live_counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in live_counters {
+                let _ = writeln!(out, "  {name:<38} {value}");
+            }
+        }
+        let live_gauges: Vec<_> = self
+            .gauges
+            .iter()
+            .filter(|&&(_, last, max)| last != 0.0 || max != 0.0)
+            .collect();
+        if !live_gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, last, max) in live_gauges {
+                let _ = writeln!(out, "  {name:<38} {last} (max {max})");
+            }
+        }
+        out
+    }
+}
+
+/// Adaptive ns / µs / ms / s formatting (kept local so the crate stays
+/// dependency-free; `bench::timing::fmt_duration` is the `Duration` twin).
+fn fmt_ns(ns: u128) -> String {
+    if ns == u128::MAX {
+        return "-".to_string();
+    }
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_000), "1.00 µs");
+        assert_eq!(fmt_ns(999_999), "1000.00 µs");
+        assert_eq!(fmt_ns(1_000_000), "1.00 ms");
+        assert_eq!(fmt_ns(1_000_000_000), "1.00 s");
+        assert_eq!(fmt_ns(u128::MAX), "-");
+    }
+}

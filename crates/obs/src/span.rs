@@ -1,0 +1,178 @@
+//! Hierarchical wall-time spans.
+//!
+//! A span is an RAII guard: [`span`] opens it, dropping the guard closes it
+//! and folds the elapsed wall time into a process-wide registry keyed by the
+//! span's *path* — the `/`-joined chain of enclosing span names on the same
+//! thread. The registry aggregates per path: hit count, total, min, and max
+//! wall time. Parent→child structure is implicit in the paths, so a snapshot
+//! reconstructs the tree without per-entry pointers.
+//!
+//! Nesting is tracked per thread (a thread-local stack of open paths). The
+//! orchestration convention in this workspace is that spans open on the
+//! *calling* thread only — `linalg::par` worker closures record counters,
+//! never spans — which is what keeps the tree shape independent of the
+//! thread count.
+//!
+//! Guards are `!Send` (the stack is thread-local) and tolerate early returns
+//! and `?`-propagation: Rust drops them on every exit path. Out-of-LIFO
+//! drops (guards stored in structs) are handled by truncating the stack back
+//! to the guard's own frame rather than corrupting sibling spans.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total wall time across all closes, in nanoseconds.
+    pub total_ns: u128,
+    /// Fastest single close, in nanoseconds.
+    pub min_ns: u128,
+    /// Slowest single close, in nanoseconds.
+    pub max_ns: u128,
+}
+
+/// Path-keyed span registry. A `BTreeMap` keeps snapshots sorted by path
+/// (parents sort before their children, since a child path extends its
+/// parent's with `/…`), and its `const` constructor avoids a lazy-init cell.
+static REGISTRY: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    /// Stack of open span *paths* on this thread (innermost last).
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Locks the registry, recovering from poisoning (a panicking test thread
+/// must not wedge every later span of the process).
+fn lock_registry() -> std::sync::MutexGuard<'static, BTreeMap<String, SpanStats>> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Opens a span named `name` nested under the innermost span already open on
+/// this thread. Returns an RAII guard; the span closes (and its wall time is
+/// recorded) when the guard drops. When tracing is disabled the guard is
+/// inert and the call costs one relaxed atomic load.
+///
+/// `name` is a dotted lowercase identifier (`plan.prepare`) and must not
+/// contain `/`, which is reserved for joining nesting levels into paths.
+#[must_use = "a span closes when its guard drops; binding it to `_` closes it immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            open: None,
+            _not_send: PhantomData,
+        };
+    }
+    debug_assert!(
+        !name.contains('/'),
+        "span name {name:?} contains the path separator '/'"
+    );
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    SpanGuard {
+        // The clock starts *after* the bookkeeping so a span's own time
+        // excludes its entry fee (the exit fee lands in the parent).
+        open: Some((path, Instant::now())),
+        _not_send: PhantomData,
+    }
+}
+
+/// RAII guard for an open span; see [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `(path, entry time)` for a live span; `None` when tracing was
+    /// disabled at entry.
+    open: Option<(String, Instant)>,
+    /// Spans nest per thread, so the guard must not cross threads.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((path, start)) = self.open.take() else {
+            return;
+        };
+        let elapsed = start.elapsed().as_nanos();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // LIFO drop pops one frame; an out-of-order drop truncates back
+            // to this guard's frame so descendants cannot leak into later
+            // siblings' paths.
+            if let Some(pos) = stack.iter().rposition(|p| p == &path) {
+                stack.truncate(pos);
+            }
+        });
+        record(path, elapsed);
+    }
+}
+
+/// Folds one closed span into the registry.
+fn record(path: String, elapsed_ns: u128) {
+    let mut reg = lock_registry();
+    let stats = reg.entry(path).or_insert(SpanStats {
+        count: 0,
+        total_ns: 0,
+        min_ns: u128::MAX,
+        max_ns: 0,
+    });
+    stats.count += 1;
+    stats.total_ns += elapsed_ns;
+    stats.min_ns = stats.min_ns.min(elapsed_ns);
+    stats.max_ns = stats.max_ns.max(elapsed_ns);
+}
+
+/// Sorted copy of the span registry (path → stats).
+pub(crate) fn registry_snapshot() -> Vec<(String, SpanStats)> {
+    lock_registry()
+        .iter()
+        .map(|(path, stats)| (path.clone(), *stats))
+        .collect()
+}
+
+/// Clears every recorded span (the open-span stacks of live threads are
+/// untouched; their spans record into the fresh epoch on close).
+pub(crate) fn reset_registry() {
+    lock_registry().clear();
+}
+
+/// Number of spans currently open on the calling thread (test hook for the
+/// RAII balance property).
+pub fn open_depth() -> usize {
+    STACK.with(|stack| stack.borrow().len())
+}
+
+/// Runs `f` with an empty span stack, restoring the caller's open spans
+/// afterwards (on unwind too): spans `f` opens become roots, exactly as if
+/// they had opened on a fresh worker thread.
+///
+/// This is the hook `linalg::par` wraps around every dispatched closure —
+/// inline, calling-thread, and worker executions alike — so a kernel called
+/// from inside a parallel region records the *same* span paths at any
+/// thread count. Without it, a closure running inline (one thread) would
+/// nest under the caller's open span while the same closure on a worker
+/// thread would root, and the tree shape would depend on the thread count.
+pub fn detached<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Vec<String>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(saved) = self.0.take() {
+                STACK.with(|stack| *stack.borrow_mut() = saved);
+            }
+        }
+    }
+    let saved = STACK.with(|stack| std::mem::take(&mut *stack.borrow_mut()));
+    let _restore = Restore(Some(saved));
+    f()
+}

@@ -99,6 +99,7 @@ impl LeverageBank {
     /// Factors `a` (one thin SVD — the only factorization this bank will
     /// ever perform) and precomputes the default descending ordering.
     pub fn new(a: &Matrix) -> Result<Self> {
+        let _span = neurodeanon_obs::span("bank.build");
         let svd = thin_svd(a)?;
         let rank = svd.rank();
         let scores = leverage_scores_from_svd(&svd, None);
@@ -132,6 +133,7 @@ impl LeverageBank {
     /// thread count. [`principal_features`] and [`LeverageBank::new`]
     /// remain the exact paths and are untouched by this constructor.
     pub fn new_subspace(a: &Matrix, config: &RsvdConfig) -> Result<Self> {
+        let _span = neurodeanon_obs::span("bank.build_subspace");
         let svd = randomized_svd_auto(a, config)?;
         let rank = svd.rank();
         let scores = leverage_scores_from_svd(&svd, None);

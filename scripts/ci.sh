@@ -43,6 +43,26 @@ echo "==> open-world property suite @ NEURODEANON_THREADS=1 and 8"
 NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 
+# Observability smoke (DESIGN.md §1.6): a traced demo run must print a span
+# tree, emit JSONL that self-parses (the trace_smoke test), and — the hard
+# contract — produce byte-identical predictions untraced vs traced, at 1
+# and 8 threads.
+echo "==> observability smoke: deanon --trace @ NEURODEANON_THREADS=1 and 8"
+NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-bench --test trace_smoke
+NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-bench --test trace_smoke
+TRACE_DIR="$(mktemp -d)"
+./target/release/deanon --demo > "$TRACE_DIR/plain.csv"
+NEURODEANON_THREADS=1 ./target/release/deanon --demo --trace \
+  --metrics-out "$TRACE_DIR/metrics1.jsonl" > "$TRACE_DIR/traced1.csv" 2> "$TRACE_DIR/trace1.log"
+NEURODEANON_THREADS=8 ./target/release/deanon --demo --trace \
+  --metrics-out "$TRACE_DIR/metrics8.jsonl" > "$TRACE_DIR/traced8.csv" 2> "$TRACE_DIR/trace8.log"
+diff "$TRACE_DIR/plain.csv" "$TRACE_DIR/traced1.csv"
+diff "$TRACE_DIR/traced1.csv" "$TRACE_DIR/traced8.csv"
+grep -q "deanon.run" "$TRACE_DIR/metrics1.jsonl"
+grep -q "plan.correlate" "$TRACE_DIR/metrics8.jsonl"
+rm -rf "$TRACE_DIR"
+echo "    traced output identical to untraced at both thread counts"
+
 # Kernel smoke: the kernels bench at small scale emits kernel_bench GFLOP/s
 # records and gates them against crates/bench/benches/kernel_baseline.jsonl —
 # >25% below the best committed baseline is a soft warning while a label has
