@@ -5,6 +5,7 @@
 //! Timed by the in-repo `neurodeanon_bench::timing` harness (build with
 //! `--features criterion-bench`).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::timing::Bench;
 use neurodeanon_core::experiments::ablations::embedding_ablation_groups;
 use neurodeanon_core::experiments::{
@@ -19,7 +20,8 @@ use neurodeanon_ml::metrics::accuracy;
 use neurodeanon_ml::KnnClassifier;
 
 fn cohort() -> HcpCohort {
-    HcpCohort::generate(HcpCohortConfig::small(12, 0xab)).expect("valid config")
+    HcpCohort::generate(HcpCohortConfig::small(12, 0xab))
+        .unwrap_or_else(|e| fail(&format!("valid config: {e}")))
 }
 
 fn main() {
@@ -27,17 +29,18 @@ fn main() {
 
     let b = Bench::new("ablation_sampling_strategy").iters(10);
     b.run("four_strategies", || {
-        let rows = ablation_sampling_strategy(&cohort, 60, 3).unwrap();
+        let rows = ablation_sampling_strategy(&cohort, 60, 3)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
         // The paper's claim: leverage-based selection dominates.
         let det = rows
             .iter()
             .find(|r| r.strategy == "deterministic-leverage")
-            .unwrap()
+            .unwrap_or_else(|| fail("missing deterministic-leverage strategy row"))
             .accuracy;
         let uni = rows
             .iter()
             .find(|r| r.strategy == "uniform")
-            .unwrap()
+            .unwrap_or_else(|| fail("missing uniform strategy row"))
             .accuracy;
         assert!(det >= uni);
         rows
@@ -45,17 +48,20 @@ fn main() {
 
     let b = Bench::new("ablation_feature_count").iters(10);
     b.run("sweep_5_to_400", || {
-        ablation_feature_count(&cohort, &[5, 20, 100, 400]).unwrap()
+        ablation_feature_count(&cohort, &[5, 20, 100, 400])
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())))
     });
 
     let b = Bench::new("ablation_matching_rule").iters(10);
     b.run("argmax_vs_hungarian", || {
-        ablation_matching_rule(&cohort).unwrap()
+        ablation_matching_rule(&cohort)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())))
     });
 
     let b = Bench::new("ablation_atlas_granularity").iters(10);
     b.run("regions_20_40", || {
-        ablation_atlas_granularity(&[20, 40], 8, 5).unwrap()
+        ablation_atlas_granularity(&[20, 40], 8, 5)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())))
     });
 
     bench_ablation_embedding(&cohort);
@@ -66,7 +72,8 @@ fn main() {
 /// compare accuracy — the paper's implicit justification for preferring the
 /// non-linear embedding.
 fn bench_ablation_embedding(cohort: &HcpCohort) {
-    let groups = embedding_ablation_groups(cohort).unwrap();
+    let groups = embedding_ablation_groups(cohort)
+        .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
     let n_subjects = groups[0].n_subjects();
     // Stack points condition-major.
     let n_features = groups[0].n_features();
@@ -76,7 +83,9 @@ fn bench_ablation_embedding(cohort: &HcpCohort) {
     for (cond, grp) in groups.iter().enumerate() {
         let p = grp.to_points();
         for s in 0..n_subjects {
-            points.set_row(cond * n_subjects + s, p.row(s)).unwrap();
+            points
+                .set_row(cond * n_subjects + s, p.row(s))
+                .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
             labels.push(cond);
         }
     }
@@ -88,13 +97,24 @@ fn bench_ablation_embedding(cohort: &HcpCohort) {
         .filter(|p| (p % n_subjects) >= n_subjects / 2)
         .collect();
     let eval = |embedding: &Matrix| -> f64 {
-        let train_x = embedding.select_rows(&labeled).unwrap();
+        let train_x = embedding
+            .select_rows(&labeled)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
         let train_y: Vec<usize> = labeled.iter().map(|&p| labels[p]).collect();
-        let test_x = embedding.select_rows(&unlabeled).unwrap();
+        let test_x = embedding
+            .select_rows(&unlabeled)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
         let truth: Vec<usize> = unlabeled.iter().map(|&p| labels[p]).collect();
-        let mut knn = KnnClassifier::new(1).unwrap();
-        knn.fit(&train_x, &train_y).unwrap();
-        accuracy(&knn.predict(&test_x).unwrap(), &truth).unwrap()
+        let mut knn = KnnClassifier::new(1)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
+        knn.fit(&train_x, &train_y)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
+        accuracy(
+            &knn.predict(&test_x)
+                .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!()))),
+            &truth,
+        )
+        .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())))
     };
 
     let b = Bench::new("ablation_embedding").iters(10);
@@ -104,11 +124,13 @@ fn bench_ablation_embedding(cohort: &HcpCohort) {
         ..TsneConfig::default()
     };
     b.run("tsne_2d_plus_1nn", || {
-        let emb = tsne(&points, &cfg).unwrap();
+        let emb = tsne(&points, &cfg)
+            .unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
         eval(&emb.embedding)
     });
     b.run("pca_2d_plus_1nn", || {
-        let emb = pca(&points, 2).unwrap();
+        let emb =
+            pca(&points, 2).unwrap_or_else(|e| fail(&format!("{e} at ablations.rs:{}", line!())));
         eval(&emb)
     });
 }

@@ -6,6 +6,7 @@
 //! `neurodeanon_bench::timing` harness (build with
 //! `--features criterion-bench`).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::timing::Bench;
 use neurodeanon_core::attack::AttackConfig;
 use neurodeanon_core::experiments::preprocess_ablation::PreprocessAblationConfig;
@@ -21,11 +22,13 @@ use neurodeanon_datasets::{
 use neurodeanon_embedding::tsne::TsneConfig;
 
 fn hcp() -> HcpCohort {
-    HcpCohort::generate(HcpCohortConfig::small(12, 0xbe)).expect("valid config")
+    HcpCohort::generate(HcpCohortConfig::small(12, 0xbe))
+        .unwrap_or_else(|e| fail(&format!("valid config: {e}")))
 }
 
 fn adhd() -> AdhdCohort {
-    AdhdCohort::generate(AdhdCohortConfig::small(8, 4, 0xbe)).expect("valid config")
+    AdhdCohort::generate(AdhdCohortConfig::small(8, 4, 0xbe))
+        .unwrap_or_else(|e| fail(&format!("valid config: {e}")))
 }
 
 fn main() {
@@ -33,19 +36,22 @@ fn main() {
 
     let b = Bench::new("fig1_rest_similarity").iters(10);
     b.run("rest_session1_vs_session2", || {
-        let res = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
+        let res = similarity_experiment(&cohort, Task::Rest, AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())));
         assert!(res.mean_diagonal > res.mean_offdiagonal);
         res
     });
 
     let b = Bench::new("fig2_language_similarity").iters(10);
     b.run("language_session1_vs_session2", || {
-        similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap()
+        similarity_experiment(&cohort, Task::Language, AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let b = Bench::new("fig5_cross_task_matrix").iters(10);
     b.run("8x8_sweep", || {
-        cross_task_matrix(&cohort, AttackConfig::default()).unwrap()
+        cross_task_matrix(&cohort, AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let b = Bench::new("fig6_task_prediction").iters(10);
@@ -58,7 +64,8 @@ fn main() {
         ..TaskIdConfig::default()
     };
     b.run("tsne_plus_1nn", || {
-        task_prediction_experiment(&cohort, &cfg, 1).unwrap()
+        task_prediction_experiment(&cohort, &cfg, 1)
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let b = Bench::new("table1_performance").iters(10);
@@ -67,18 +74,21 @@ fn main() {
         ..Default::default()
     };
     b.run("four_tasks_two_splits", || {
-        performance_table(&cohort, &cfg).unwrap()
+        performance_table(&cohort, &cfg)
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let adhd_cohort = adhd();
     let b = Bench::new("fig789_adhd").iters(10);
     let subtype1 = adhd_cohort.subjects_in(AdhdGroup::Subtype(1));
     b.run("subtype1_similarity", || {
-        adhd_experiment(&adhd_cohort, &subtype1, "subtype1", AttackConfig::default()).unwrap()
+        adhd_experiment(&adhd_cohort, &subtype1, "subtype1", AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
     let all: Vec<usize> = (0..adhd_cohort.n_subjects()).collect();
     b.run("mixed_cases_controls", || {
-        adhd_experiment(&adhd_cohort, &all, "mixed", AttackConfig::default()).unwrap()
+        adhd_experiment(&adhd_cohort, &all, "mixed", AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let b = Bench::new("table2_multisite").iters(10);
@@ -91,7 +101,7 @@ fn main() {
             AttackConfig::default(),
             1,
         )
-        .unwrap()
+        .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 
     let b = Bench::new("fig4_preprocess_ablation").iters(10);
@@ -104,6 +114,7 @@ fn main() {
         ..Default::default()
     };
     b.run("artifact_stage_pairs", || {
-        preprocess_ablation(&cfg).unwrap()
+        preprocess_ablation(&cfg)
+            .unwrap_or_else(|e| fail(&format!("{e} at figures.rs:{}", line!())))
     });
 }

@@ -17,6 +17,7 @@
 //! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
 //! runs the 64,620 × 100 HCP shape of §3.1.2).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::scale::Scale;
 use neurodeanon_bench::timing::{self, Bench, Sample};
 use neurodeanon_core::attack::{AttackConfig, AttackPlan, MatchRule};
@@ -100,7 +101,10 @@ fn load_baseline(path: &Path) -> Vec<Value> {
     };
     text.lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| neurodeanon_testkit::json::parse(l).expect("kernel baseline line parses"))
+        .map(|l| {
+            neurodeanon_testkit::json::parse(l)
+                .unwrap_or_else(|e| fail(&format!("kernel baseline line parses: {e}")))
+        })
         .collect()
 }
 
@@ -128,8 +132,12 @@ fn main() {
     let baseline = load_baseline(&baseline_path);
 
     let cohort = scale.hcp(0x5eed);
-    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
-    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let known = cohort
+        .group_matrix(Task::Rest, Session::One)
+        .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())));
+    let anon = cohort
+        .group_matrix(Task::Rest, Session::Two)
+        .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())));
     let a = known.as_matrix();
     let b = anon.as_matrix();
     let (m, n) = a.shape();
@@ -155,7 +163,8 @@ fn main() {
             // (n x m) · (m x n): the Gram-shaped product the thin SVD's
             // U-recovery and the rsvd projections are made of.
             let s = bench.run(&format!("matmul_{scale_name}_t{threads}"), || {
-                at.matmul(a).unwrap()
+                at.matmul(a)
+                    .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
             });
             cases.push(KernelCase::new(s, 2.0 * (n * m * n) as f64, threads));
 
@@ -168,7 +177,8 @@ fn main() {
             let mut bz = Matrix::zeros(0, 0);
             let mut out = Matrix::zeros(0, 0);
             let s = bench.run(&format!("fused_xcorr_{scale_name}_t{threads}"), || {
-                cross_correlation_fused_into(&az, b, &mut bz, &mut out).unwrap()
+                cross_correlation_fused_into(&az, b, &mut bz, &mut out)
+                    .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
             });
             cases.push(KernelCase::new(s, 2.0 * (n * n * m) as f64, threads));
             if threads == 1 {
@@ -177,7 +187,8 @@ fn main() {
 
             // Same pass over the f32 gallery (half the steady-state bytes).
             let s = bench.run(&format!("fused_xcorr_f32_{scale_name}_t{threads}"), || {
-                cross_correlation_fused_f32_into(&az32, n, b, &mut bz, &mut out).unwrap()
+                cross_correlation_fused_f32_into(&az32, n, b, &mut bz, &mut out)
+                    .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
             });
             cases.push(KernelCase::new(s, 2.0 * (n * n * m) as f64, threads));
             if threads == 1 {
@@ -203,7 +214,7 @@ fn main() {
     // blocked randomized subspace iteration.
     let build = Bench::new("kernels").iters(1).warmup(0);
     let s_exact = build.run(&format!("bank_exact_{scale_name}"), || {
-        LeverageBank::new(a).unwrap()
+        LeverageBank::new(a).unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
     });
     // Rank 48 + two power iterations: the subspace build has ~60x headroom
     // against the 3x Jacobi gate, so spend a little of it on capturing more
@@ -214,10 +225,11 @@ fn main() {
         ..Default::default()
     };
     let s_subspace = build.run(&format!("bank_subspace_{scale_name}"), || {
-        LeverageBank::new_subspace(a, &rsvd_cfg).unwrap()
+        LeverageBank::new_subspace(a, &rsvd_cfg)
+            .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
     });
     let s_jacobi = build.run(&format!("bank_jacobi_{scale_name}"), || {
-        jacobi_svd(a).unwrap()
+        jacobi_svd(a).unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
     });
     let vs_jacobi = s_jacobi.min.as_nanos() as f64 / s_subspace.min.as_nanos().max(1) as f64;
     let vs_exact = s_exact.min.as_nanos() as f64 / s_subspace.min.as_nanos().max(1) as f64;
@@ -251,7 +263,8 @@ fn main() {
     // ---- Subspace ablation tracking: mean accuracy across the Figure 4
     // feature-count sweep must degrade by <0.5pp vs the exact bank.
     let t_values = [50usize, 100, 200, 300];
-    let mut exact_plan = AttackPlan::prepare(known.clone(), AttackConfig::default()).unwrap();
+    let mut exact_plan = AttackPlan::prepare(known.clone(), AttackConfig::default())
+        .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())));
     let mut subspace_plan = AttackPlan::prepare(
         known.clone(),
         AttackConfig {
@@ -259,17 +272,17 @@ fn main() {
             ..Default::default()
         },
     )
-    .unwrap();
+    .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())));
     let mut mean_exact = 0.0;
     let mut mean_subspace = 0.0;
     for &t in &t_values {
         mean_exact += exact_plan
             .run_with(&anon, t, MatchRule::Argmax)
-            .unwrap()
+            .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
             .accuracy;
         mean_subspace += subspace_plan
             .run_with(&anon, t, MatchRule::Argmax)
-            .unwrap()
+            .unwrap_or_else(|e| fail(&format!("{e} at kernels.rs:{}", line!())))
             .accuracy;
     }
     mean_exact /= t_values.len() as f64;
@@ -325,11 +338,15 @@ fn main() {
     }
 
     // The trajectory must stay machine-readable end to end.
-    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| fail(&format!("bench trajectory readable: {e}")));
     let ours = text
         .lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| neurodeanon_testkit::json::parse(l).expect("trajectory line parses as JSON"))
+        .map(|l| {
+            neurodeanon_testkit::json::parse(l)
+                .unwrap_or_else(|e| fail(&format!("trajectory line parses as JSON: {e}")))
+        })
         .filter(|v| v.get("group").and_then(Value::as_str) == Some("kernel_bench"))
         .count();
     assert!(
@@ -347,6 +364,6 @@ fn main() {
         eprintln!("--- trace ---");
         eprint!("{}", snap.render_tree());
         neurodeanon_bench::trace::export_jsonl(&snap, "kernels", &json_path)
-            .expect("trace export writes");
+            .unwrap_or_else(|e| fail(&format!("trace export writes: {e}")));
     }
 }

@@ -6,6 +6,7 @@
 //! the in-repo `neurodeanon_bench::timing` harness (build with
 //! `--features criterion-bench`).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::timing::{self, Bench, Sample};
 use neurodeanon_embedding::tsne::{tsne, TsneConfig};
 use neurodeanon_linalg::stats::correlation_matrix;
@@ -48,7 +49,10 @@ fn main() {
     for n in [64usize, 128, 256] {
         let a = random_matrix(n, n, 1);
         let bm = random_matrix(n, n, 2);
-        b.run(&format!("{n}"), || a.matmul(&bm).unwrap());
+        b.run(&format!("{n}"), || {
+            a.matmul(&bm)
+                .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
+        });
     }
 
     let b = Bench::new("gram_group_matrix").iters(10);
@@ -61,14 +65,18 @@ fn main() {
     let b = Bench::new("thin_svd").iters(10);
     // Gram route (tall) and Jacobi route (square-ish).
     let tall = random_matrix(6_670, 40, 4);
-    b.run("gram_route_6670x40", || thin_svd(&tall).unwrap());
+    b.run("gram_route_6670x40", || {
+        thin_svd(&tall).unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
+    });
     let squareish = random_matrix(120, 80, 5);
-    b.run("jacobi_route_120x80", || thin_svd(&squareish).unwrap());
+    b.run("jacobi_route_120x80", || {
+        thin_svd(&squareish).unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
+    });
 
     let b = Bench::new("leverage").iters(10);
     let a = random_matrix(6_670, 40, 6);
     b.run("leverage_scores_6670x40", || {
-        leverage_scores(&a, None).unwrap()
+        leverage_scores(&a, None).unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
     });
     // Randomized fast path at the same shape.
     let cfg = neurodeanon_linalg::rsvd::RsvdConfig {
@@ -77,14 +85,16 @@ fn main() {
         ..Default::default()
     };
     b.run("randomized_leverage_6670x40", || {
-        neurodeanon_linalg::rsvd::randomized_leverage_scores(&a, &cfg).unwrap()
+        neurodeanon_linalg::rsvd::randomized_leverage_scores(&a, &cfg)
+            .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
     });
 
     let b = Bench::new("correlation_matrix").iters(10);
     for (regions, t) in [(116usize, 500usize), (360, 800)] {
         let ts = random_matrix(regions, t, 7);
         b.run(&format!("{regions}x{t}"), || {
-            correlation_matrix(&ts).unwrap()
+            correlation_matrix(&ts)
+                .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
         });
     }
 
@@ -93,12 +103,14 @@ fn main() {
     let ts = random_matrix(116, 500, 8);
     b.run("fft_116x500", || {
         let mut m = ts.clone();
-        fft_bandpass(&mut m, band).unwrap();
+        fft_bandpass(&mut m, band)
+            .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())));
         m
     });
     b.run("fir_116x500", || {
         let mut m = ts.clone();
-        fir_bandpass(&mut m, band, 101).unwrap();
+        fir_bandpass(&mut m, band, 101)
+            .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())));
         m
     });
 
@@ -109,7 +121,9 @@ fn main() {
         n_iter: 250,
         ..TsneConfig::default()
     };
-    b.run("160pts_250iters", || tsne(&points, &cfg).unwrap());
+    b.run("160pts_250iters", || {
+        tsne(&points, &cfg).unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
+    });
 
     // Paper-scale shapes (the 64,620 × 100 HCP group matrix of §4) swept
     // over thread counts; medians land in the bench JSON trajectory so the
@@ -127,13 +141,14 @@ fn main() {
         par::with_thread_count(t, || {
             let b = Bench::new("paper_scale").iters(3);
             let s = b.run(&format!("matmul_64620x100_100x100_t{t}"), || {
-                a.matmul(&bm).unwrap()
+                a.matmul(&bm)
+                    .unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
             });
             record_sweep(&json_path, &s, t);
             let s = b.run(&format!("gram_64620x100_t{t}"), || a.gram());
             record_sweep(&json_path, &s, t);
             let s = b.run(&format!("thin_svd_64620x100_t{t}"), || {
-                thin_svd(&a).unwrap()
+                thin_svd(&a).unwrap_or_else(|e| fail(&format!("{e} at micro.rs:{}", line!())))
             });
             record_sweep(&json_path, &s, t);
         });

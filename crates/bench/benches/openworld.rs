@@ -15,6 +15,7 @@
 //! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
 //! runs the full HCP shape with a denser rate/threshold grid).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::scale::Scale;
 use neurodeanon_bench::timing::{self, Bench};
 use neurodeanon_core::experiments::openworld::{openworld_sweep, OpenWorldResult};
@@ -39,7 +40,7 @@ fn assert_result_invariants(r: &OpenWorldResult) {
         );
     }
     assert_eq!(
-        *r.cmc.last().unwrap(),
+        *r.cmc.last().unwrap_or_else(|| fail("cmc curve is empty")),
         1.0,
         "rate {}: finite-score CMC must end at hit rate 1",
         r.enroll_rate
@@ -80,9 +81,12 @@ fn main() {
 
     let mut res = None;
     let sample = b.run(&format!("openworld_sweep_{scale_name}"), || {
-        res = Some(openworld_sweep(&cohort, rates, thresholds, 0x5eed).unwrap());
+        res = Some(
+            openworld_sweep(&cohort, rates, thresholds, 0x5eed)
+                .unwrap_or_else(|e| fail(&format!("{e} at openworld.rs:{}", line!()))),
+        );
     });
-    let res = res.expect("sweep ran");
+    let res = res.unwrap_or_else(|| fail("openworld sweep produced no result"));
 
     assert!(
         res.baseline_accuracy.is_finite() && res.baseline_accuracy > 0.5,
@@ -93,7 +97,7 @@ fn main() {
         .results
         .iter()
         .find(|r| r.enroll_rate == 1.0)
-        .expect("the grid includes the closed-world corner");
+        .unwrap_or_else(|| fail("the grid is missing the closed-world corner"));
     assert_eq!(
         full.rank1_accuracy.to_bits(),
         res.baseline_accuracy.to_bits(),
@@ -144,10 +148,12 @@ fn main() {
     }
 
     // The trajectory must stay machine-readable end to end.
-    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| fail(&format!("bench trajectory readable: {e}")));
     let mut ours = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let v = neurodeanon_testkit::json::parse(line).expect("trajectory line parses as JSON");
+        let v = neurodeanon_testkit::json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trajectory line parses as JSON: {e}")));
         match v.get("group").and_then(|g| g.as_str()) {
             Some("openworld_cmc") | Some("openworld_roc") => ours += 1,
             _ => {}

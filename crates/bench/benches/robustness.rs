@@ -13,6 +13,7 @@
 //! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
 //! runs the full HCP shape with a denser severity grid).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::scale::Scale;
 use neurodeanon_bench::timing::{self, Bench};
 use neurodeanon_core::attack::DegradedInput;
@@ -70,10 +71,13 @@ fn main() {
         let sample = b.run(
             &format!("robustness_{}_{scale_name}", policy.name()),
             || {
-                res = Some(robustness_sweep(&cohort, severities, policy, 0xDE6).unwrap());
+                res = Some(
+                    robustness_sweep(&cohort, severities, policy, 0xDE6)
+                        .unwrap_or_else(|e| fail(&format!("{e} at robustness.rs:{}", line!()))),
+                );
             },
         );
-        let res = res.expect("sweep ran");
+        let res = res.unwrap_or_else(|| fail("robustness sweep produced no result"));
 
         assert!(
             res.baseline_accuracy.is_finite() && res.baseline_accuracy > 0.5,
@@ -126,10 +130,12 @@ fn main() {
     }
 
     // The trajectory must stay machine-readable end to end.
-    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| fail(&format!("bench trajectory readable: {e}")));
     let mut ours = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let v = neurodeanon_testkit::json::parse(line).expect("trajectory line parses as JSON");
+        let v = neurodeanon_testkit::json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trajectory line parses as JSON: {e}")));
         if v.get("group").and_then(|g| g.as_str()) == Some("robustness_sweep") {
             ours += 1;
         }

@@ -1,0 +1,393 @@
+//! Throughput/latency bench for the `MatchServer` service layer: a flood of
+//! small synthetic queries (the paper's per-record connectome shape on a
+//! compact gallery) through the batched fused-GEMM path, with a bounded
+//! in-flight window so memory stays flat at any query count.
+//!
+//! Two passes run back to back:
+//!
+//! * **clean** — every response is asserted bitwise-identical (best index,
+//!   score bits, margin bits, decision) to a reference computed by a
+//!   1-worker / batch-1 server, i.e. the batching and parallelism of the
+//!   loaded server are observationally invisible;
+//! * **chaos** — a seeded [`ChaosSpec`] injects malformed payloads, NaN
+//!   payloads, worker panics, and producer stalls; exactly the faulted
+//!   queries must fail with their expected taxonomy and every untouched
+//!   query must still match the reference bitwise.
+//!
+//! Each pass emits one `serve_bench` JSONL record (p50/p99 latency, qps,
+//! shed/quarantine/respawn counts, error taxonomy) and the run fails unless
+//! the server drains clean (`submitted == answered + failed`).
+//!
+//! Scale comes from `NEURODEANON_BENCH_SCALE`: `small` (default) floods
+//! 20k clean + 5k chaos queries; `paper` floods 10⁶ clean + 50k chaos.
+
+use neurodeanon_bench::scale::Scale;
+use neurodeanon_bench::timing::{self, Sample};
+use neurodeanon_bench::{fail, or_fail};
+use neurodeanon_connectome::GroupMatrix;
+use neurodeanon_core::attack::{AttackConfig, AttackPlan};
+use neurodeanon_core::serve::{MatchResponse, MatchServer, Query, QueryResult, ServeConfig};
+use neurodeanon_core::Decision;
+use neurodeanon_datasets::{
+    chaos, ChaosSpec, HcpCohort, HcpCohortConfig, ServiceFaultKind, Session, Task,
+};
+use neurodeanon_testkit::{json, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Gallery subjects: small on purpose — the bench stresses the service
+/// layer (queue, batching, reply channels), not the GEMM throughput the
+/// kernels bench already gates.
+const GALLERY_SUBJECTS: usize = 20;
+
+/// Bounded in-flight window: submits stall once this many replies are
+/// pending, so a 10⁶-query flood holds ~window × payload bytes, not the
+/// whole flood.
+const INFLIGHT_WINDOW: usize = 4096;
+
+fn bench_json_path() -> PathBuf {
+    std::env::var("NEURODEANON_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("bench_results.jsonl"))
+}
+
+/// What one drained pass measured.
+struct PassOutcome {
+    latencies: Vec<Duration>,
+    wall: Duration,
+    taxonomy: BTreeMap<&'static str, u64>,
+    report: neurodeanon_core::serve::ServeReport,
+}
+
+fn main() {
+    let scale = match std::env::var("NEURODEANON_BENCH_SCALE") {
+        Ok(v) => Scale::parse(&v).unwrap_or_else(|e| fail(&e)),
+        Err(_) => Scale::Small,
+    };
+    let (scale_name, n_clean, n_chaos) = match scale {
+        Scale::Small => ("small", 20_000u64, 5_000u64),
+        Scale::Paper => ("paper", 1_000_000u64, 50_000u64),
+    };
+    let json_path = bench_json_path();
+
+    // Small synthetic gallery + probe set: session 1 enrolls, session 2
+    // queries (the paper's S1 → S2 re-identification direction).
+    let cohort = or_fail(
+        "serve cohort",
+        HcpCohort::generate(HcpCohortConfig::small(GALLERY_SUBJECTS, 0x5e47e)),
+    );
+    let known = or_fail(
+        "known gallery",
+        cohort.group_matrix(Task::Rest, Session::One),
+    );
+    let anon = or_fail("anon probes", cohort.group_matrix(Task::Rest, Session::Two));
+    let n_features = known.n_features();
+    let columns: Vec<Vec<f64>> = (0..anon.n_subjects())
+        .map(|s| anon.subject_features(s))
+        .collect();
+    let ids: Vec<String> = anon.subject_ids().to_vec();
+    println!(
+        "serve bench @ {scale_name}: gallery {GALLERY_SUBJECTS} x {n_features} features, \
+         {n_clean} clean + {n_chaos} chaos queries, window {INFLIGHT_WINDOW}"
+    );
+
+    let config = AttackConfig {
+        n_features: 100,
+        ..AttackConfig::default()
+    };
+
+    // Reference: 1 worker, batch 1 — the degenerate server whose responses
+    // the loaded server must reproduce bit for bit.
+    let reference = reference_responses(&known, &config, &columns, &ids);
+
+    let serve_cfg = ServeConfig {
+        workers: 4,
+        queue_capacity: 256,
+        batch_max: 16,
+        submit_timeout: Duration::from_secs(30),
+        max_respawns: u32::MAX,
+    };
+
+    // ---- Clean pass.
+    let outcome = flood(
+        &known, &config, &serve_cfg, &columns, &ids, n_clean, None, &reference,
+    );
+    report_pass(
+        "clean", scale_name, n_clean, &serve_cfg, &outcome, &json_path,
+    );
+
+    // ---- Chaos pass: seeded injectors at a 6% fault rate.
+    let spec = ChaosSpec {
+        seed: 0xc4a05,
+        rate: 0.06,
+    };
+    or_fail("chaos spec", spec.validate());
+    let outcome = flood(
+        &known,
+        &config,
+        &serve_cfg,
+        &columns,
+        &ids,
+        n_chaos,
+        Some(&spec),
+        &reference,
+    );
+    // The injected faults and only the injected faults may fail.
+    let expected_faulted = (0..n_chaos)
+        .filter(|&i| {
+            spec.fault_for(i)
+                .is_some_and(ServiceFaultKind::is_payload_fault)
+                || spec.fault_for(i) == Some(ServiceFaultKind::WorkerPanic)
+        })
+        .count() as u64;
+    let failed_typed = outcome.report.failed - outcome.report.drained;
+    assert_eq!(
+        failed_typed, expected_faulted,
+        "chaos pass: {failed_typed} typed failures, expected exactly the {expected_faulted} injected faults"
+    );
+    report_pass(
+        "chaos", scale_name, n_chaos, &serve_cfg, &outcome, &json_path,
+    );
+}
+
+/// Computes the per-probe reference responses on a batch-1 single worker.
+fn reference_responses(
+    known: &GroupMatrix,
+    config: &AttackConfig,
+    columns: &[Vec<f64>],
+    ids: &[String],
+) -> Vec<MatchResponse> {
+    let plan = or_fail(
+        "reference plan",
+        AttackPlan::prepare(known.clone(), config.clone()),
+    );
+    let server = or_fail(
+        "reference server",
+        MatchServer::start(
+            plan,
+            ServeConfig {
+                workers: 1,
+                batch_max: 1,
+                ..ServeConfig::default()
+            },
+        ),
+    );
+    let receivers: Vec<mpsc::Receiver<QueryResult>> = columns
+        .iter()
+        .zip(ids)
+        .enumerate()
+        .map(|(i, (col, id))| {
+            server
+                .submit(Query::new(i as u64, id.clone(), col.clone()))
+                .unwrap_or_else(|(_, e)| fail(&format!("reference submit: {e}")))
+        })
+        .collect();
+    let responses: Vec<MatchResponse> = receivers
+        .into_iter()
+        .map(|rx| {
+            let result = or_fail("reference reply", rx.recv());
+            or_fail("reference response", result)
+        })
+        .collect();
+    let report = server.shutdown();
+    assert!(report.clean_drain(), "reference server must drain clean");
+    responses
+}
+
+/// Floods the server with `n_queries` (cycling the probe columns), keeping
+/// at most [`INFLIGHT_WINDOW`] replies pending, and checks every response
+/// against the reference (respecting injected faults when `spec` is set).
+#[allow(clippy::too_many_arguments)]
+fn flood(
+    known: &GroupMatrix,
+    config: &AttackConfig,
+    serve_cfg: &ServeConfig,
+    columns: &[Vec<f64>],
+    ids: &[String],
+    n_queries: u64,
+    spec: Option<&ChaosSpec>,
+    reference: &[MatchResponse],
+) -> PassOutcome {
+    let plan = or_fail(
+        "bench plan",
+        AttackPlan::prepare(known.clone(), config.clone()),
+    );
+    let server = or_fail("bench server", MatchServer::start(plan, serve_cfg.clone()));
+    let n_cols = columns.len() as u64;
+
+    let mut latencies = Vec::with_capacity(n_queries as usize);
+    let mut taxonomy: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut inflight: VecDeque<(u64, mpsc::Receiver<QueryResult>, Instant)> =
+        VecDeque::with_capacity(INFLIGHT_WINDOW);
+    let t_start = Instant::now();
+    for i in 0..n_queries {
+        if inflight.len() >= INFLIGHT_WINDOW {
+            let job = inflight
+                .pop_front()
+                .unwrap_or_else(|| fail("inflight window underflow"));
+            drain_one(job, spec, n_cols, reference, &mut latencies, &mut taxonomy);
+        }
+        let col = (i % n_cols) as usize;
+        let mut values = columns[col].clone();
+        let mut query = Query::new(i, ids[col].clone(), values.clone());
+        if let Some(spec) = spec {
+            match spec.apply(i, &mut values) {
+                Some(ServiceFaultKind::WorkerPanic) => {
+                    query.injected = Some(ServiceFaultKind::WorkerPanic);
+                }
+                Some(ServiceFaultKind::StallProducer) => {
+                    std::thread::sleep(chaos::stall_duration());
+                }
+                _ => {}
+            }
+            query.values = values;
+            query = query.with_deadline(Instant::now() + Duration::from_secs(30));
+        }
+        let rx = server
+            .submit(query)
+            .unwrap_or_else(|(q, e)| fail(&format!("submit query {}: {e}", q.id)));
+        inflight.push_back((i, rx, Instant::now()));
+    }
+    for job in inflight {
+        drain_one(job, spec, n_cols, reference, &mut latencies, &mut taxonomy);
+    }
+    let wall = t_start.elapsed();
+    let report = server.shutdown();
+    assert!(
+        report.clean_drain(),
+        "serve bench must drain clean: {report:?}"
+    );
+    PassOutcome {
+        latencies,
+        wall,
+        taxonomy,
+        report,
+    }
+}
+
+/// Receives one reply, records its latency and taxonomy, and asserts the
+/// response (or typed error) is exactly what the fault plan predicts.
+fn drain_one(
+    (id, rx, t0): (u64, mpsc::Receiver<QueryResult>, Instant),
+    spec: Option<&ChaosSpec>,
+    n_cols: u64,
+    reference: &[MatchResponse],
+    latencies: &mut Vec<Duration>,
+    taxonomy: &mut BTreeMap<&'static str, u64>,
+) {
+    let result = or_fail("bench reply channel", rx.recv());
+    latencies.push(t0.elapsed());
+    let fault = spec.and_then(|s| s.fault_for(id));
+    match result {
+        Ok(resp) => match fault {
+            None | Some(ServiceFaultKind::StallProducer) => {
+                assert_same(&resp, &reference[(id % n_cols) as usize], id);
+            }
+            Some(kind) => fail(&format!(
+                "query {id} carried injected fault {} but was answered normally",
+                kind.name()
+            )),
+        },
+        Err(e) => {
+            *taxonomy.entry(e.taxonomy()).or_insert(0) += 1;
+            let expected = match fault {
+                Some(ServiceFaultKind::TruncatePayload) => "wrong_dimension",
+                Some(ServiceFaultKind::NanPayload) => "non_finite",
+                Some(ServiceFaultKind::WorkerPanic) => "panic",
+                _ => fail(&format!("un-faulted query {id} failed: {e}")),
+            };
+            assert_eq!(
+                e.taxonomy(),
+                expected,
+                "query {id}: fault {:?} must surface as {expected}",
+                fault
+            );
+        }
+    }
+}
+
+/// Bitwise response identity: same best index/id, same score and margin
+/// bits, same open-world decision.
+fn assert_same(got: &MatchResponse, want: &MatchResponse, id: u64) {
+    let same = got.best == want.best
+        && got.best_id == want.best_id
+        && got.score.to_bits() == want.score.to_bits()
+        && got.margin.to_bits() == want.margin.to_bits()
+        && decisions_eq(got.decision, want.decision);
+    assert!(
+        same,
+        "query {id}: loaded-server response diverged from the batch-1 reference:\n  got  {got:?}\n  want {want:?}"
+    );
+}
+
+fn decisions_eq(a: Decision, b: Decision) -> bool {
+    a == b
+}
+
+/// Prints the pass summary and appends its `serve_bench` JSONL record.
+fn report_pass(
+    label: &str,
+    scale_name: &str,
+    n_queries: u64,
+    serve_cfg: &ServeConfig,
+    outcome: &PassOutcome,
+    json_path: &std::path::Path,
+) {
+    let sample = or_fail(
+        "latency sample",
+        Sample::from_times(label, outcome.latencies.clone()),
+    );
+    let r = &outcome.report;
+    let qps = r.answered as f64 / outcome.wall.as_secs_f64().max(1e-9);
+    println!(
+        "serve/{label:<6} {n_queries} queries in {}  p50 {}  p99 {}  ~{qps:.0} answered/s",
+        timing::fmt_duration(outcome.wall),
+        timing::fmt_duration(sample.median),
+        timing::fmt_duration(sample.p99),
+    );
+    println!(
+        "            answered {}  failed {}  shed {}  quarantined {}  respawns {}  batches {}",
+        r.answered, r.failed, r.shed, r.quarantined, r.respawns, r.batches
+    );
+    if !outcome.taxonomy.is_empty() {
+        let tax: Vec<String> = outcome
+            .taxonomy
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect();
+        println!("            errors: {}", tax.join(" "));
+    }
+    let mut rec = json!({
+        "group": "serve_bench",
+        "label": label,
+        "scale": scale_name,
+        "n_queries": n_queries as f64,
+        "workers": serve_cfg.workers as f64,
+        "batch_max": serve_cfg.batch_max as f64,
+        "queue_capacity": serve_cfg.queue_capacity as f64,
+        "wall_ms": outcome.wall.as_secs_f64() * 1e3,
+        "qps": qps,
+        "p50_ns": sample.median.as_nanos() as f64,
+        "p95_ns": sample.p95.as_nanos() as f64,
+        "p99_ns": sample.p99.as_nanos() as f64,
+        "min_ns": sample.min.as_nanos() as f64,
+        "mean_ns": sample.mean.as_nanos() as f64,
+        "submitted": r.submitted as f64,
+        "answered": r.answered as f64,
+        "failed": r.failed as f64,
+        "shed": r.shed as f64,
+        "quarantined": r.quarantined as f64,
+        "respawns": r.respawns as f64,
+        "batches": r.batches as f64,
+    });
+    if let Value::Object(fields) = &mut rec {
+        for (k, v) in &outcome.taxonomy {
+            fields.push((format!("err_{k}"), Value::Number(*v as f64)));
+        }
+    }
+    if let Err(e) = timing::append_jsonl(json_path, &rec) {
+        eprintln!("bench json append failed for {}: {e}", json_path.display());
+    }
+}

@@ -13,6 +13,7 @@
 //! Scale comes from `NEURODEANON_BENCH_SCALE` (`small` default; `paper`
 //! runs the 64,620 × 100 HCP shape of §3.1.2).
 
+use neurodeanon_bench::fail;
 use neurodeanon_bench::scale::Scale;
 use neurodeanon_bench::timing::{self, Bench, Sample};
 use neurodeanon_core::attack::{AttackConfig, AttackOutcome, AttackPlan, DeanonAttack, MatchRule};
@@ -102,8 +103,12 @@ fn main() {
     let b = Bench::new("attack_sweeps").iters(1).warmup(0);
 
     // ---- Figure 4 shape: one known matrix, eight retained-feature counts.
-    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
-    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let known = cohort
+        .group_matrix(Task::Rest, Session::One)
+        .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
+    let anon = cohort
+        .group_matrix(Task::Rest, Session::Two)
+        .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
     let t_values: Vec<usize> = [10usize, 25, 50, 75, 100, 150, 200, 300]
         .iter()
         .map(|&t| t.min(known.n_features()))
@@ -118,8 +123,12 @@ fn main() {
                 n_features: t,
                 ..Default::default()
             })
-            .unwrap();
-            direct_runs.push(attack.run(&known, &anon).unwrap());
+            .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
+            direct_runs.push(
+                attack
+                    .run(&known, &anon)
+                    .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!()))),
+            );
         }
     });
     assert_eq!(
@@ -132,9 +141,13 @@ fn main() {
     let svd0 = thin_svd_calls();
     let s_plan = b.run(&format!("feature_sweep_plan_{scale_name}"), || {
         plan_runs.clear();
-        let mut plan = AttackPlan::prepare(known.clone(), AttackConfig::default()).unwrap();
+        let mut plan = AttackPlan::prepare(known.clone(), AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
         for &t in &t_values {
-            plan_runs.push(plan.run_with(&anon, t, MatchRule::Argmax).unwrap());
+            plan_runs.push(
+                plan.run_with(&anon, t, MatchRule::Argmax)
+                    .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!()))),
+            );
         }
     });
     assert_eq!(
@@ -158,21 +171,34 @@ fn main() {
     let tasks = Task::ALL;
     let known_grid: Vec<_> = tasks
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::One).unwrap())
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::One)
+                .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())))
+        })
         .collect();
     let anon_grid: Vec<_> = tasks
         .iter()
-        .map(|&t| cohort.group_matrix(t, Session::Two).unwrap())
+        .map(|&t| {
+            cohort
+                .group_matrix(t, Session::Two)
+                .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())))
+        })
         .collect();
 
     let mut direct_grid: Vec<AttackOutcome> = Vec::new();
     let svd0 = thin_svd_calls();
     let s_direct = b.run(&format!("cross_task_grid_direct_{scale_name}"), || {
         direct_grid.clear();
-        let attack = DeanonAttack::new(AttackConfig::default()).unwrap();
+        let attack = DeanonAttack::new(AttackConfig::default())
+            .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
         for kg in &known_grid {
             for ag in &anon_grid {
-                direct_grid.push(attack.run(kg, ag).unwrap());
+                direct_grid.push(
+                    attack
+                        .run(kg, ag)
+                        .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!()))),
+                );
             }
         }
     });
@@ -187,9 +213,13 @@ fn main() {
     let s_plan = b.run(&format!("cross_task_grid_plan_{scale_name}"), || {
         plan_grid.clear();
         for kg in &known_grid {
-            let mut plan = AttackPlan::prepare(kg.clone(), AttackConfig::default()).unwrap();
+            let mut plan = AttackPlan::prepare(kg.clone(), AttackConfig::default())
+                .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!())));
             for ag in &anon_grid {
-                plan_grid.push(plan.run_against(ag).unwrap());
+                plan_grid.push(
+                    plan.run_against(ag)
+                        .unwrap_or_else(|e| fail(&format!("{e} at sweeps.rs:{}", line!()))),
+                );
             }
         }
     });
@@ -210,10 +240,12 @@ fn main() {
 
     // ---- The trajectory file must stay machine-readable: every line
     // parses with the in-repo JSON parser and our records are present.
-    let text = std::fs::read_to_string(&json_path).expect("bench trajectory readable");
+    let text = std::fs::read_to_string(&json_path)
+        .unwrap_or_else(|e| fail(&format!("bench trajectory readable: {e}")));
     let mut ours = 0usize;
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
-        let v = neurodeanon_testkit::json::parse(line).expect("trajectory line parses as JSON");
+        let v = neurodeanon_testkit::json::parse(line)
+            .unwrap_or_else(|e| fail(&format!("trajectory line parses as JSON: {e}")));
         if v.get("group").and_then(|g| g.as_str()) == Some("attack_plan_sweeps") {
             ours += 1;
         }
@@ -232,6 +264,6 @@ fn main() {
         eprintln!("--- trace ---");
         eprint!("{}", snap.render_tree());
         neurodeanon_bench::trace::export_jsonl(&snap, "sweeps", &json_path)
-            .expect("trace export writes");
+            .unwrap_or_else(|e| fail(&format!("trace export writes: {e}")));
     }
 }

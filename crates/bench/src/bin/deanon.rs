@@ -25,6 +25,27 @@
 //! A `--demo` flag synthesizes the two files from the built-in HCP-like
 //! cohort first, so the tool can be tried without data.
 //!
+//! ## `deanon serve` — attack-as-a-service (DESIGN.md §1.7)
+//!
+//! ```text
+//! deanon serve (--demo | --known FILE.csv --anon FILE.csv)
+//!        [--queries N] [--workers W] [--batch Q] [--capacity C]
+//!        [--deadline-ms D] [--max-respawns N] [--features N]
+//!        [--degraded-policy reject|mask|impute] [--reject-margin T]
+//!        [--chaos-seed S] [--chaos-rate R] [--trace] [--metrics-out FILE.jsonl]
+//! ```
+//!
+//! Prepares the gallery once, starts a batched match server, and streams
+//! `--queries` query connectomes (cycled from the anonymous CSV's records)
+//! through it. Responses print to stdout ordered by query id —
+//! byte-identical at any `--workers`, `--batch`, or `NEURODEANON_THREADS`
+//! setting, the serve determinism contract — while throughput, latency
+//! percentiles, and the error taxonomy go to stderr. `--chaos-seed` /
+//! `--chaos-rate` inject seeded service faults (truncated payloads, NaN
+//! payloads, worker panics, stalled producers) to exercise the isolation
+//! and respawn machinery; faulted queries fail typed, everyone else's
+//! response stays bit-identical.
+//!
 //! Observability (DESIGN.md §1.6): `--trace` enables the in-repo span
 //! recorder and prints the aggregated stage tree (prepare → select →
 //! correlate → match) plus counters and gauges to stderr after the run;
@@ -33,14 +54,21 @@
 //! (implies `--trace`). Tracing never changes results: the predictions of
 //! a traced run are bitwise identical to an untraced one.
 
+use neurodeanon_bench::timing::Sample;
 use neurodeanon_bench::trace::export_jsonl;
 use neurodeanon_connectome::io::{read_group_csv, write_group_csv};
+use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_core::attack::{AttackConfig, AttackPlan, DegradedInput, MatchRule};
 use neurodeanon_core::matching::Decision;
+use neurodeanon_core::serve::{MatchServer, Query, QueryResult, ServeConfig};
 use neurodeanon_core::splits::enrollment_split;
-use neurodeanon_datasets::{HcpCohort, HcpCohortConfig, Session, Task};
+use neurodeanon_datasets::{
+    chaos, ChaosSpec, HcpCohort, HcpCohortConfig, ServiceFaultKind, Session, Task,
+};
 use neurodeanon_obs as obs;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// Seed for the `--enroll-rate` gallery split: fixed so repeated runs on
 /// the same inputs enroll the same subjects.
@@ -58,6 +86,9 @@ fn fail(msg: &str) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        serve_main(&args[1..]);
+    }
     let mut known_path: Option<PathBuf> = None;
     let mut anon_path: Option<PathBuf> = None;
     let mut n_features = 100usize;
@@ -251,4 +282,258 @@ fn main() {
             eprintln!("metrics written to {}", path.display());
         }
     }
+}
+
+fn serve_fail(msg: &str) -> ! {
+    eprintln!("deanon serve: {msg}");
+    eprintln!(
+        "usage: deanon serve (--demo | --known FILE.csv --anon FILE.csv) [--queries N] \
+         [--workers W] [--batch Q] [--capacity C] [--deadline-ms D] [--max-respawns N] \
+         [--features N] [--degraded-policy reject|mask|impute] [--reject-margin T] \
+         [--chaos-seed S] [--chaos-rate R] [--trace] [--metrics-out FILE.jsonl]"
+    );
+    std::process::exit(2);
+}
+
+/// The `deanon serve` subcommand: stream queries through a [`MatchServer`].
+fn serve_main(args: &[String]) -> ! {
+    let mut known_path: Option<PathBuf> = None;
+    let mut anon_path: Option<PathBuf> = None;
+    let mut n_queries: Option<usize> = None;
+    let mut n_features = 100usize;
+    let mut degraded = DegradedInput::Reject;
+    let mut reject_margin: Option<f64> = None;
+    let mut serve_cfg = ServeConfig::default();
+    let mut deadline: Option<Duration> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut chaos_rate = 0.25f64;
+    let mut demo = false;
+    let mut traced = false;
+    let mut metrics_out: Option<PathBuf> = None;
+
+    fn parsed<T: std::str::FromStr>(it: &mut std::slice::Iter<'_, String>, flag: &str) -> T {
+        it.next()
+            .unwrap_or_else(|| serve_fail(&format!("{flag} needs a value")))
+            .parse()
+            .unwrap_or_else(|_| serve_fail(&format!("{flag}: malformed value")))
+    }
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--known" => known_path = Some(PathBuf::from(parsed::<String>(&mut it, "--known"))),
+            "--anon" => anon_path = Some(PathBuf::from(parsed::<String>(&mut it, "--anon"))),
+            "--queries" => n_queries = Some(parsed(&mut it, "--queries")),
+            "--workers" => serve_cfg.workers = parsed(&mut it, "--workers"),
+            "--batch" => serve_cfg.batch_max = parsed(&mut it, "--batch"),
+            "--capacity" => serve_cfg.queue_capacity = parsed(&mut it, "--capacity"),
+            "--deadline-ms" => {
+                deadline = Some(Duration::from_millis(parsed(&mut it, "--deadline-ms")))
+            }
+            "--max-respawns" => serve_cfg.max_respawns = parsed(&mut it, "--max-respawns"),
+            "--features" => n_features = parsed(&mut it, "--features"),
+            "--degraded-policy" => {
+                degraded = DegradedInput::parse(&parsed::<String>(&mut it, "--degraded-policy"))
+                    .unwrap_or_else(|_| {
+                        serve_fail("--degraded-policy must be reject, mask, or impute")
+                    });
+            }
+            "--reject-margin" => {
+                let t: f64 = parsed(&mut it, "--reject-margin");
+                if !t.is_finite() {
+                    serve_fail("--reject-margin must be a finite number");
+                }
+                reject_margin = Some(t);
+            }
+            "--chaos-seed" => chaos_seed = Some(parsed(&mut it, "--chaos-seed")),
+            "--chaos-rate" => chaos_rate = parsed(&mut it, "--chaos-rate"),
+            "--demo" => demo = true,
+            "--trace" => traced = true,
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(parsed::<String>(&mut it, "--metrics-out")));
+                traced = true;
+            }
+            "--help" | "-h" => serve_fail("batched fault-tolerant match serving"),
+            other => serve_fail(&format!("unknown argument `{other}`")),
+        }
+    }
+    // The submit deadline only bounds queueing; generous by default so the
+    // demo never sheds at submit time.
+    serve_cfg.submit_timeout = Duration::from_secs(30);
+
+    if traced {
+        obs::enable();
+    }
+    let root_span = obs::span("serve.run");
+
+    let (known, anon): (GroupMatrix, GroupMatrix) = if demo {
+        let cohort = HcpCohort::generate(HcpCohortConfig::small(15, 0xde40))
+            .unwrap_or_else(|e| serve_fail(&format!("generating demo cohort: {e}")));
+        (
+            cohort
+                .group_matrix(Task::Rest, Session::One)
+                .unwrap_or_else(|e| serve_fail(&format!("demo known matrix: {e}"))),
+            cohort
+                .group_matrix(Task::Rest, Session::Two)
+                .unwrap_or_else(|e| serve_fail(&format!("demo anon matrix: {e}"))),
+        )
+    } else {
+        let kp = known_path.unwrap_or_else(|| serve_fail("missing --known (or --demo)"));
+        let ap = anon_path.unwrap_or_else(|| serve_fail("missing --anon (or --demo)"));
+        (
+            read_group_csv(&kp)
+                .unwrap_or_else(|e| serve_fail(&format!("reading {}: {e}", kp.display()))),
+            read_group_csv(&ap)
+                .unwrap_or_else(|e| serve_fail(&format!("reading {}: {e}", ap.display()))),
+        )
+    };
+    let n_queries = n_queries.unwrap_or_else(|| anon.n_subjects().max(1) * 4);
+    let chaos = chaos_seed.map(|seed| {
+        let spec = ChaosSpec {
+            seed,
+            rate: chaos_rate,
+        };
+        spec.validate()
+            .unwrap_or_else(|e| serve_fail(&format!("chaos spec: {e}")));
+        spec
+    });
+    eprintln!(
+        "serve: gallery {} subjects × {} features | {} queries | {} workers, batch {}, capacity {}{}",
+        known.n_subjects(),
+        known.n_features(),
+        n_queries,
+        serve_cfg.workers,
+        serve_cfg.batch_max,
+        serve_cfg.queue_capacity,
+        chaos
+            .as_ref()
+            .map(|c| format!(" | chaos seed {} rate {}", c.seed, c.rate))
+            .unwrap_or_default(),
+    );
+
+    let plan = AttackPlan::prepare(
+        known,
+        AttackConfig {
+            n_features,
+            degraded,
+            reject_margin,
+            ..Default::default()
+        },
+    )
+    .unwrap_or_else(|e| serve_fail(&e.to_string()));
+    let server = MatchServer::start(plan, serve_cfg).unwrap_or_else(|e| serve_fail(&e.to_string()));
+
+    // Producer loop: cycle the anonymous records into queries, injecting
+    // seeded chaos faults when asked.
+    let anon_matrix = anon.as_matrix();
+    let t0 = Instant::now();
+    let mut pending: Vec<(u64, std::sync::mpsc::Receiver<QueryResult>, Instant)> = Vec::new();
+    let mut submit_failures: Vec<(u64, String)> = Vec::new();
+    for id in 0..n_queries as u64 {
+        let col = (id as usize) % anon_matrix.cols();
+        let mut values: Vec<f64> = (0..anon_matrix.rows())
+            .map(|r| anon_matrix[(r, col)])
+            .collect();
+        let mut injected = None;
+        if let Some(spec) = &chaos {
+            let fault = spec.apply(id, &mut values);
+            match fault {
+                Some(ServiceFaultKind::WorkerPanic) => injected = fault,
+                Some(ServiceFaultKind::StallProducer) => {
+                    std::thread::sleep(chaos::stall_duration())
+                }
+                _ => {}
+            }
+        }
+        let mut query = Query::new(id, anon.subject_ids()[col].clone(), values);
+        query.injected = injected;
+        if let Some(d) = deadline {
+            query = query.with_deadline(Instant::now() + d);
+        }
+        match server.submit(query) {
+            Ok(rx) => pending.push((id, rx, Instant::now())),
+            Err((q, e)) => submit_failures.push((q.id, e.to_string())),
+        }
+    }
+
+    // Collect every reply, then order by query id for deterministic output.
+    let mut rows: BTreeMap<u64, String> = BTreeMap::new();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(pending.len());
+    let mut taxonomy: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (id, rx, submitted) in pending {
+        let result = rx
+            .recv()
+            .unwrap_or_else(|_| serve_fail(&format!("query {id}: reply channel broke")));
+        latencies.push(submitted.elapsed());
+        let line = match result {
+            Ok(resp) => match resp.decision {
+                Decision::Reject => format!("{id},{},unidentifiable,", resp.subject_id),
+                Decision::Match(_) => format!(
+                    "{id},{},{},{:.6}",
+                    resp.subject_id,
+                    resp.best_id.as_deref().unwrap_or("?"),
+                    resp.score
+                ),
+            },
+            Err(e) => {
+                *taxonomy.entry(e.taxonomy()).or_insert(0) += 1;
+                format!("{id},,error,{}", e.taxonomy())
+            }
+        };
+        rows.insert(id, line);
+    }
+    for (id, reason) in &submit_failures {
+        *taxonomy.entry("submit").or_insert(0) += 1;
+        rows.insert(*id, format!("{id},,submit-error,{reason}"));
+    }
+    let elapsed = t0.elapsed();
+    let report = server.shutdown();
+
+    println!("query,subject,predicted_identity,score");
+    for line in rows.values() {
+        println!("{line}");
+    }
+
+    let qps = report.answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!("--- serve report ---");
+    eprintln!(
+        "submitted {}  answered {}  failed {}  shed {}  quarantined {}  respawns {}  batches {}  drained {}",
+        report.submitted,
+        report.answered,
+        report.failed,
+        report.shed,
+        report.quarantined,
+        report.respawns,
+        report.batches,
+        report.drained,
+    );
+    match Sample::from_times("serve", latencies) {
+        Ok(s) => eprintln!(
+            "latency p50 {}  p99 {}  | wall {}  ~{qps:.0} answered/s",
+            neurodeanon_bench::timing::fmt_duration(s.median),
+            neurodeanon_bench::timing::fmt_duration(s.p99),
+            neurodeanon_bench::timing::fmt_duration(elapsed),
+        ),
+        Err(e) => eprintln!("latency: {e}"),
+    }
+    if !taxonomy.is_empty() {
+        let rendered: Vec<String> = taxonomy.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+        eprintln!("errors: {}", rendered.join(" "));
+    }
+    if !report.clean_drain() {
+        serve_fail(&format!("drain invariant violated: {report:?}"));
+    }
+
+    if traced {
+        drop(root_span);
+        let snap = obs::snapshot();
+        eprintln!("--- trace ---");
+        eprint!("{}", snap.render_tree());
+        if let Some(path) = metrics_out {
+            export_jsonl(&snap, "deanon-serve", &path)
+                .unwrap_or_else(|e| serve_fail(&format!("writing {}: {e}", path.display())));
+            eprintln!("metrics written to {}", path.display());
+        }
+    }
+    std::process::exit(0);
 }

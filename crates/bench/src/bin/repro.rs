@@ -26,6 +26,19 @@ use neurodeanon_datasets::Task;
 use neurodeanon_testkit::{json, Value};
 use std::path::PathBuf;
 
+/// Prints a typed failure and exits with code 2 — an experiment or flag
+/// error is a user-facing diagnostic, not a panic with a backtrace.
+fn fail(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Unwraps an experiment result, failing with the experiment's name and the
+/// rendered typed error.
+fn or_fail<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| fail(&format!("{what}: {e}")))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
@@ -35,14 +48,14 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => {
-                let v = it.next().expect("--scale needs a value");
+                let v = it.next().unwrap_or_else(|| fail("--scale needs a value"));
                 scale = Scale::parse(v).unwrap_or_else(|e| {
                     eprintln!("{e}");
                     std::process::exit(2);
                 });
             }
             "--out" => {
-                out = PathBuf::from(it.next().expect("--out needs a value"));
+                out = PathBuf::from(it.next().unwrap_or_else(|| fail("--out needs a value")));
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -76,7 +89,10 @@ fn main() {
     if want("fig1") || want("fig2") {
         let cohort = scale.hcp(0x4c50);
         if want("fig1") {
-            let res = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
+            let res = or_fail(
+                "fig1",
+                similarity_experiment(&cohort, Task::Rest, AttackConfig::default()),
+            );
             let mut r = Report::new("fig1", "pairwise similarity of resting-state connectomes");
             r.line(format!(
                 "identification accuracy      {}",
@@ -103,9 +119,14 @@ fn main() {
             emit(r);
         }
         if want("fig2") {
-            let rest = similarity_experiment(&cohort, Task::Rest, AttackConfig::default()).unwrap();
-            let lang =
-                similarity_experiment(&cohort, Task::Language, AttackConfig::default()).unwrap();
+            let rest = or_fail(
+                "fig2 (rest reference)",
+                similarity_experiment(&cohort, Task::Rest, AttackConfig::default()),
+            );
+            let lang = or_fail(
+                "fig2",
+                similarity_experiment(&cohort, Task::Language, AttackConfig::default()),
+            );
             let mut r = Report::new("fig2", "pairwise similarity of LANGUAGE task connectomes");
             r.line(format!(
                 "identification accuracy      {}",
@@ -130,7 +151,7 @@ fn main() {
 
     if want("fig5") {
         let cohort = scale.hcp(0x4c51);
-        let res = cross_task_matrix(&cohort, AttackConfig::default()).unwrap();
+        let res = or_fail("fig5", cross_task_matrix(&cohort, AttackConfig::default()));
         let mut r = Report::new(
             "fig5",
             "cross-task identification accuracy (rows de-anonymized, cols anonymous)",
@@ -164,7 +185,10 @@ fn main() {
             Scale::Small => 3,
             Scale::Paper => 10,
         };
-        let res = task_prediction_experiment(&cohort, &TaskIdConfig::default(), reps).unwrap();
+        let res = or_fail(
+            "fig6",
+            task_prediction_experiment(&cohort, &TaskIdConfig::default(), reps),
+        );
         let mut r = Report::new("fig6", "t-SNE task clusters + 1-NN task prediction");
         r.line(format!(
             "overall accuracy         {}",
@@ -197,7 +221,7 @@ fn main() {
             n_repeats: scale.repeats(),
             ..Default::default()
         };
-        let rows = performance_table(&cohort, &cfg).unwrap();
+        let rows = or_fail("table1", performance_table(&cohort, &cfg));
         let mut r = Report::new("table1", "task-performance prediction error (nRMSE %)");
         r.line(format!(
             "{:>16} {:>16} {:>16}",
@@ -244,7 +268,10 @@ fn main() {
             if !want(id) {
                 continue;
             }
-            let res = adhd_experiment(&cohort, &subjects, label, AttackConfig::default()).unwrap();
+            let res = or_fail(
+                id,
+                adhd_experiment(&cohort, &subjects, label, AttackConfig::default()),
+            );
             let mut r = Report::new(id, label);
             r.line(format!("subjects                 {}", subjects.len()));
             r.line(format!("identification accuracy  {}", pct(res.accuracy)));
@@ -254,14 +281,16 @@ fn main() {
                 res.mean_offdiagonal
             ));
             if id == "fig9" {
-                let (mean, std) = neurodeanon_core::experiments::adhd::adhd_train_test_transfer(
-                    &cohort,
-                    100,
-                    0.3,
-                    scale.repeats(),
-                    7,
-                )
-                .unwrap();
+                let (mean, std) = or_fail(
+                    "fig9 (train/test transfer)",
+                    neurodeanon_core::experiments::adhd::adhd_train_test_transfer(
+                        &cohort,
+                        100,
+                        0.3,
+                        scale.repeats(),
+                        7,
+                    ),
+                );
                 r.line(format!(
                     "train/test transfer acc  {mean:.1} ± {std:.1}%  (paper: 97.2 ± 0.9%)"
                 ));
@@ -283,15 +312,17 @@ fn main() {
         // fractions before estimation noise erodes matching, so the sweep
         // extends to 400% — the paper's accuracy band (≈91% → 79%) appears
         // in the extended range (see EXPERIMENTS.md).
-        let res = multi_site_sweep(
-            &hcp,
-            &adhd,
-            &[0.10, 0.20, 0.30, 1.0, 2.0, 4.0],
-            scale.repeats().min(5),
-            AttackConfig::default(),
-            11,
-        )
-        .unwrap();
+        let res = or_fail(
+            "table2",
+            multi_site_sweep(
+                &hcp,
+                &adhd,
+                &[0.10, 0.20, 0.30, 1.0, 2.0, 4.0],
+                scale.repeats().min(5),
+                AttackConfig::default(),
+                11,
+            ),
+        );
         let mut r = Report::new("table2", "multi-site noise sweep (accuracy %)");
         r.line(format!(
             "{:>12} {:>16} {:>16}",
@@ -326,7 +357,7 @@ fn main() {
             },
             Scale::Paper => PreprocessAblationConfig::default(),
         };
-        let rows = preprocess_ablation(&cfg).unwrap();
+        let rows = or_fail("fig4-ablation", preprocess_ablation(&cfg));
         let mut r = Report::new(
             "fig4-ablation",
             "preprocessing-stage ablation (voxel-level path)",
@@ -359,7 +390,10 @@ fn main() {
             n_repeats: scale.repeats().min(10),
             ..Default::default()
         };
-        let res = block_performance_experiment(&cohort, Task::Language, &cfg).unwrap();
+        let res = or_fail(
+            "block-timing",
+            block_performance_experiment(&cohort, Task::Language, &cfg),
+        );
         let mut r = Report::new(
             "block-timing",
             "§3.3.3 extension: block-timing-aware per-subtype performance prediction",
@@ -381,7 +415,10 @@ fn main() {
 
     if want("defense") {
         let cohort = scale.hcp(0x4c58);
-        let res = defense_sweep(&cohort, 100, &[0.2, 0.4, 0.6, 1.0], 9).unwrap();
+        let res = or_fail(
+            "defense",
+            defense_sweep(&cohort, 100, &[0.2, 0.4, 0.6, 1.0], 9),
+        );
         let mut r = Report::new(
             "defense",
             "§4 defense sweep: targeted vs untargeted noise on signature edges",
@@ -419,7 +456,7 @@ fn main() {
 
     if want("localization") {
         let cohort = scale.hcp(0x4c56);
-        let res = signature_localization(&cohort, 100).unwrap();
+        let res = or_fail("localization", signature_localization(&cohort, 100));
         let mut r = Report::new(
             "localization",
             "signature localization (the paper's parieto-frontal restriction, §2/§4)",
@@ -452,7 +489,10 @@ fn main() {
     if want("ablations") {
         let cohort = scale.hcp(0x4c55);
         let mut r = Report::new("ablations", "design-choice ablations (DESIGN.md §4)");
-        let strategies = ablation_sampling_strategy(&cohort, 100, 3).unwrap();
+        let strategies = or_fail(
+            "ablations (sampling strategy)",
+            ablation_sampling_strategy(&cohort, 100, 3),
+        );
         r.line("feature-selection strategy (rest-rest accuracy):");
         let mut strat_data = Vec::new();
         for row in &strategies {
@@ -465,12 +505,15 @@ fn main() {
             Scale::Small => vec![5, 20, 100, 400],
             Scale::Paper => vec![10, 50, 100, 500, 2000, 10_000],
         };
-        let sweep = ablation_feature_count(&cohort, &counts).unwrap();
+        let sweep = or_fail(
+            "ablations (feature count)",
+            ablation_feature_count(&cohort, &counts),
+        );
         r.line("retained-feature sweep:");
         for (t, acc) in &sweep {
             r.line(format!("  t = {:>6} {}", t, pct(*acc)));
         }
-        let rules = ablation_matching_rule(&cohort).unwrap();
+        let rules = or_fail("ablations (matching rule)", ablation_matching_rule(&cohort));
         r.line("matching rule:");
         for (rule, acc) in &rules {
             r.line(format!("  {:>24} {}", rule, pct(*acc)));
@@ -479,7 +522,10 @@ fn main() {
             Scale::Small => vec![20, 40, 60],
             Scale::Paper => vec![60, 120, 240, 360],
         };
-        let gran = ablation_atlas_granularity(&grans, 20, 5).unwrap();
+        let gran = or_fail(
+            "ablations (atlas granularity)",
+            ablation_atlas_granularity(&grans, 20, 5),
+        );
         r.line("atlas granularity (20 subjects):");
         for (n, acc) in &gran {
             r.line(format!("  {:>5} regions {}", n, pct(*acc)));

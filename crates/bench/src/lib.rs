@@ -15,3 +15,19 @@ pub mod trace;
 
 pub use report::Report;
 pub use scale::Scale;
+pub use timing::TimingError;
+
+/// Aborts a bench or binary harness with exit code 2 and a one-line reason
+/// on stderr — harness paths fail typed instead of panicking with a
+/// backtrace (assertions about *measured results* stay `assert!`s; this is
+/// for setup, experiment, and I/O fallibility).
+pub fn fail(msg: &str) -> ! {
+    eprintln!("bench: {msg}");
+    std::process::exit(2);
+}
+
+/// Unwraps a harness-path result, aborting via [`fail`] with context plus
+/// the rendered typed error.
+pub fn or_fail<T, E: std::fmt::Display>(what: &str, result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| fail(&format!("{what}: {e}")))
+}

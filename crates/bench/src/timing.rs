@@ -39,11 +39,32 @@ pub struct Sample {
     pub iters: usize,
 }
 
+/// Typed failure of the timing statistics layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingError {
+    /// Statistics over zero samples are undefined; callers get this typed
+    /// error instead of a panic (or a garbage duration) on an empty input —
+    /// e.g. a bench whose measured section shed every query.
+    EmptySample,
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::EmptySample => write!(f, "no samples: statistics are undefined"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
 /// Nearest-rank percentile over an ascending-sorted sample.
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    debug_assert!(!sorted.is_empty());
+pub fn percentile(sorted: &[Duration], p: f64) -> Result<Duration, TimingError> {
+    if sorted.is_empty() {
+        return Err(TimingError::EmptySample);
+    }
     let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    Ok(sorted[idx.min(sorted.len() - 1)])
 }
 
 impl Bench {
@@ -81,25 +102,17 @@ impl Bench {
             std::hint::black_box(f());
             times.push(t0.elapsed());
         }
-        times.sort_unstable();
-        let min = times[0];
-        let median = percentile(&times, 50.0);
-        let mean = times.iter().sum::<Duration>() / times.len() as u32;
-        let s = Sample {
-            label: label.to_string(),
-            min,
-            median,
-            mean,
-            p95: percentile(&times, 95.0),
-            p99: percentile(&times, 99.0),
-            iters: times.len(),
+        let s = match Sample::from_times(label, times) {
+            Ok(s) => s,
+            // `iters` is clamped to >= 1 in the builder.
+            Err(TimingError::EmptySample) => unreachable!("Bench always times at least one iter"),
         };
         println!(
             "{}/{label:<40} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
             self.name,
-            fmt_duration(min),
-            fmt_duration(median),
-            fmt_duration(mean),
+            fmt_duration(s.min),
+            fmt_duration(s.median),
+            fmt_duration(s.mean),
             self.iters,
         );
         s
@@ -107,6 +120,25 @@ impl Bench {
 }
 
 impl Sample {
+    /// Builds the summary statistics from raw iteration times (any order;
+    /// sorted internally). The entry point for callers that collected their
+    /// own latencies — e.g. the serve bench's per-query response times —
+    /// rather than timing through [`Bench::run`]. Typed
+    /// [`TimingError::EmptySample`] on an empty input.
+    pub fn from_times(label: &str, mut times: Vec<Duration>) -> Result<Sample, TimingError> {
+        times.sort_unstable();
+        let min = *times.first().ok_or(TimingError::EmptySample)?;
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        Ok(Sample {
+            label: label.to_string(),
+            min,
+            median: percentile(&times, 50.0)?,
+            mean,
+            p95: percentile(&times, 95.0)?,
+            p99: percentile(&times, 99.0)?,
+            iters: times.len(),
+        })
+    }
     /// Renders the sample as one JSON record for the bench trajectory file,
     /// tagged with its benchmark `group` name.
     pub fn to_json(&self, group: &str) -> Value {
@@ -143,6 +175,11 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 ///   variable is unset), which may exceed `threads` on small hosts because
 ///   the pool clamps to the core count;
 /// * `profile` — `"debug"` or `"release"` build profile.
+///
+/// A trailing *partial* line (a previous writer crashed mid-record, leaving
+/// no final newline) is tolerated: the new record starts on a fresh line
+/// instead of being glued onto the damaged one, so one truncated record
+/// never corrupts the lines appended after it.
 pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
     let mut stamped = record.clone();
     if let Value::Object(fields) = &mut stamped {
@@ -174,9 +211,27 @@ pub fn append_jsonl(path: &Path, record: &Value) -> std::io::Result<()> {
     }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
+        .read(true)
         .append(true)
         .open(path)?;
+    if missing_final_newline(&mut f)? {
+        f.write_all(b"\n")?;
+    }
     writeln!(f, "{stamped}")
+}
+
+/// Whether a non-empty file's last byte is not `\n` (a truncated record).
+/// The seek only moves the read cursor; append-mode writes still go to the
+/// end of the file.
+fn missing_final_newline(f: &mut std::fs::File) -> std::io::Result<bool> {
+    use std::io::{Read as _, Seek as _, SeekFrom};
+    if f.metadata()?.len() == 0 {
+        return Ok(false);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] != b'\n')
 }
 
 /// Formats a duration with an adaptive unit (ns / µs / ms / s).
@@ -300,11 +355,56 @@ mod tests {
     #[test]
     fn percentiles_use_nearest_rank() {
         let times: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
-        assert_eq!(percentile(&times, 50.0), Duration::from_nanos(51));
-        assert_eq!(percentile(&times, 95.0), Duration::from_nanos(95));
-        assert_eq!(percentile(&times, 99.0), Duration::from_nanos(99));
-        assert_eq!(percentile(&times, 100.0), Duration::from_nanos(100));
+        assert_eq!(percentile(&times, 50.0), Ok(Duration::from_nanos(51)));
+        assert_eq!(percentile(&times, 95.0), Ok(Duration::from_nanos(95)));
+        assert_eq!(percentile(&times, 99.0), Ok(Duration::from_nanos(99)));
+        assert_eq!(percentile(&times, 100.0), Ok(Duration::from_nanos(100)));
         let one = [Duration::from_nanos(7)];
-        assert_eq!(percentile(&one, 99.0), Duration::from_nanos(7));
+        assert_eq!(percentile(&one, 99.0), Ok(Duration::from_nanos(7)));
+    }
+
+    #[test]
+    fn empty_samples_are_a_typed_error_not_a_panic() {
+        assert_eq!(percentile(&[], 50.0), Err(TimingError::EmptySample));
+        assert_eq!(
+            Sample::from_times("empty", Vec::new()).unwrap_err(),
+            TimingError::EmptySample
+        );
+        // Non-empty inputs summarize, unsorted accepted.
+        let s = Sample::from_times(
+            "three",
+            vec![
+                Duration::from_nanos(9),
+                Duration::from_nanos(1),
+                Duration::from_nanos(5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.min, Duration::from_nanos(1));
+        assert_eq!(s.median, Duration::from_nanos(5));
+        assert_eq!(s.p99, Duration::from_nanos(9));
+        assert_eq!(s.iters, 3);
+    }
+
+    #[test]
+    fn append_jsonl_repairs_a_trailing_partial_line() {
+        let path = std::env::temp_dir().join(format!("nd_partial_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // A writer died mid-record: no trailing newline.
+        std::fs::write(&path, "{\"group\":\"g\",\"truncat").unwrap();
+        append_jsonl(&path, &json!({ "group": "h", "ok": 1.0 })).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "partial line must be terminated: {text:?}");
+        // The damaged record stays damaged; the new one parses.
+        assert!(neurodeanon_testkit::json::parse(lines[0]).is_err());
+        let parsed = neurodeanon_testkit::json::parse(lines[1]).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Value::as_f64), Some(1.0));
+        // A well-terminated file gains no spurious blank line.
+        append_jsonl(&path, &json!({ "group": "h", "ok": 2.0 })).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        assert!(!text.contains("\n\n"), "no blank lines: {text:?}");
+        std::fs::remove_file(&path).unwrap();
     }
 }

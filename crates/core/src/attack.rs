@@ -23,8 +23,9 @@ use crate::Result;
 use neurodeanon_connectome::GroupMatrix;
 use neurodeanon_linalg::rsvd::RsvdConfig;
 use neurodeanon_linalg::stats::{
-    cross_correlation, cross_correlation_fused_f32_into, cross_correlation_fused_into,
-    cross_correlation_masked, impute_row_means, zscored_cols_into,
+    cross_correlation, cross_correlation_batched_f32_into, cross_correlation_batched_into,
+    cross_correlation_fused_f32_into, cross_correlation_fused_into, cross_correlation_masked,
+    impute_row_means, zscored_cols_into,
 };
 use neurodeanon_linalg::Matrix;
 use neurodeanon_sampling::{
@@ -698,6 +699,9 @@ pub struct AttackPlan {
     known_z32: Vec<f32>,
     anon_red: Matrix,
     anon_z: Matrix,
+    /// Serve-path scratch: the batch's reduced query rows (`Q × t`),
+    /// reused across [`AttackPlan::correlate_batch`] calls.
+    batch_red: Matrix,
 }
 
 impl AttackPlan {
@@ -750,6 +754,7 @@ impl AttackPlan {
             known_z32: Vec::new(),
             anon_red: Matrix::zeros(0, 0),
             anon_z: Matrix::zeros(0, 0),
+            batch_red: Matrix::zeros(0, 0),
         })
     }
 
@@ -868,6 +873,83 @@ impl AttackPlan {
             match_rule,
             self.config.reject_margin,
         )
+    }
+
+    /// The serve layer's steady-state batch path: correlates `Q` full-length
+    /// query feature vectors against the memoized gallery in **one** fused
+    /// z-score + cross-correlation GEMM, returning the `n_known × Q`
+    /// similarity matrix (column `j` scores query `j`).
+    ///
+    /// Bitwise contract (DESIGN.md §1.7): column `j` of the result is
+    /// bit-identical to the similarity column produced by running query `j`
+    /// alone through [`AttackPlan::run_with`] on the clean memoized path —
+    /// the gather below reproduces `select_rows_into` element-for-element
+    /// and [`cross_correlation_batched_into`] reproduces the fused kernel's
+    /// per-column expressions exactly. Batch packing and batch order can
+    /// therefore never change a response.
+    ///
+    /// The batched path is clean-only: queries must be fully finite and of
+    /// the gallery's full feature length (typed errors otherwise — degraded
+    /// queries go through the per-query policy paths instead), and the plan
+    /// must have a factorization (a mask-degraded known matrix has none).
+    pub fn correlate_batch(&mut self, queries: &[&[f64]]) -> Result<Matrix> {
+        let _span = neurodeanon_obs::span("plan.batch");
+        if queries.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "queries",
+                reason: "batch must contain at least one query",
+            });
+        }
+        let want = self.known.n_features();
+        for q in queries.iter() {
+            if q.len() != want {
+                return Err(CoreError::IncompatibleGroups {
+                    known: want,
+                    anon: q.len(),
+                });
+            }
+            let n_non_finite = q.iter().filter(|x| !x.is_finite()).count();
+            if n_non_finite > 0 {
+                return Err(CoreError::NonFiniteInput {
+                    side: "anon",
+                    n_non_finite,
+                });
+            }
+        }
+        let t = self.config.n_features.min(want);
+        self.ensure_selection(t)?;
+        // Gather the selected features of every query into reduced rows —
+        // the same elements, in the same order, that `select_rows_into`
+        // lays out as columns on the per-query path.
+        if self.batch_red.shape() != (queries.len(), self.indices.len()) {
+            self.batch_red = Matrix::zeros(queries.len(), self.indices.len());
+        }
+        for (row, q) in queries.iter().enumerate() {
+            let dst = self.batch_red.row_mut(row);
+            for (k, &idx) in self.indices.iter().enumerate() {
+                dst[k] = q[idx];
+            }
+        }
+        let rows: Vec<&[f64]> = (0..self.batch_red.rows())
+            .map(|r| self.batch_red.row(r))
+            .collect();
+        let mut similarity = Matrix::zeros(0, 0);
+        match self.config.dtype {
+            Dtype::F64 => cross_correlation_batched_into(
+                &self.known_z,
+                &rows,
+                &mut self.anon_z,
+                &mut similarity,
+            )?,
+            Dtype::F32 => cross_correlation_batched_f32_into(
+                &self.known_z32,
+                self.known_z.rows(),
+                &rows,
+                &mut self.anon_z,
+                &mut similarity,
+            )?,
+        }
+        Ok(similarity)
     }
 
     /// Refreshes the cached selection + known-side buffers when the

@@ -25,6 +25,10 @@
 //!   edges with the attacker's own selection and add targeted noise.
 //! * [`experiments`] — one driver per paper table/figure (DESIGN.md §3),
 //!   consumed by the `repro` binary and the Criterion benches.
+//! * [`serve`] — attack-as-a-service (DESIGN.md §1.7): a long-lived batched
+//!   match server over a memoized [`attack::AttackPlan`] with backpressure,
+//!   per-query deadlines, poison-query isolation, and deterministic worker
+//!   respawn.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +50,7 @@ pub mod error;
 pub mod experiments;
 pub mod matching;
 pub mod performance;
+pub mod serve;
 pub mod splits;
 pub mod task_id;
 
@@ -55,6 +60,10 @@ pub use attack::{
 };
 pub use error::CoreError;
 pub use matching::{Decision, MatchScore};
+pub use serve::{
+    MatchResponse, MatchServer, Query, QueryError, QueryResult, ServeConfig, ServeReport,
+    SubmitError,
+};
 pub use splits::{enrollment_split, EnrollmentSplit};
 
 /// Result alias for attack operations.

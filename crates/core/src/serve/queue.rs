@@ -1,0 +1,333 @@
+//! A bounded multi-producer / multi-consumer queue with backpressure.
+//!
+//! The match server's spine: producers block (up to a deadline) when the
+//! queue is full instead of growing it without bound, consumers block (up
+//! to a timeout) when it is empty instead of spinning, and closing the
+//! queue lets consumers drain every item already accepted before they see
+//! [`QueueError::Closed`] — the "clean drain" half of the serve contract.
+//!
+//! Implemented on `std` only (`Mutex` + two `Condvar`s), like every other
+//! concurrency primitive in the workspace: no external crates, no lock-free
+//! cleverness — the queue guards milliseconds-scale GEMM batches, so a
+//! mutex hop is noise.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a queue operation did not hand over an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueError {
+    /// The queue was at capacity (non-blocking push only).
+    Full {
+        /// The configured capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The deadline (push) or timeout (pop) expired first.
+    Timeout,
+    /// The queue is closed: closed-and-drained for pops, closed for pushes
+    /// (a closed queue accepts nothing, but pops still drain what it holds).
+    Closed,
+}
+
+impl std::fmt::Display for QueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueError::Full { capacity } => write!(f, "queue full (capacity {capacity})"),
+            QueueError::Timeout => write!(f, "queue operation timed out"),
+            QueueError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded blocking MPMC queue. See the module docs for the contract.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity.max(1)` items.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panicking queue user cannot corrupt a VecDeque push/pop, so
+        // poisoning is cleared rather than propagated: the serve layer
+        // contains worker panics and must keep the queue usable afterwards.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Non-blocking push. On failure the item is handed back with the
+    /// typed reason ([`QueueError::Full`] or [`QueueError::Closed`]).
+    pub fn try_push(&self, item: T) -> Result<(), (T, QueueError)> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err((item, QueueError::Closed));
+        }
+        if g.items.len() >= self.capacity {
+            return Err((
+                item,
+                QueueError::Full {
+                    capacity: self.capacity,
+                },
+            ));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push with a deadline: waits for space until `deadline`,
+    /// then hands the item back with [`QueueError::Timeout`]. This is the
+    /// backpressure edge — a producer ahead of the service's capacity slows
+    /// to the consumers' pace instead of growing an unbounded backlog.
+    pub fn push_deadline(&self, item: T, deadline: Instant) -> Result<(), (T, QueueError)> {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return Err((item, QueueError::Closed));
+            }
+            if g.items.len() < self.capacity {
+                g.items.push_back(item);
+                drop(g);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|w| !w.is_zero())
+            else {
+                return Err((item, QueueError::Timeout));
+            };
+            let (guard, _timeout) = match self.not_full.wait_timeout(g, wait) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g = guard;
+        }
+    }
+
+    /// Non-blocking pop. Drains items even after close (`None` only when
+    /// nothing is queued).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        let item = g.items.pop_front();
+        if item.is_some() {
+            drop(g);
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Blocking pop with a timeout. [`QueueError::Closed`] only once the
+    /// queue is closed **and** drained — accepted items always reach a
+    /// consumer; [`QueueError::Timeout`] when the queue stayed empty (and
+    /// open) for the whole window.
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<T, QueueError> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_one();
+                return Ok(item);
+            }
+            if g.closed {
+                return Err(QueueError::Closed);
+            }
+            let now = Instant::now();
+            let Some(wait) = deadline
+                .checked_duration_since(now)
+                .filter(|w| !w.is_zero())
+            else {
+                return Err(QueueError::Timeout);
+            };
+            let (guard, _timeout) = match self.not_empty.wait_timeout(g, wait) {
+                Ok(r) => r,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            g = guard;
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain the remainder
+    /// then report [`QueueError::Closed`]. Wakes every waiter.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, err) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(err, QueueError::Full { capacity: 2 });
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn push_deadline_times_out_on_full_queue() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        let t0 = Instant::now();
+        let (item, err) = q
+            .push_deadline(2, Instant::now() + Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(item, 2);
+        assert_eq!(err, QueueError::Timeout);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn push_deadline_succeeds_when_space_frees() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            q2.try_pop()
+        });
+        q.push_deadline(2, Instant::now() + Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(h.join().unwrap(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+    }
+
+    #[test]
+    fn pop_timeout_empty_and_closed_semantics() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(QueueError::Timeout)
+        );
+        q.try_push(7).unwrap();
+        q.close();
+        // Close rejects new pushes but never drops accepted items.
+        assert_eq!(
+            q.try_push(8).unwrap_err().1,
+            QueueError::Closed,
+            "closed queue must reject pushes"
+        );
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(7));
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)),
+            Err(QueueError::Closed)
+        );
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(QueueError::Closed));
+    }
+
+    #[test]
+    fn mpmc_under_contention_delivers_everything_once() {
+        let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(8));
+        let n_producers = 4u64;
+        let per_producer = 500u64;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.push_deadline(
+                        p * per_producer + i,
+                        Instant::now() + Duration::from_secs(30),
+                    )
+                    .map_err(|(_, e)| e)
+                    .unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match q.pop_timeout(Duration::from_millis(200)) {
+                        Ok(v) => got.push(v),
+                        Err(QueueError::Closed) => break,
+                        Err(QueueError::Timeout) => continue,
+                        Err(QueueError::Full { .. }) => unreachable!(),
+                    }
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = Vec::new();
+        for c in consumers {
+            all.extend(c.join().unwrap());
+        }
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..n_producers * per_producer).collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -37,6 +37,7 @@
 
 pub mod adhd;
 pub mod blocks;
+pub mod chaos;
 pub mod corruption;
 pub mod error;
 pub mod hcp;
@@ -45,6 +46,7 @@ pub mod task;
 
 pub use adhd::{AdhdCohort, AdhdCohortConfig, AdhdGroup};
 pub use blocks::{BlockedScan, BLOCK_LEN, N_SUBTYPES};
+pub use chaos::{ChaosSpec, ServiceFaultKind};
 pub use corruption::{
     corrupt_group, corrupt_ts, corrupted_hcp_group, CorruptionKind, CorruptionReport,
     CorruptionSpec,

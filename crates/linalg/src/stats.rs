@@ -533,6 +533,141 @@ pub fn cross_correlation_fused_f32_into(
     Ok(())
 }
 
+/// Batched serve-path kernel: correlates `queries.len()` already-reduced
+/// query rows (each of length `az.cols()`) against the pre-z-scored gallery
+/// rows of `az` in one fused z-score + GEMM pass — the `t×n_known · t×Q`
+/// product of the attack-as-a-service batch path.
+///
+/// This is [`cross_correlation_fused_into`] with the transpose peeled off:
+/// the fused kernel receives queries as *columns* of a `t × Q` matrix and
+/// copies them into rows of `bz`; here the queries already arrive as rows
+/// and are copied into `bz` directly. A transpose is an exact element copy,
+/// so output column `j` is **bit-identical** to the fused kernel run on a
+/// matrix whose `j`-th column is `queries[j]` — and therefore bit-identical
+/// to running query `j` alone through the per-query path: each column is
+/// produced by the same sequential [`zscore_in_place`] + `(dot · 1/t)`
+/// `.clamp(±1)` expressions, and depends on no other column of the batch.
+/// Batch packing, batch order, and thread count cannot change a bit.
+///
+/// Errors on an empty gallery, an empty batch, or any query whose length
+/// differs from `az.cols()` (mid-stream gallery-shape changes surface here
+/// as a typed error, never as a slice panic).
+pub fn cross_correlation_batched_into(
+    az: &Matrix,
+    queries: &[&[f64]],
+    bz: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
+    let _span = neurodeanon_obs::span("stats.xcorr_batched");
+    let t_len = az.cols();
+    if az.is_empty() {
+        return Err(LinalgError::EmptyMatrix {
+            op: "cross_correlation_batched",
+        });
+    }
+    if queries.is_empty() {
+        return Err(LinalgError::InvalidParameter {
+            name: "queries",
+            reason: "batch must contain at least one query",
+        });
+    }
+    for q in queries {
+        if q.len() != t_len {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cross_correlation_batched",
+                lhs: az.shape(),
+                rhs: (1, q.len()),
+            });
+        }
+    }
+    let n_a = az.rows();
+    let q_count = queries.len();
+    let inv = 1.0 / t_len as f64;
+    bz.reshape_for_overwrite(q_count, t_len);
+    for (row, q) in queries.iter().enumerate() {
+        bz.row_mut(row).copy_from_slice(q);
+    }
+    out.reshape_for_overwrite(n_a, q_count);
+    let odata = DisjointMut::new(out.as_mut_slice());
+    par::par_chunks_mut(
+        bz.as_mut_slice(),
+        t_len,
+        n_a.max(2),
+        CROSS_PAR_THRESHOLD,
+        |j, brow| {
+            zscore_in_place(brow);
+            for i in 0..n_a {
+                let v = (dot(az.row(i), brow) * inv).clamp(-1.0, 1.0);
+                // SAFETY: query j exclusively owns output column j.
+                unsafe { *odata.get(i * q_count + j) = v };
+            }
+        },
+    );
+    Ok(())
+}
+
+/// The f32-gallery variant of [`cross_correlation_batched_into`]: the
+/// prepared known side is an `a_rows × t` row-major `f32` slice, queries
+/// stay `f64`, dots accumulate in f64 — the same storage/accumulation
+/// contract as [`cross_correlation_fused_f32_into`], to which each output
+/// column is bit-identical for the same query.
+pub fn cross_correlation_batched_f32_into(
+    az: &[f32],
+    a_rows: usize,
+    queries: &[&[f64]],
+    bz: &mut Matrix,
+    out: &mut Matrix,
+) -> Result<()> {
+    let _span = neurodeanon_obs::span("stats.xcorr_batched_f32");
+    let t_len = az.len().checked_div(a_rows).unwrap_or(0);
+    if a_rows == 0 || az.is_empty() || az.len() != a_rows * t_len {
+        return Err(LinalgError::DimensionMismatch {
+            op: "cross_correlation_batched",
+            lhs: (a_rows, t_len),
+            rhs: (0, 0),
+        });
+    }
+    if queries.is_empty() {
+        return Err(LinalgError::InvalidParameter {
+            name: "queries",
+            reason: "batch must contain at least one query",
+        });
+    }
+    for q in queries {
+        if q.len() != t_len {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cross_correlation_batched",
+                lhs: (a_rows, t_len),
+                rhs: (1, q.len()),
+            });
+        }
+    }
+    let q_count = queries.len();
+    let inv = 1.0 / t_len as f64;
+    bz.reshape_for_overwrite(q_count, t_len);
+    for (row, q) in queries.iter().enumerate() {
+        bz.row_mut(row).copy_from_slice(q);
+    }
+    out.reshape_for_overwrite(a_rows, q_count);
+    let odata = DisjointMut::new(out.as_mut_slice());
+    par::par_chunks_mut(
+        bz.as_mut_slice(),
+        t_len,
+        a_rows.max(2),
+        CROSS_PAR_THRESHOLD,
+        |j, brow| {
+            zscore_in_place(brow);
+            for i in 0..a_rows {
+                let ai = &az[i * t_len..(i + 1) * t_len];
+                let v = (dot_f32_f64(ai, brow) * inv).clamp(-1.0, 1.0);
+                // SAFETY: query j exclusively owns output column j.
+                unsafe { *odata.get(i * q_count + j) = v };
+            }
+        },
+    );
+    Ok(())
+}
+
 /// Pairwise-complete Pearson correlation: correlates two equal-length
 /// series over the observations where **both** are finite.
 ///
@@ -940,6 +1075,102 @@ mod tests {
             cross_correlation_fused_f32_into(&az32, 7, &b, &mut bz, &mut out32).is_err()
                 || az.rows() == 7
         );
+    }
+
+    #[test]
+    fn batched_cross_correlation_is_bit_identical_to_fused() {
+        // The serve batch path must reproduce the fused query kernel exactly,
+        // column by column: batched(Q queries) == fused(t × Q matrix), and
+        // each column == fused on that query alone. This is the contract the
+        // match server's batching rests on.
+        let a = Matrix::from_fn(37, 6, |r, c| ((r * 3 + c * 7) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(37, 5, |r, c| ((r * 5 + c * 11) % 9) as f64 - 4.0);
+        let mut az = Matrix::zeros(0, 0);
+        zscored_cols_into(&a, &mut az);
+        let mut bz = Matrix::zeros(0, 0);
+        let mut fused = Matrix::zeros(0, 0);
+        cross_correlation_fused_into(&az, &b, &mut bz, &mut fused).unwrap();
+        let cols: Vec<Vec<f64>> = (0..b.cols()).map(|j| b.col(j)).collect();
+        let queries: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut bz_b = Matrix::filled(2, 9, 3.0); // dirty scratch
+        let mut batched = Matrix::filled(1, 4, -5.0);
+        cross_correlation_batched_into(&az, &queries, &mut bz_b, &mut batched).unwrap();
+        assert_eq!(batched.shape(), fused.shape());
+        for (x, y) in batched.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Singleton batches reproduce their fused column too.
+        for (j, q) in queries.iter().enumerate() {
+            let mut solo = Matrix::zeros(0, 0);
+            cross_correlation_batched_into(&az, &[q], &mut bz_b, &mut solo).unwrap();
+            for i in 0..az.rows() {
+                assert_eq!(solo[(i, 0)].to_bits(), fused[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_f32_matches_fused_f32() {
+        let a = Matrix::from_fn(50, 5, |r, c| ((r * 3 + c * 7) % 13) as f64 * 0.17 - 1.0);
+        let b = Matrix::from_fn(50, 4, |r, c| ((r * 5 + c * 11) % 9) as f64 * 0.31 - 1.2);
+        let mut az = Matrix::zeros(0, 0);
+        zscored_cols_into(&a, &mut az);
+        let az32: Vec<f32> = az.as_slice().iter().map(|&v| v as f32).collect();
+        let mut bz = Matrix::zeros(0, 0);
+        let mut fused = Matrix::zeros(0, 0);
+        cross_correlation_fused_f32_into(&az32, az.rows(), &b, &mut bz, &mut fused).unwrap();
+        let cols: Vec<Vec<f64>> = (0..b.cols()).map(|j| b.col(j)).collect();
+        let queries: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut batched = Matrix::zeros(0, 0);
+        cross_correlation_batched_f32_into(&az32, az.rows(), &queries, &mut bz, &mut batched)
+            .unwrap();
+        assert_eq!(batched.shape(), fused.shape());
+        for (x, y) in batched.as_slice().iter().zip(fused.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_cross_correlation_typed_errors() {
+        let a = Matrix::from_fn(12, 3, |r, c| (r + c) as f64);
+        let mut az = Matrix::zeros(0, 0);
+        zscored_cols_into(&a, &mut az);
+        let mut bz = Matrix::zeros(0, 0);
+        let mut out = Matrix::zeros(0, 0);
+        // Empty batch.
+        assert!(cross_correlation_batched_into(&az, &[], &mut bz, &mut out).is_err());
+        // Wrong-length query (mid-stream gallery-shape change).
+        let short = vec![1.0; az.cols() - 1];
+        let good = vec![1.0; az.cols()];
+        assert!(cross_correlation_batched_into(
+            &az,
+            &[good.as_slice(), short.as_slice()],
+            &mut bz,
+            &mut out
+        )
+        .is_err());
+        // Empty gallery.
+        let empty = Matrix::zeros(0, 0);
+        assert!(
+            cross_correlation_batched_into(&empty, &[good.as_slice()], &mut bz, &mut out).is_err()
+        );
+        let az32: Vec<f32> = az.as_slice().iter().map(|&v| v as f32).collect();
+        assert!(cross_correlation_batched_f32_into(
+            &az32,
+            0,
+            &[good.as_slice()],
+            &mut bz,
+            &mut out
+        )
+        .is_err());
+        assert!(cross_correlation_batched_f32_into(
+            &az32,
+            az.rows(),
+            &[short.as_slice()],
+            &mut bz,
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]

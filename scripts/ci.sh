@@ -43,6 +43,14 @@ echo "==> open-world property suite @ NEURODEANON_THREADS=1 and 8"
 NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test openworld_properties
 
+# The serve layer promises responses that are packing- and parallelism-
+# invariant (one batched GEMM per batch, bitwise-identical per column to the
+# per-query fused path) plus chaos-tested poison isolation; pin the property
+# suite at both thread counts like the other robustness contracts.
+echo "==> serve property suite @ NEURODEANON_THREADS=1 and 8"
+NEURODEANON_THREADS=1 cargo test -q --offline -p neurodeanon-core --test serve_properties
+NEURODEANON_THREADS=8 cargo test -q --offline -p neurodeanon-core --test serve_properties
+
 # Observability smoke (DESIGN.md §1.6): a traced demo run must print a span
 # tree, emit JSONL that self-parses (the trace_smoke test), and — the hard
 # contract — produce byte-identical predictions untraced vs traced, at 1
@@ -92,5 +100,33 @@ NEURODEANON_BENCH_SCALE=small \
 echo "==> bench smoke: openworld @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
 NEURODEANON_BENCH_SCALE=small \
   cargo bench -p neurodeanon-bench --bench openworld --features criterion-bench --offline
+
+# Serve smoke (DESIGN.md §1.7): the demo match server must drain clean and
+# print byte-identical responses at 1 thread and at the default count —
+# batching, worker scheduling, and the linalg pool must all be invisible in
+# the responses. The chaos run (pinned seed) must also drain clean while
+# quarantining exactly the injected faults; its response set is timing-
+# dependent only in which error a faulted query gets, never in a clean
+# query's match, so it gates on exit status + clean drain, not on a diff.
+echo "==> serve smoke: deanon serve --demo @ NEURODEANON_THREADS=1 and default"
+SERVE_DIR="$(mktemp -d)"
+NEURODEANON_THREADS=1 ./target/release/deanon serve --demo --queries 60 \
+  > "$SERVE_DIR/serve1.csv" 2> "$SERVE_DIR/serve1.log"
+./target/release/deanon serve --demo --queries 60 \
+  > "$SERVE_DIR/serve_default.csv" 2> "$SERVE_DIR/serve_default.log"
+diff "$SERVE_DIR/serve1.csv" "$SERVE_DIR/serve_default.csv"
+NEURODEANON_THREADS=1 ./target/release/deanon serve --demo --queries 60 \
+  --chaos-seed 7 --chaos-rate 0.25 > "$SERVE_DIR/chaos.csv" 2> "$SERVE_DIR/chaos.log"
+grep -q "quarantined" "$SERVE_DIR/chaos.log"
+rm -rf "$SERVE_DIR"
+echo "    serve responses identical at both thread counts; chaos run drained clean"
+
+# Serve bench smoke: floods the match server at small scale (20k clean +
+# 5k chaos queries), asserts every loaded-server response bitwise-identical
+# to a batch-1 reference, that exactly the injected faults fail typed, and
+# appends serve_bench JSONL records (p50/p99/qps/shed/quarantine/taxonomy).
+echo "==> bench smoke: serve @ small -> \${NEURODEANON_BENCH_JSON:-bench_results.jsonl}"
+NEURODEANON_BENCH_SCALE=small \
+  cargo bench -p neurodeanon-bench --bench serve --features criterion-bench --offline
 
 echo "CI green."

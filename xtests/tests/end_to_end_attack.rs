@@ -155,3 +155,50 @@ fn different_cohort_seeds_produce_unrelated_identities() {
         out.accuracy
     );
 }
+
+#[test]
+fn match_server_reproduces_the_one_shot_attack() {
+    // The serve layer (DESIGN.md §1.7) is a deployment surface, not a new
+    // attack: streaming every anonymous subject through a live MatchServer
+    // must reproduce the one-shot pipeline's predictions and similarity
+    // bits exactly, batching and worker scheduling included.
+    use neurodeanon_core::attack::AttackPlan;
+    use neurodeanon_core::serve::{MatchServer, Query, ServeConfig};
+
+    let cohort = hcp(14, 21);
+    let known = cohort.group_matrix(Task::Rest, Session::One).unwrap();
+    let anon = cohort.group_matrix(Task::Rest, Session::Two).unwrap();
+    let config = AttackConfig::default();
+    let mut plan = AttackPlan::prepare(known.clone(), config.clone()).unwrap();
+    let outcome = plan.run_against(&anon).unwrap();
+
+    let server = MatchServer::start(
+        AttackPlan::prepare(known, config).unwrap(),
+        ServeConfig {
+            workers: 3,
+            batch_max: 5,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let receivers: Vec<_> = (0..anon.n_subjects())
+        .map(|s| {
+            let q = Query::new(
+                s as u64,
+                anon.subject_ids()[s].clone(),
+                anon.subject_features(s),
+            );
+            server
+                .submit(q)
+                .unwrap_or_else(|(_, e)| panic!("submit: {e}"))
+        })
+        .collect();
+    for (s, rx) in receivers.into_iter().enumerate() {
+        let resp = rx.recv().unwrap().unwrap();
+        assert_eq!(resp.best, Some(outcome.predicted[s]), "query {s}");
+        let want = outcome.similarity.get(outcome.predicted[s], s).unwrap();
+        assert_eq!(resp.score.to_bits(), want.to_bits(), "query {s} score");
+    }
+    let report = server.shutdown();
+    assert!(report.clean_drain(), "server must drain clean: {report:?}");
+}
